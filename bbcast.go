@@ -1,0 +1,205 @@
+// Package bbcast is a Byzantine-tolerant broadcast protocol for wireless
+// ad-hoc networks, reproducing Drabkin, Friedman and Segal, "Efficient
+// Byzantine Broadcast in Wireless Ad-Hoc Networks" (DSN 2005).
+//
+// The protocol disseminates signed messages along a self-maintained overlay
+// (a connected dominating set elected by unforgeable node ids), gossips
+// message signatures among all nodes so everyone learns what exists even if
+// Byzantine overlay nodes drop traffic, recovers missing messages with
+// REQUEST/FIND-MISSING exchanges, and evicts detectably faulty nodes from
+// the overlay using MUTE, VERBOSE and TRUST failure detectors. It requires
+// only one correct node per one-hop neighbourhood and sends a single
+// overlay's worth of traffic when nobody misbehaves — unlike the classical
+// f+1-independent-overlays approach that pays (f+1)× always.
+//
+// # Running simulations
+//
+// The package ships a deterministic discrete-event wireless simulator
+// (radio with collisions and fading fringe, CSMA MAC, mobility models) and
+// two baseline protocols (plain flooding and f+1 overlays):
+//
+//	sc := bbcast.DefaultScenario()
+//	sc.N = 100
+//	sc.Adversaries = []bbcast.Adversaries{{Kind: bbcast.AdvMute, Count: 10}}
+//	res, err := bbcast.Run(sc)
+//	fmt.Println(res.Results)
+//
+// # Running over a real network
+//
+// The same protocol engine runs over UDP datagrams:
+//
+//	keys := bbcast.NewHMACKeyring(3, 42)
+//	node, err := bbcast.NewNode(bbcast.DefaultProtocolConfig(), 0, keys,
+//	    "0.0.0.0:9000", func(origin bbcast.NodeID, id bbcast.MsgID, payload []byte) {
+//	        fmt.Printf("accepted %v from %d: %s\n", id, origin, payload)
+//	    })
+//	node.SetPeers([]string{"10.0.0.2:9000", "10.0.0.3:9000"})
+//	node.Broadcast([]byte("hello"))
+package bbcast
+
+import (
+	"bbcast/internal/core"
+	"bbcast/internal/geo"
+	"bbcast/internal/mac"
+	"bbcast/internal/metrics"
+	"bbcast/internal/overlay"
+	"bbcast/internal/radio"
+	"bbcast/internal/runner"
+	"bbcast/internal/sig"
+	"bbcast/internal/wire"
+)
+
+// NodeID identifies a device; ids are unforgeable (bound to signature keys).
+type NodeID = wire.NodeID
+
+// MsgID identifies an application message by originator and sequence number.
+type MsgID = wire.MsgID
+
+// Scenario describes a complete simulation experiment: network size and
+// geometry, radio and MAC parameters, mobility, the protocol under test,
+// adversaries, and workload.
+type Scenario = runner.Scenario
+
+// Adversaries places Byzantine nodes in a scenario.
+type Adversaries = runner.Adversaries
+
+// Workload describes a scenario's traffic injection.
+type Workload = runner.Workload
+
+// Result bundles a run's metrics with physical-layer statistics.
+type Result = runner.Result
+
+// Results is the metrics summary (delivery ratio, latency percentiles,
+// per-kind transmission counts) embedded in Result.
+type Results = metrics.Results
+
+// ProtocolConfig holds every parameter of the paper's protocol.
+type ProtocolConfig = core.Config
+
+// RadioConfig holds the physical-layer parameters.
+type RadioConfig = radio.Config
+
+// MACConfig holds the CSMA medium-access parameters.
+type MACConfig = mac.Config
+
+// Area is the rectangular deployment area, in metres.
+type Area = geo.Rect
+
+// Protocol selects the dissemination protocol a scenario runs.
+type Protocol = runner.Protocol
+
+// Protocols available to scenarios.
+const (
+	// ProtoByzCast is the paper's Byzantine-tolerant overlay broadcast.
+	ProtoByzCast = runner.ProtoByzCast
+	// ProtoFlooding is the classic flood baseline.
+	ProtoFlooding = runner.ProtoFlooding
+	// ProtoFPlusOne is the f+1 node-independent-overlays baseline.
+	ProtoFPlusOne = runner.ProtoFPlusOne
+)
+
+// AdversaryKind selects a Byzantine behaviour.
+type AdversaryKind = runner.AdversaryKind
+
+// Adversary behaviours.
+const (
+	// AdvMute drops all forwards while still claiming overlay membership.
+	AdvMute = runner.AdvMute
+	// AdvMuteSilent additionally suppresses gossip advertisements.
+	AdvMuteSilent = runner.AdvMuteSilent
+	// AdvVerbose floods the network with valid-looking requests.
+	AdvVerbose = runner.AdvVerbose
+	// AdvTamper corrupts forwarded payloads (caught by signatures).
+	AdvTamper = runner.AdvTamper
+	// AdvSelective drops a random half of its forwards (selfishness).
+	AdvSelective = runner.AdvSelective
+)
+
+// AdversaryPlacement selects where adversaries are placed.
+type AdversaryPlacement = runner.AdversaryPlacement
+
+// Adversary placements.
+const (
+	// PlaceSpread distributes adversaries across the network.
+	PlaceSpread = runner.PlaceSpread
+	// PlaceDominators puts them on the nodes the election will make
+	// overlay dominators — the paper's worst case.
+	PlaceDominators = runner.PlaceDominators
+)
+
+// MobilityKind selects a scenario's movement model.
+type MobilityKind = runner.MobilityKind
+
+// Mobility models.
+const (
+	// MobGrid places nodes on a jittered grid (static).
+	MobGrid = runner.MobGrid
+	// MobUniform places nodes uniformly at random (static).
+	MobUniform = runner.MobUniform
+	// MobWaypoint is the random-waypoint model.
+	MobWaypoint = runner.MobWaypoint
+	// MobWalk is a reflecting random walk.
+	MobWalk = runner.MobWalk
+	// MobFerry is two disconnected clusters joined only by a shuttling
+	// ferry node (delay-tolerant operation).
+	MobFerry = runner.MobFerry
+	// MobGaussMarkov is smooth temporally-correlated motion.
+	MobGaussMarkov = runner.MobGaussMarkov
+)
+
+// OverlayKind selects the overlay maintenance protocol.
+type OverlayKind = overlay.Kind
+
+// Overlay maintenance protocols (§3.3).
+const (
+	// OverlayCDS is the Wu–Li connected-dominating-set marking protocol
+	// with ID-based pruning.
+	OverlayCDS = overlay.CDS
+	// OverlayMISB is the maximal-independent-set-with-bridges protocol
+	// (smaller overlays; the default).
+	OverlayMISB = overlay.MISB
+)
+
+// Keyring signs and verifies on behalf of registered nodes (the PKI the
+// paper presumes, §2).
+type Keyring = sig.Scheme
+
+// DefaultScenario returns the base experiment configuration: 75 nodes on a
+// jittered grid in a 1000×1000 m area with 250 m radios, five senders
+// injecting one 256-byte message per second for a minute.
+func DefaultScenario() Scenario { return runner.DefaultScenario() }
+
+// DefaultProtocolConfig returns the protocol parameters used throughout the
+// paper's experiments.
+func DefaultProtocolConfig() ProtocolConfig { return core.DefaultConfig() }
+
+// DefaultRadioConfig returns 802.11b-flavoured physical parameters.
+func DefaultRadioConfig() RadioConfig { return radio.DefaultConfig() }
+
+// DefaultMACConfig returns 802.11b-flavoured CSMA parameters.
+func DefaultMACConfig() MACConfig { return mac.DefaultConfig() }
+
+// Run executes a simulation scenario and returns its results. Runs are
+// deterministic in Scenario.Seed.
+func Run(sc Scenario) (Result, error) { return runner.Run(sc) }
+
+// NewHMACKeyring returns the fast symmetric simulation keyring: node keys
+// are derived deterministically from seed and verification consults an
+// omniscient registry standing in for the PKI. Use it for simulations and
+// tests; use NewEd25519Keyring for real deployments.
+func NewHMACKeyring(n int, seed int64) Keyring { return sig.NewHMAC(n, seed) }
+
+// NewEd25519Keyring returns a keyring of real Ed25519 keys for node ids
+// 0..n-1, derived deterministically from seed.
+func NewEd25519Keyring(n int, seed int64) (Keyring, error) { return sig.NewEd25519(n, seed) }
+
+// GenerateKeystores writes one node-<id>.keys.json per node into dir — each
+// device's private key plus the full PKI — for real deployments (see also
+// cmd/bbkeys).
+func GenerateKeystores(dir string, n int, seed int64) error {
+	return sig.GenerateKeystores(dir, n, seed)
+}
+
+// LoadKeystore reads one node's key file; the result is a Keyring that can
+// sign only as that node and verify everyone.
+func LoadKeystore(path string) (Keyring, error) { return sig.LoadKeystore(path) }

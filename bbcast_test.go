@@ -1,0 +1,108 @@
+package bbcast_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"bbcast"
+)
+
+func TestPublicSimulationAPI(t *testing.T) {
+	sc := bbcast.DefaultScenario()
+	sc.N = 30
+	sc.Workload.End = 30 * time.Second
+	sc.Duration = 40 * time.Second
+	res, err := bbcast.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveryRatio < 0.95 {
+		t.Fatalf("delivery = %.3f", res.DeliveryRatio)
+	}
+	if res.String() == "" || res.KindBreakdown() == "" {
+		t.Fatal("result rendering empty")
+	}
+}
+
+func TestPublicAPIWithAdversaries(t *testing.T) {
+	sc := bbcast.DefaultScenario()
+	sc.N = 30
+	sc.Adversaries = []bbcast.Adversaries{{Kind: bbcast.AdvMute, Count: 5}}
+	sc.Placement = bbcast.PlaceDominators
+	sc.Workload.End = 40 * time.Second
+	sc.Duration = 55 * time.Second
+	res, err := bbcast.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveryRatio < 0.95 {
+		t.Fatalf("delivery = %.3f under mute adversaries", res.DeliveryRatio)
+	}
+}
+
+func TestPublicNodeAPI(t *testing.T) {
+	keys := bbcast.NewHMACKeyring(2, 1)
+	cfg := bbcast.DefaultProtocolConfig()
+	cfg.GossipInterval = 100 * time.Millisecond
+	cfg.MaintenanceInterval = 100 * time.Millisecond
+
+	var mu sync.Mutex
+	got := map[bbcast.MsgID]string{}
+	deliver := func(origin bbcast.NodeID, id bbcast.MsgID, payload []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		got[id] = string(payload)
+	}
+
+	a, err := bbcast.NewNode(cfg, 0, keys, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := bbcast.NewNode(cfg, 1, keys, "127.0.0.1:0", deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.SetPeers([]string{b.Addr().String()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetPeers([]string{a.Addr().String()}); err != nil {
+		t.Fatal(err)
+	}
+
+	id := a.Broadcast([]byte("public api"))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		payload, ok := got[id]
+		mu.Unlock()
+		if ok {
+			if payload != "public api" {
+				t.Fatalf("payload = %q", payload)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("message never delivered over the public node API")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestKeyrings(t *testing.T) {
+	h := bbcast.NewHMACKeyring(2, 1)
+	tag := h.Sign(0, []byte("m"))
+	if !h.Verify(0, []byte("m"), tag) {
+		t.Fatal("HMAC keyring broken")
+	}
+	e, err := bbcast.NewEd25519Keyring(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag = e.Sign(1, []byte("m"))
+	if !e.Verify(1, []byte("m"), tag) {
+		t.Fatal("Ed25519 keyring broken")
+	}
+}

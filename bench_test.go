@@ -1,0 +1,193 @@
+package bbcast_test
+
+// The benchmark harness regenerates every experiment table from DESIGN.md
+// (E1–E10 and ablations A1–A6): one benchmark per table, plus micro
+// benchmarks for the hot substrate paths (wire codec, signatures, event
+// engine, full simulation throughput).
+//
+// Experiment benchmarks run the Quick variant of each table per iteration
+// (E1–E11, A1–A9) and report the row count via b.ReportMetric; run the
+// full-size tables with `go run ./cmd/bbexp -all` (EXPERIMENTS.md records
+// those results).
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"bbcast"
+	"bbcast/internal/experiments"
+	"bbcast/internal/sim"
+	"bbcast/internal/wire"
+)
+
+func benchTable(b *testing.B, fn func(experiments.Config) experiments.Table) {
+	b.Helper()
+	cfg := experiments.Config{Quick: true, Seed: 1}
+	var rows int
+	for i := 0; i < b.N; i++ {
+		t := fn(cfg)
+		rows = len(t.Rows)
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+func BenchmarkE1MessageOverhead(b *testing.B) { benchTable(b, experiments.E1MessageOverhead) }
+func BenchmarkE2DeliveryRatio(b *testing.B)   { benchTable(b, experiments.E2Delivery) }
+func BenchmarkE3Latency(b *testing.B)         { benchTable(b, experiments.E3Latency) }
+func BenchmarkE4MuteDelivery(b *testing.B)    { benchTable(b, experiments.E4MuteDelivery) }
+func BenchmarkE5MuteLatency(b *testing.B)     { benchTable(b, experiments.E5MuteLatency) }
+func BenchmarkE6OverlayCompare(b *testing.B)  { benchTable(b, experiments.E6OverlayCompare) }
+func BenchmarkE7Breakdown(b *testing.B)       { benchTable(b, experiments.E7Breakdown) }
+func BenchmarkE8Mobility(b *testing.B)        { benchTable(b, experiments.E8Mobility) }
+func BenchmarkE9Verbose(b *testing.B)         { benchTable(b, experiments.E9Verbose) }
+func BenchmarkE10FPlusOne(b *testing.B)       { benchTable(b, experiments.E10FPlusOne) }
+
+func BenchmarkA1GossipAggregation(b *testing.B) { benchTable(b, experiments.A1GossipAggregation) }
+func BenchmarkA2Recovery(b *testing.B)          { benchTable(b, experiments.A2Recovery) }
+func BenchmarkA3FindMissing(b *testing.B)       { benchTable(b, experiments.A3FindMissing) }
+func BenchmarkA4Signatures(b *testing.B)        { benchTable(b, experiments.A4Signatures) }
+func BenchmarkA5RateSweep(b *testing.B)         { benchTable(b, experiments.A5RateSweep) }
+func BenchmarkA6Tamper(b *testing.B)            { benchTable(b, experiments.A6Tamper) }
+func BenchmarkA7FDClasses(b *testing.B)         { benchTable(b, experiments.A7FDClasses) }
+func BenchmarkA8Poisson(b *testing.B)           { benchTable(b, experiments.A8Poisson) }
+func BenchmarkA9Capture(b *testing.B)           { benchTable(b, experiments.A9Capture) }
+func BenchmarkE11FastPathTimeline(b *testing.B) { benchTable(b, experiments.E11FastPathTimeline) }
+
+// BenchmarkSimulatedSecond measures how fast the simulator runs one virtual
+// second of the default 75-node scenario (the sims-per-wallclock figure of
+// merit for the whole substrate).
+func BenchmarkSimulatedSecond(b *testing.B) {
+	sc := bbcast.DefaultScenario()
+	sc.Duration = time.Duration(b.N) * time.Second
+	sc.Workload.End = sc.Duration
+	b.ResetTimer()
+	if _, err := bbcast.Run(sc); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkScenarioSizes measures full-run cost vs. network size.
+func BenchmarkScenarioSizes(b *testing.B) {
+	for _, n := range []int{25, 50, 100, 200} {
+		b.Run("n="+strconv.Itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sc := bbcast.DefaultScenario()
+				sc.N = n
+				sc.Workload.End = 25 * time.Second
+				sc.Duration = 30 * time.Second
+				res, err := bbcast.Run(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.DeliveryRatio, "delivery")
+			}
+		})
+	}
+}
+
+func samplePacket() *wire.Packet {
+	return &wire.Packet{
+		Kind: wire.KindData, Sender: 7, TTL: 1, Target: wire.NoNode,
+		Origin: 3, Seq: 41,
+		Payload: make([]byte, 256),
+		Sig:     make([]byte, 32),
+		State: &wire.OverlayState{
+			Active: true, Dominator: true,
+			Neighbors:          []wire.NodeID{1, 2, 3, 4, 5, 6, 7, 8},
+			ActiveNeighbors:    []wire.NodeID{2, 5},
+			DominatorNeighbors: []wire.NodeID{5},
+		},
+		StateSig: make([]byte, 32),
+	}
+}
+
+func BenchmarkWireMarshal(b *testing.B) {
+	pkt := samplePacket()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = pkt.Marshal()
+	}
+}
+
+func BenchmarkWireUnmarshal(b *testing.B) {
+	buf := samplePacket().Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireClone(b *testing.B) {
+	pkt := samplePacket()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = pkt.Clone()
+	}
+}
+
+func BenchmarkHMACSign(b *testing.B) {
+	keys := bbcast.NewHMACKeyring(4, 1)
+	msg := make([]byte, 264)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = keys.Sign(1, msg)
+	}
+}
+
+func BenchmarkHMACVerify(b *testing.B) {
+	keys := bbcast.NewHMACKeyring(4, 1)
+	msg := make([]byte, 264)
+	tag := keys.Sign(1, msg)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !keys.Verify(1, msg, tag) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+func BenchmarkEd25519Sign(b *testing.B) {
+	keys, err := bbcast.NewEd25519Keyring(4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]byte, 264)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = keys.Sign(1, msg)
+	}
+}
+
+func BenchmarkEd25519Verify(b *testing.B) {
+	keys, err := bbcast.NewEd25519Keyring(4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]byte, 264)
+	tag := keys.Sign(1, msg)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !keys.Verify(1, msg, tag) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	eng := sim.New(1)
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		if fired < b.N {
+			eng.After(time.Microsecond, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.After(0, tick)
+	eng.RunAll()
+}

@@ -1,0 +1,60 @@
+// Command bbexp regenerates the paper-reproduction experiment tables
+// (DESIGN.md E1–E10 and ablations A1–A6).
+//
+// Usage:
+//
+//	bbexp -all            # run the full suite (minutes)
+//	bbexp -exp E4         # run one experiment
+//	bbexp -all -quick     # shrunken sweeps for a fast smoke run
+//	bbexp -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bbcast/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bbexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bbexp", flag.ContinueOnError)
+	all := fs.Bool("all", false, "run the full experiment suite")
+	exp := fs.String("exp", "", "run one experiment by id (e.g. E4)")
+	quick := fs.Bool("quick", false, "shrink sweeps and durations")
+	list := fs.Bool("list", false, "list experiment ids")
+	seed := fs.Int64("seed", 1, "base random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+
+	switch {
+	case *list:
+		fmt.Println(strings.Join(experiments.IDs(), " "))
+		return nil
+	case *exp != "":
+		table, ok := experiments.ByID(*exp, cfg)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", *exp)
+		}
+		fmt.Println(table)
+		return nil
+	case *all:
+		for _, table := range experiments.All(cfg) {
+			fmt.Println(table)
+		}
+		return nil
+	default:
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -all, -exp <id>, or -list")
+	}
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	err := run([]string{"-exp", "bogus"})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunNothingToDo(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no-op invocation should error")
+	}
+}
+
+func TestRunOneQuickExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	if err := run([]string{"-exp", "E7", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}

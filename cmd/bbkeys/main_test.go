@@ -1,0 +1,51 @@
+package main
+
+import (
+	"testing"
+
+	"bbcast/internal/sig"
+)
+
+func TestGenerateAndCheck(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-n", "2", "-out", dir, "-seed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-check", sig.KeystorePath(dir, 1)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateUnseededUsesEntropy(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	if err := run([]string{"-n", "1", "-out", dirA}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "1", "-out", dirB}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := sig.LoadKeystore(sig.KeystorePath(dirA, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sig.LoadKeystore(sig.KeystorePath(dirB, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("m")
+	if b.Verify(0, msg, a.Sign(0, msg)) {
+		t.Fatal("two unseeded deployments produced identical keys")
+	}
+}
+
+func TestNoArgsErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no-op invocation should error")
+	}
+}
+
+func TestCheckMissingFile(t *testing.T) {
+	if err := run([]string{"-check", t.TempDir() + "/nope.json"}); err == nil {
+		t.Fatal("missing key file accepted")
+	}
+}

@@ -1,0 +1,168 @@
+// Command bbsim runs one simulated broadcast scenario and prints its
+// results.
+//
+// Examples:
+//
+//	bbsim -n 100 -rate 2 -duration 90s
+//	bbsim -proto flooding -n 50
+//	bbsim -mute 10 -placement dominators -no-fd
+//	bbsim -mobility waypoint -speed 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bbcast"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bbsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bbsim", flag.ContinueOnError)
+	var (
+		n        = fs.Int("n", 75, "number of nodes")
+		seed     = fs.Int64("seed", 1, "random seed (runs are deterministic per seed)")
+		proto    = fs.String("proto", "byzcast", "protocol: byzcast | flooding | f+1")
+		f        = fs.Int("f", 2, "tolerated failures for the f+1 baseline")
+		area     = fs.Float64("area", 1000, "square area side in metres")
+		rng      = fs.Float64("range", 250, "radio range in metres")
+		rate     = fs.Float64("rate", 1, "injection rate δ in messages/second")
+		senders  = fs.Int("senders", 5, "number of distinct senders")
+		size     = fs.Int("size", 256, "payload size in bytes")
+		duration = fs.Duration("duration", 85*time.Second, "total simulated time")
+		warmup   = fs.Duration("warmup", 15*time.Second, "time before the first injection")
+		drain    = fs.Duration("drain", 10*time.Second, "time after the last injection")
+
+		overlayKind = fs.String("overlay", "mis+b", "overlay maintainer: cds | mis+b")
+		noFD        = fs.Bool("no-fd", false, "disable the failure detectors")
+		ed25519     = fs.Bool("ed25519", false, "use real Ed25519 signatures")
+
+		mute      = fs.Int("mute", 0, "mute Byzantine nodes")
+		tamper    = fs.Int("tamper", 0, "payload-tampering Byzantine nodes")
+		verbose   = fs.Int("verbose", 0, "request-spamming Byzantine nodes")
+		selective = fs.Int("selective", 0, "selfish 50%-dropping nodes")
+		placement = fs.String("placement", "spread", "adversary placement: spread | dominators")
+
+		mobility = fs.String("mobility", "grid", "mobility: grid | uniform | waypoint | walk | gauss-markov | ferry")
+		speed    = fs.Float64("speed", 5, "node speed (m/s) for waypoint/walk")
+		pause    = fs.Duration("pause", 2*time.Second, "waypoint pause time")
+
+		breakdown = fs.Bool("breakdown", false, "print per-kind transmission counts")
+		svg       = fs.String("svg", "", "write an SVG of the final topology/overlay to this path")
+		traceFile = fs.String("trace", "", "write a JSONL event trace to this path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sc := bbcast.DefaultScenario()
+	sc.N = *n
+	sc.Seed = *seed
+	sc.Area = bbcast.Area{W: *area, H: *area}
+	sc.Radio.Range = *rng
+	sc.F = *f
+	sc.UseEd25519 = *ed25519
+	sc.Workload.Rate = *rate
+	sc.Workload.Senders = *senders
+	sc.Workload.PayloadSize = *size
+	sc.Workload.Start = *warmup
+	sc.Workload.End = *duration - *drain
+	sc.Duration = *duration
+	sc.Core.EnableFDs = !*noFD
+	sc.SnapshotSVG = *svg
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc.Trace = f
+	}
+
+	switch *proto {
+	case "byzcast":
+		sc.Protocol = bbcast.ProtoByzCast
+	case "flooding":
+		sc.Protocol = bbcast.ProtoFlooding
+	case "f+1":
+		sc.Protocol = bbcast.ProtoFPlusOne
+	default:
+		return fmt.Errorf("unknown protocol %q", *proto)
+	}
+	switch *overlayKind {
+	case "cds":
+		sc.Core.Overlay = bbcast.OverlayCDS
+	case "mis+b":
+		sc.Core.Overlay = bbcast.OverlayMISB
+	default:
+		return fmt.Errorf("unknown overlay %q", *overlayKind)
+	}
+	switch *placement {
+	case "spread":
+		sc.Placement = bbcast.PlaceSpread
+	case "dominators":
+		sc.Placement = bbcast.PlaceDominators
+	default:
+		return fmt.Errorf("unknown placement %q", *placement)
+	}
+	switch *mobility {
+	case "grid":
+		sc.Mobility = bbcast.MobGrid
+	case "uniform":
+		sc.Mobility = bbcast.MobUniform
+	case "waypoint":
+		sc.Mobility = bbcast.MobWaypoint
+		sc.Speed = *speed
+		sc.Pause = *pause
+	case "walk":
+		sc.Mobility = bbcast.MobWalk
+		sc.Speed = *speed
+	case "gauss-markov":
+		sc.Mobility = bbcast.MobGaussMarkov
+		sc.Speed = *speed
+	case "ferry":
+		sc.Mobility = bbcast.MobFerry
+		sc.Speed = *speed
+	default:
+		return fmt.Errorf("unknown mobility %q", *mobility)
+	}
+	for _, adv := range []struct {
+		kind  bbcast.AdversaryKind
+		count int
+	}{
+		{bbcast.AdvMute, *mute},
+		{bbcast.AdvTamper, *tamper},
+		{bbcast.AdvVerbose, *verbose},
+		{bbcast.AdvSelective, *selective},
+	} {
+		if adv.count > 0 {
+			sc.Adversaries = append(sc.Adversaries, bbcast.Adversaries{Kind: adv.kind, Count: adv.count})
+		}
+	}
+
+	res, err := bbcast.Run(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Results.String())
+	if *breakdown {
+		fmt.Println(res.Results.KindBreakdown())
+		fmt.Printf("phys: collisions=%d fringe-losses=%d half-duplex-drops=%d bytes=%d\n",
+			res.Phys.Collisions, res.Phys.FringeLosses, res.Phys.HalfDuplexDrop, res.Phys.BytesOnAir)
+		fmt.Printf("node: forwarded=%d gossips=%d requests=%d finds=%d served=%d bad-sigs=%d\n",
+			res.Node.Forwarded, res.Node.GossipsSent, res.Node.RequestsSent,
+			res.Node.FindsSent, res.Node.RecoveredByData, res.Node.BadSignatures)
+		if len(sc.Adversaries) > 0 {
+			fmt.Printf("adversaries detected by correct nodes: %d\n", res.AdversariesDetected)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestRunDefaultsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	err := run([]string{"-n", "20", "-duration", "30s", "-breakdown",
+		"-svg", t.TempDir() + "/t.svg", "-trace", t.TempDir() + "/t.jsonl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-proto", "bogus"},
+		{"-overlay", "bogus"},
+		{"-placement", "bogus"},
+		{"-mobility", "bogus"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunAdversaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	err := run([]string{"-n", "20", "-duration", "30s",
+		"-mute", "2", "-tamper", "1", "-verbose", "1", "-selective", "1",
+		"-placement", "dominators", "-proto", "byzcast", "-overlay", "cds"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,38 @@
+// Command bbtrace digests a JSONL event trace produced by `bbsim -trace`:
+// per-message propagation times, transmission counts by kind, and overlay
+// role churn.
+//
+//	bbsim -n 50 -trace /tmp/run.jsonl
+//	bbtrace /tmp/run.jsonl
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"bbcast/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bbtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: bbtrace <trace.jsonl>")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	analysis, err := trace.Analyze(f)
+	if err != nil {
+		return err
+	}
+	fmt.Print(analysis.Summary())
+	return nil
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestAnalyzeFile(t *testing.T) {
+	path := t.TempDir() + "/trace.jsonl"
+	content := `{"t":1000000,"node":0,"type":"inject","msg":"0/1"}
+{"t":2000000,"node":1,"type":"accept","msg":"0/1"}
+{"t":1000000,"node":0,"type":"tx","kind":"data","msg":"0/1"}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing argument accepted")
+	}
+	if err := run([]string{"/definitely/not/there.jsonl"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

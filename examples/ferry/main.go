@@ -1,0 +1,61 @@
+// Ferry demonstrates eventual dissemination across a *partitioned* network:
+// two clusters of nodes sit at opposite ends of the area, never in mutual
+// radio range; one ferry node shuttles between them. Messages originate on
+// the left, the ferry absorbs them through normal dissemination, carries
+// them across, and the right cluster discovers and recovers them through the
+// signature gossip — delay-tolerant networking as an emergent property of
+// the paper's recovery design (its footnote 7 discusses exactly this
+// weakened connectivity).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bbcast"
+)
+
+func main() {
+	sc := bbcast.DefaultScenario()
+	sc.N = 21 // 10 nodes per cluster + the ferry (id 20)
+	sc.Area = bbcast.Area{W: 1200, H: 300}
+	sc.Mobility = bbcast.MobFerry
+	sc.Speed = 50 // one crossing ≈ 20 s
+
+	// The ferry must keep advertising and serving what it carries for at
+	// least a full crossing.
+	sc.Core.GossipRetention = 60 * time.Second
+	sc.Core.PurgeTimeout = 180 * time.Second
+
+	sc.Workload.Senders = 2 // both sources in the left cluster
+	sc.Workload.Rate = 0.5
+	sc.Workload.Start = 10 * time.Second
+	sc.Workload.End = 70 * time.Second
+	sc.Duration = 160 * time.Second
+	sc.LatencyBucket = 20 * time.Second
+
+	res, err := bbcast.Run(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("partitioned network, one message ferry")
+	fmt.Println("--------------------------------------")
+	fmt.Printf("delivery ratio:       %.3f (across the partition!)\n", res.DeliveryRatio)
+	fmt.Printf("latency p50 / max:    %s / %s\n",
+		res.LatP50.Round(time.Millisecond), res.LatMax.Round(time.Second))
+	fmt.Println()
+	fmt.Println("latency by injection window (the ferry's rhythm is visible):")
+	for _, b := range res.Timeline {
+		if b.Count == 0 {
+			continue
+		}
+		fmt.Printf("  t=%-6s accepts=%-4d mean=%-10s p95=%s\n",
+			b.Start, b.Count, b.Mean.Round(time.Millisecond), b.P95.Round(time.Millisecond))
+	}
+	fmt.Println()
+	fmt.Println("Same-side deliveries are milliseconds; cross-partition deliveries")
+	fmt.Println("wait for the next ferry crossing (tens of seconds) — eventual")
+	fmt.Println("dissemination under the paper's weakened connectivity assumption.")
+}

@@ -1,0 +1,56 @@
+// Mutefail demonstrates the paper's central scenario: Byzantine overlay
+// nodes silently black-hole all traffic they should forward. The protocol's
+// signature gossip detects the missing messages, the recovery path fetches
+// them around the mute nodes, and the failure detectors evict the offenders
+// from the overlay. Compare the three arms printed below.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bbcast"
+)
+
+func main() {
+	fmt.Println("10 mute Byzantine nodes planted on overlay-dominator positions (n=75)")
+	fmt.Println()
+	fmt.Printf("%-28s %-10s %-12s %-12s %s\n", "arm", "delivery", "lat-mean", "lat-p95", "detections")
+
+	arms := []struct {
+		label string
+		mod   func(*bbcast.Scenario)
+	}{
+		{"full protocol (FDs on)", func(sc *bbcast.Scenario) {}},
+		{"recovery only (FDs off)", func(sc *bbcast.Scenario) { sc.Core.EnableFDs = false }},
+		{"no recovery, no FDs", func(sc *bbcast.Scenario) {
+			sc.Core.EnableFDs = false
+			sc.Core.EnableRecovery = false
+		}},
+	}
+	for _, arm := range arms {
+		sc := bbcast.DefaultScenario()
+		sc.N = 75
+		sc.Adversaries = []bbcast.Adversaries{{Kind: bbcast.AdvMute, Count: 10}}
+		sc.Placement = bbcast.PlaceDominators
+		sc.Workload.End = 75 * time.Second
+		sc.Duration = 90 * time.Second
+		arm.mod(&sc)
+
+		res, err := bbcast.Run(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %-10.3f %-12s %-12s %d\n",
+			arm.label, res.DeliveryRatio,
+			res.LatMean.Round(time.Millisecond), res.LatP95.Round(time.Millisecond),
+			res.AdversariesDetected)
+	}
+
+	fmt.Println()
+	fmt.Println("Expected shape: recovery keeps delivery near 1.0 even without FDs;")
+	fmt.Println("without recovery the mute overlay nodes silently lose messages;")
+	fmt.Println("with FDs the offenders are detected and latency improves as traffic")
+	fmt.Println("returns to the overlay fast path.")
+}

@@ -1,0 +1,3 @@
+module bbcast
+
+go 1.22

@@ -1,0 +1,92 @@
+// Package baseline implements the two comparison protocols of the paper's
+// evaluation: plain flooding (§1, [45]) and f+1 node-disjoint overlays
+// (§1, [15, 34, 36]). Both use the same signatures, wire format, MAC and
+// radio as the main protocol so measured differences come from the
+// dissemination strategy alone.
+package baseline
+
+import (
+	"time"
+
+	"bbcast/internal/core"
+	"bbcast/internal/wire"
+)
+
+// Flooding is the classic broadcast: the originator transmits, and every
+// node re-transmits the first valid copy of each message it receives.
+type Flooding struct {
+	deps   core.Deps
+	jitter time.Duration
+	seq    wire.Seq
+	seen   map[wire.MsgID]bool
+
+	stats core.Stats
+}
+
+// NewFlooding builds a flooding instance. jitter is the random assessment
+// delay inserted before each re-flood (0 disables it).
+func NewFlooding(deps core.Deps, jitter time.Duration) *Flooding {
+	return &Flooding{deps: deps, jitter: jitter, seen: make(map[wire.MsgID]bool)}
+}
+
+// Stop is a no-op (flooding has no periodic tasks); it exists for interface
+// symmetry with the main protocol.
+func (f *Flooding) Stop() {}
+
+// Stats returns protocol counters.
+func (f *Flooding) Stats() core.Stats { return f.stats }
+
+// Broadcast originates a message and returns its id.
+func (f *Flooding) Broadcast(payload []byte) wire.MsgID {
+	f.seq++
+	id := wire.MsgID{Origin: f.deps.ID, Seq: f.seq}
+	body := make([]byte, len(payload))
+	copy(body, payload)
+	f.seen[id] = true
+	f.deps.Send(&wire.Packet{
+		Kind:    wire.KindData,
+		Sender:  f.deps.ID,
+		TTL:     1,
+		Target:  wire.NoNode,
+		Origin:  id.Origin,
+		Seq:     id.Seq,
+		Payload: body,
+		Sig:     f.deps.Scheme.Sign(uint32(f.deps.ID), wire.DataSigBytes(id, body)),
+	})
+	if f.deps.Deliver != nil {
+		f.stats.Accepted++
+		f.deps.Deliver(id.Origin, id, body)
+	}
+	return id
+}
+
+// HandlePacket processes a received frame: verify, deliver once, re-flood.
+func (f *Flooding) HandlePacket(pkt *wire.Packet) {
+	if pkt.Kind != wire.KindData || pkt.Sender == f.deps.ID {
+		return
+	}
+	id := pkt.ID()
+	if f.seen[id] {
+		f.stats.Duplicates++
+		return
+	}
+	if !f.deps.Scheme.Verify(uint32(id.Origin), wire.DataSigBytes(id, pkt.Payload), pkt.Sig) {
+		f.stats.BadSignatures++
+		return
+	}
+	f.seen[id] = true
+	f.stats.Accepted++
+	if f.deps.Deliver != nil {
+		f.deps.Deliver(id.Origin, id, pkt.Payload)
+	}
+	f.stats.Forwarded++
+	fwd := pkt.Clone()
+	fwd.Sender = f.deps.ID
+	if f.jitter > 0 {
+		f.deps.Clock.After(time.Duration(f.deps.Rand.Int63n(int64(f.jitter))), func() {
+			f.deps.Send(fwd)
+		})
+		return
+	}
+	f.deps.Send(fwd)
+}

@@ -1,0 +1,228 @@
+// Package byzantine implements the adversary behaviours used in the
+// evaluation (§2.1, §4): Byzantine nodes "may fail to send messages, send
+// too many messages, send messages with false information". A behaviour
+// wraps a node's send path and observes its receive path; the runner
+// installs it between the protocol and the MAC.
+//
+// Behaviours cannot forge other nodes' signatures (they hold only their own
+// key), matching the model's assumption.
+package byzantine
+
+import (
+	"math/rand"
+	"time"
+
+	"bbcast/internal/wire"
+)
+
+// Behavior intercepts one node's traffic.
+type Behavior interface {
+	// Name identifies the behaviour in reports.
+	Name() string
+	// FilterSend inspects an outgoing packet. It returns the packet to
+	// actually transmit (possibly modified) or nil to silently drop it.
+	FilterSend(pkt *wire.Packet) *wire.Packet
+	// OnReceive observes every received packet (before the protocol does).
+	OnReceive(pkt *wire.Packet)
+	// Tick runs periodically and may inject extra traffic via send.
+	Tick(send func(*wire.Packet))
+}
+
+// Correct is the identity behaviour.
+type Correct struct{}
+
+var _ Behavior = Correct{}
+
+// Name implements Behavior.
+func (Correct) Name() string { return "correct" }
+
+// FilterSend implements Behavior.
+func (Correct) FilterSend(pkt *wire.Packet) *wire.Packet { return pkt }
+
+// OnReceive implements Behavior.
+func (Correct) OnReceive(*wire.Packet) {}
+
+// Tick implements Behavior.
+func (Correct) Tick(func(*wire.Packet)) {}
+
+// Mute models the paper's most adverse failure: the node keeps claiming
+// overlay membership (its maintenance and gossip traffic flows) but never
+// forwards other nodes' data and never relays searches, silently black-holing
+// the overlay paths through it.
+type Mute struct {
+	// Self is the adversary's own id; its own originations still go out
+	// (a mute node may still be an application source).
+	Self wire.NodeID
+	// DropGossip additionally silences its gossip (a totally mute node).
+	DropGossip bool
+}
+
+var _ Behavior = (*Mute)(nil)
+
+// Name implements Behavior.
+func (m *Mute) Name() string { return "mute" }
+
+// FilterSend implements Behavior.
+func (m *Mute) FilterSend(pkt *wire.Packet) *wire.Packet {
+	switch pkt.Kind {
+	case wire.KindData:
+		if pkt.Origin != m.Self {
+			return nil // refuse to forward or serve others' data
+		}
+	case wire.KindFindMissing, wire.KindRequest:
+		return nil // refuse to relay or initiate searches
+	case wire.KindGossip:
+		if m.DropGossip {
+			if pkt.State == nil {
+				return nil
+			}
+			// Keep claiming overlay membership: strip advertisements but
+			// let the piggybacked state through.
+			cp := pkt.Clone()
+			cp.Gossip = nil
+			return cp
+		}
+	}
+	return pkt
+}
+
+// OnReceive implements Behavior.
+func (m *Mute) OnReceive(*wire.Packet) {}
+
+// Tick implements Behavior.
+func (m *Mute) Tick(func(*wire.Packet)) {}
+
+// Verbose floods the network with valid-looking requests for messages it has
+// heard advertised, provoking overlay nodes into re-sending data (a
+// reaction-amplification attack, §3.1).
+type Verbose struct {
+	// Self is the adversary's id.
+	Self wire.NodeID
+	// Rng drives target selection.
+	Rng *rand.Rand
+	// PerTick is how many spam requests go out per behaviour tick.
+	PerTick int
+
+	entries []wire.GossipEntry
+	targets []wire.NodeID
+}
+
+var _ Behavior = (*Verbose)(nil)
+
+// Name implements Behavior.
+func (v *Verbose) Name() string { return "verbose" }
+
+// FilterSend implements Behavior.
+func (v *Verbose) FilterSend(pkt *wire.Packet) *wire.Packet { return pkt }
+
+// OnReceive implements Behavior: harvest real gossip entries (their
+// signatures are valid, so spam requests referencing them pass verification)
+// and candidate targets.
+func (v *Verbose) OnReceive(pkt *wire.Packet) {
+	if pkt.Sender != v.Self {
+		v.noteTarget(pkt.Sender)
+	}
+	for _, e := range pkt.Gossip {
+		if len(v.entries) < 64 {
+			v.entries = append(v.entries, e)
+		}
+	}
+}
+
+func (v *Verbose) noteTarget(id wire.NodeID) {
+	for _, t := range v.targets {
+		if t == id {
+			return
+		}
+	}
+	if len(v.targets) < 32 {
+		v.targets = append(v.targets, id)
+	}
+}
+
+// Tick implements Behavior: replay requests for known messages.
+func (v *Verbose) Tick(send func(*wire.Packet)) {
+	if len(v.entries) == 0 || len(v.targets) == 0 {
+		return
+	}
+	n := v.PerTick
+	if n <= 0 {
+		n = 3
+	}
+	for i := 0; i < n; i++ {
+		e := v.entries[v.Rng.Intn(len(v.entries))]
+		t := v.targets[v.Rng.Intn(len(v.targets))]
+		send(&wire.Packet{
+			Kind:   wire.KindRequest,
+			Sender: v.Self,
+			TTL:    1,
+			Target: t,
+			Origin: e.ID.Origin,
+			Seq:    e.ID.Seq,
+			Sig:    e.Sig,
+		})
+	}
+}
+
+// Tamper corrupts the payload of every data message it forwards without
+// being able to re-sign it, so correct receivers detect the bad signature
+// and suspect the tamperer.
+type Tamper struct {
+	// Self is the adversary's id; its own originations are left intact
+	// (tampering with its own signed messages would only hurt itself).
+	Self wire.NodeID
+}
+
+var _ Behavior = (*Tamper)(nil)
+
+// Name implements Behavior.
+func (t *Tamper) Name() string { return "tamper" }
+
+// FilterSend implements Behavior.
+func (t *Tamper) FilterSend(pkt *wire.Packet) *wire.Packet {
+	if pkt.Kind != wire.KindData || pkt.Origin == t.Self || len(pkt.Payload) == 0 {
+		return pkt
+	}
+	cp := pkt.Clone()
+	cp.Payload[0] ^= 0xFF
+	return cp
+}
+
+// OnReceive implements Behavior.
+func (t *Tamper) OnReceive(*wire.Packet) {}
+
+// Tick implements Behavior.
+func (t *Tamper) Tick(func(*wire.Packet)) {}
+
+// SelectiveDrop drops a random fraction of all forwards — a "selfish" node
+// saving battery rather than an outright attacker.
+type SelectiveDrop struct {
+	// Self is the adversary's id.
+	Self wire.NodeID
+	// Rng drives the drop decision.
+	Rng *rand.Rand
+	// DropProb is the probability of dropping a forwarded packet.
+	DropProb float64
+}
+
+var _ Behavior = (*SelectiveDrop)(nil)
+
+// Name implements Behavior.
+func (s *SelectiveDrop) Name() string { return "selective-drop" }
+
+// FilterSend implements Behavior.
+func (s *SelectiveDrop) FilterSend(pkt *wire.Packet) *wire.Packet {
+	if pkt.Kind == wire.KindData && pkt.Origin != s.Self && s.Rng.Float64() < s.DropProb {
+		return nil
+	}
+	return pkt
+}
+
+// OnReceive implements Behavior.
+func (s *SelectiveDrop) OnReceive(*wire.Packet) {}
+
+// Tick implements Behavior.
+func (s *SelectiveDrop) Tick(func(*wire.Packet)) {}
+
+// TickInterval is the behaviour tick period used by the runner.
+const TickInterval = 500 * time.Millisecond

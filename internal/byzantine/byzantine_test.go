@@ -1,0 +1,160 @@
+package byzantine
+
+import (
+	"math/rand"
+	"testing"
+
+	"bbcast/internal/wire"
+)
+
+func dataPkt(origin, sender wire.NodeID) *wire.Packet {
+	return &wire.Packet{
+		Kind: wire.KindData, Sender: sender, TTL: 1, Target: wire.NoNode,
+		Origin: origin, Seq: 1, Payload: []byte("payload"), Sig: []byte{1, 2},
+	}
+}
+
+func TestCorrectPassesEverything(t *testing.T) {
+	var b Behavior = Correct{}
+	pkt := dataPkt(1, 0)
+	if got := b.FilterSend(pkt); got != pkt {
+		t.Fatal("correct behaviour altered a packet")
+	}
+	b.OnReceive(pkt)
+	b.Tick(func(*wire.Packet) { t.Fatal("correct behaviour injected traffic") })
+}
+
+func TestMuteDropsForwardsKeepsOwn(t *testing.T) {
+	m := &Mute{Self: 5}
+	if m.FilterSend(dataPkt(1, 5)) != nil {
+		t.Fatal("mute node forwarded someone else's data")
+	}
+	own := dataPkt(5, 5)
+	if m.FilterSend(own) != own {
+		t.Fatal("mute node dropped its own origination")
+	}
+	if m.FilterSend(&wire.Packet{Kind: wire.KindRequest, Sender: 5}) != nil {
+		t.Fatal("mute node sent a request")
+	}
+	if m.FilterSend(&wire.Packet{Kind: wire.KindFindMissing, Sender: 5}) != nil {
+		t.Fatal("mute node relayed a search")
+	}
+	gossip := &wire.Packet{Kind: wire.KindGossip, Sender: 5, Gossip: []wire.GossipEntry{{}}}
+	if m.FilterSend(gossip) != gossip {
+		t.Fatal("non-silent mute node should keep gossiping (the sneaky variant)")
+	}
+}
+
+func TestMuteSilentStripsGossipKeepsState(t *testing.T) {
+	m := &Mute{Self: 5, DropGossip: true}
+	bare := &wire.Packet{Kind: wire.KindGossip, Sender: 5, Gossip: []wire.GossipEntry{{}}}
+	if m.FilterSend(bare) != nil {
+		t.Fatal("silent mute node sent bare gossip")
+	}
+	withState := &wire.Packet{
+		Kind: wire.KindGossip, Sender: 5,
+		Gossip: []wire.GossipEntry{{}},
+		State:  &wire.OverlayState{Active: true},
+	}
+	out := m.FilterSend(withState)
+	if out == nil {
+		t.Fatal("state beacon dropped — node would stop claiming overlay membership")
+	}
+	if len(out.Gossip) != 0 {
+		t.Fatal("advertisements not stripped")
+	}
+	if out.State == nil || !out.State.Active {
+		t.Fatal("overlay claim lost")
+	}
+	// The original packet must not be mutated.
+	if len(withState.Gossip) != 1 {
+		t.Fatal("FilterSend mutated the input packet")
+	}
+}
+
+func TestVerboseHarvestsAndSpams(t *testing.T) {
+	v := &Verbose{Self: 9, Rng: rand.New(rand.NewSource(1)), PerTick: 3}
+	// Nothing to spam yet.
+	v.Tick(func(*wire.Packet) { t.Fatal("spam without harvested entries") })
+	// Harvest a gossip entry and a target.
+	v.OnReceive(&wire.Packet{
+		Kind: wire.KindGossip, Sender: 2,
+		Gossip: []wire.GossipEntry{{ID: wire.MsgID{Origin: 1, Seq: 4}, Sig: []byte{7}}},
+	})
+	var spammed []*wire.Packet
+	v.Tick(func(p *wire.Packet) { spammed = append(spammed, p) })
+	if len(spammed) != 3 {
+		t.Fatalf("spam count = %d, want 3", len(spammed))
+	}
+	for _, p := range spammed {
+		if p.Kind != wire.KindRequest || p.Sender != 9 {
+			t.Fatalf("bad spam packet: %+v", p)
+		}
+		if p.Origin != 1 || p.Seq != 4 {
+			t.Fatal("spam does not reference a harvested (verifiable) entry")
+		}
+	}
+}
+
+func TestVerboseDoesNotTargetSelf(t *testing.T) {
+	v := &Verbose{Self: 9, Rng: rand.New(rand.NewSource(1)), PerTick: 1}
+	v.OnReceive(&wire.Packet{Kind: wire.KindGossip, Sender: 9,
+		Gossip: []wire.GossipEntry{{ID: wire.MsgID{Origin: 1, Seq: 1}}}})
+	v.Tick(func(*wire.Packet) { t.Fatal("spammed with only itself as target") })
+}
+
+func TestTamperCorruptsForwardsOnly(t *testing.T) {
+	tm := &Tamper{Self: 5}
+	fwd := dataPkt(1, 5)
+	out := tm.FilterSend(fwd)
+	if out == fwd || out.Payload[0] == fwd.Payload[0] {
+		t.Fatal("forwarded data not corrupted")
+	}
+	if fwd.Payload[0] != 'p' {
+		t.Fatal("original packet mutated")
+	}
+	own := dataPkt(5, 5)
+	if tm.FilterSend(own) != own {
+		t.Fatal("own origination corrupted")
+	}
+	gossip := &wire.Packet{Kind: wire.KindGossip, Sender: 5}
+	if tm.FilterSend(gossip) != gossip {
+		t.Fatal("non-data packet altered")
+	}
+}
+
+func TestSelectiveDropProbabilistic(t *testing.T) {
+	s := &SelectiveDrop{Self: 5, Rng: rand.New(rand.NewSource(1)), DropProb: 0.5}
+	dropped, passed := 0, 0
+	for i := 0; i < 1000; i++ {
+		if s.FilterSend(dataPkt(1, 5)) == nil {
+			dropped++
+		} else {
+			passed++
+		}
+	}
+	if dropped < 400 || dropped > 600 {
+		t.Fatalf("dropped %d of 1000 at p=0.5", dropped)
+	}
+	// Own messages never dropped.
+	for i := 0; i < 100; i++ {
+		if s.FilterSend(dataPkt(5, 5)) == nil {
+			t.Fatal("own origination dropped")
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	cases := map[string]Behavior{
+		"correct":        Correct{},
+		"mute":           &Mute{},
+		"verbose":        &Verbose{},
+		"tamper":         &Tamper{},
+		"selective-drop": &SelectiveDrop{},
+	}
+	for want, b := range cases {
+		if b.Name() != want {
+			t.Errorf("Name() = %q, want %q", b.Name(), want)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package core implements the paper's Byzantine-tolerant broadcast protocol
+// (§3): overlay dissemination of signed data messages, unstructured gossiping
+// of message signatures, and gossip-driven recovery of missing messages via
+// REQUEST_MSG / FIND_MISSING_MSG, guarded by the MUTE, VERBOSE and TRUST
+// failure detectors.
+//
+// The protocol is transport-agnostic: it consumes a Clock, a one-hop
+// broadcast function and a deterministic random stream, so the same code runs
+// in the discrete-event simulator and over a real datagram transport.
+// A Protocol instance is not safe for concurrent use; hosts must serialize
+// calls (the simulator is single-threaded, the UDP transport uses a mutex).
+package core
+
+import (
+	"time"
+
+	"bbcast/internal/fd"
+	"bbcast/internal/overlay"
+)
+
+// Config holds every protocol parameter. The zero value is not useful;
+// start from DefaultConfig.
+type Config struct {
+	// GossipInterval is the lazycast period (the paper's gossip_timeout):
+	// how often a node re-advertises the signatures of messages it holds.
+	GossipInterval time.Duration
+	// GossipJitter randomizes each gossip period by ±GossipJitter to
+	// desynchronize gossipers.
+	GossipJitter time.Duration
+	// GossipRetention is how long a message keeps being advertised.
+	GossipRetention time.Duration
+	// GossipMaxEntries caps advertisements per gossip packet; additional
+	// entries wait for the next period (aggregation bound).
+	GossipMaxEntries int
+	// GossipAggregation, when false, sends one gossip packet per
+	// advertisement instead of batching (ablation of the §1 optimization).
+	GossipAggregation bool
+
+	// RequestDelay is the paper's request_timeout: how long after hearing a
+	// gossip for a missing message the node waits (for the data to arrive
+	// by itself) before issuing a REQUEST_MSG.
+	RequestDelay time.Duration
+	// ForwardJitter is the maximum random delay inserted before forwarding
+	// a data message (the broadcast-storm "random assessment delay": it
+	// desynchronizes the relays of a flooded frame so they do not collide).
+	ForwardJitter time.Duration
+	// RequestTolerance is how many identical requests from one node an
+	// overlay node serves before indicting it to VERBOSE.
+	RequestTolerance int
+	// EnableRecovery gates the whole gossip-request-find recovery path
+	// (ablation; the paper's protocol has it on).
+	EnableRecovery bool
+	// EnableFindMissing gates the TTL-2 FIND_MISSING_MSG escalation that
+	// bypasses a Byzantine overlay hop (ablation).
+	EnableFindMissing bool
+
+	// PurgeTimeout is how long message payloads are retained for recovery.
+	PurgeTimeout time.Duration
+	// PurgeInterval is how often the purge task runs.
+	PurgeInterval time.Duration
+	// StabilityPurge enables the paper's alternative purging mechanism
+	// (§3.2.2): a payload may be dropped before PurgeTimeout once enough
+	// distinct neighbours have advertised the message in their gossip —
+	// they all hold it, so this node no longer needs to serve it.
+	StabilityPurge bool
+	// StabilityThreshold is how many distinct confirming gossipers make a
+	// message stable (0 picks half the current neighbour count, min 3).
+	StabilityThreshold int
+	// StabilityMinAge keeps even stable messages for at least this long
+	// (two gossip rounds by default when zero).
+	StabilityMinAge time.Duration
+
+	// MaintenanceInterval is the overlay computation-step period.
+	MaintenanceInterval time.Duration
+	// MaintenanceJitter randomizes the maintenance period.
+	MaintenanceJitter time.Duration
+	// NeighborTTL expires neighbours not heard from.
+	NeighborTTL time.Duration
+	// JoinDamping is how many consecutive maintenance steps must agree
+	// before a node PROMOTES itself (passive→bridge→dominator). Demotions
+	// apply immediately. Damping prevents role oscillation caused by the
+	// one-beacon delay in neighbour-state propagation.
+	JoinDamping int
+	// PiggybackState attaches the overlay-state record to gossip packets
+	// instead of sending dedicated maintenance packets (§3: "most overlay
+	// maintenance messages can be piggybacked on gossip messages").
+	PiggybackState bool
+	// Overlay selects the maintenance protocol (CDS or MIS+B).
+	Overlay overlay.Kind
+
+	// EnableFDs gates the failure detectors; with them off the protocol
+	// still recovers via gossip but never evicts Byzantine overlay nodes
+	// (ablation arm of experiment E4).
+	EnableFDs bool
+	// Mute, Verbose and Trust parameterize the detectors.
+	Mute    fd.MuteConfig
+	Verbose fd.VerboseConfig
+	Trust   fd.TrustConfig
+
+	// DeliverOwn, when set, delivers the node's own broadcasts locally.
+	DeliverOwn bool
+}
+
+// DefaultConfig returns the parameters used throughout the experiments.
+func DefaultConfig() Config {
+	return Config{
+		GossipInterval:    1 * time.Second,
+		GossipJitter:      200 * time.Millisecond,
+		GossipRetention:   10 * time.Second,
+		GossipMaxEntries:  32,
+		GossipAggregation: true,
+
+		RequestDelay:      400 * time.Millisecond,
+		RequestTolerance:  3,
+		EnableRecovery:    true,
+		EnableFindMissing: true,
+
+		PurgeTimeout:  30 * time.Second,
+		PurgeInterval: 5 * time.Second,
+
+		MaintenanceInterval: 1 * time.Second,
+		MaintenanceJitter:   200 * time.Millisecond,
+		NeighborTTL:         5 * time.Second,
+		JoinDamping:         2,
+		PiggybackState:      true,
+		Overlay:             overlay.MISB,
+
+		EnableFDs: true,
+		Mute: fd.MuteConfig{
+			Timeout:      1500 * time.Millisecond,
+			Threshold:    4,
+			SuspicionTTL: 30 * time.Second,
+			AgeInterval:  5 * time.Second,
+		},
+		Verbose: fd.VerboseConfig{
+			Threshold:    8,
+			SuspicionTTL: 30 * time.Second,
+			AgeInterval:  10 * time.Second,
+		},
+		Trust: fd.TrustConfig{
+			DirectTTL: 60 * time.Second,
+			ReportTTL: 20 * time.Second,
+		},
+
+		DeliverOwn: true,
+	}
+}

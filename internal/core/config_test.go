@@ -1,0 +1,177 @@
+package core
+
+// Tests for configuration paths not exercised by the main protocol tests:
+// dedicated maintenance packets, delivery options, gossip batching limits,
+// retention windows.
+
+import (
+	"testing"
+	"time"
+
+	"bbcast/internal/wire"
+)
+
+func TestDedicatedStatePacketsWhenNotPiggybacking(t *testing.T) {
+	cfg := testConfig()
+	cfg.PiggybackState = false
+	h := newHarness(t, 0, cfg)
+	h.run(cfg.MaintenanceInterval + 100*time.Millisecond)
+	states := h.sentOfKind(wire.KindOverlayState)
+	if len(states) == 0 {
+		t.Fatal("no dedicated overlay-state packet sent")
+	}
+	if states[0].State == nil || len(states[0].StateSig) == 0 {
+		t.Fatal("state packet unsigned or empty")
+	}
+	// Gossip packets must not carry state in this mode.
+	h.sent = nil
+	h.p.Broadcast([]byte("x"))
+	h.run(cfg.GossipInterval + 100*time.Millisecond)
+	for _, g := range h.sentOfKind(wire.KindGossip) {
+		if g.State != nil {
+			t.Fatal("gossip carried state despite PiggybackState=false")
+		}
+	}
+}
+
+func TestDeliverOwnDisabled(t *testing.T) {
+	cfg := testConfig()
+	cfg.DeliverOwn = false
+	h := newHarness(t, 0, cfg)
+	h.p.Broadcast([]byte("mine"))
+	if len(h.delivered) != 0 {
+		t.Fatal("own message delivered despite DeliverOwn=false")
+	}
+}
+
+func TestGossipMaxEntriesCapsBatch(t *testing.T) {
+	cfg := testConfig()
+	cfg.GossipMaxEntries = 3
+	h := newHarness(t, 0, cfg)
+	var ids []wire.MsgID
+	for i := 0; i < 10; i++ {
+		h.p.HandlePacket(h.dataFrom(1, wire.Seq(i+1), []byte("m")))
+		ids = append(ids, wire.MsgID{Origin: 1, Seq: wire.Seq(i + 1)})
+	}
+	h.p.HandlePacket(h.gossipFrom(2, ids...)) // header signatures arrive
+	h.sent = nil
+	h.run(cfg.GossipInterval + 100*time.Millisecond)
+	gossips := h.sentOfKind(wire.KindGossip)
+	if len(gossips) != 1 {
+		t.Fatalf("gossip packets = %d", len(gossips))
+	}
+	if len(gossips[0].Gossip) != 3 {
+		t.Fatalf("entries = %d, want capped at 3", len(gossips[0].Gossip))
+	}
+}
+
+func TestGossipRetentionStopsAdvertising(t *testing.T) {
+	cfg := testConfig()
+	cfg.GossipRetention = 2 * time.Second
+	cfg.PurgeTimeout = time.Hour
+	h := newHarness(t, 0, cfg)
+	h.p.HandlePacket(h.dataFrom(1, 1, []byte("m")))
+	// The header signature arrives by gossip (receivers cannot forge it);
+	// only then can this node re-advertise.
+	h.p.HandlePacket(h.gossipFrom(2, wire.MsgID{Origin: 1, Seq: 1}))
+	h.run(cfg.GossipInterval + 100*time.Millisecond)
+	early := len(h.sentOfKind(wire.KindGossip)[0].Gossip)
+	if early != 1 {
+		t.Fatalf("fresh message not advertised: %d entries", early)
+	}
+	h.run(5 * time.Second)
+	h.sent = nil
+	h.run(cfg.GossipInterval + 100*time.Millisecond)
+	for _, g := range h.sentOfKind(wire.KindGossip) {
+		if len(g.Gossip) != 0 {
+			t.Fatal("message advertised past GossipRetention")
+		}
+	}
+	// Still held and servable though.
+	if !h.p.Holds(wire.MsgID{Origin: 1, Seq: 1}) {
+		t.Fatal("message purged before PurgeTimeout")
+	}
+}
+
+func TestZeroForwardJitterForwardsInline(t *testing.T) {
+	cfg := testConfig()
+	cfg.ForwardJitter = 0
+	h := newHarness(t, 5, cfg)
+	h.makeOverlay()
+	h.p.HandlePacket(h.dataFrom(1, 1, []byte("m")))
+	if len(h.sentOfKind(wire.KindData)) != 1 {
+		t.Fatal("inline forward missing with zero jitter")
+	}
+}
+
+func TestForwardJitterDelaysForward(t *testing.T) {
+	cfg := testConfig()
+	cfg.ForwardJitter = 50 * time.Millisecond
+	h := newHarness(t, 5, cfg)
+	h.makeOverlay()
+	h.p.HandlePacket(h.dataFrom(1, 1, []byte("m")))
+	if len(h.sentOfKind(wire.KindData)) != 0 {
+		t.Fatal("forward left before the assessment delay")
+	}
+	h.run(60 * time.Millisecond)
+	if len(h.sentOfKind(wire.KindData)) != 1 {
+		t.Fatal("forward never left after the assessment delay")
+	}
+}
+
+func TestForwardCancelledIfPurgedBeforeJitterFires(t *testing.T) {
+	cfg := testConfig()
+	cfg.ForwardJitter = 500 * time.Millisecond
+	cfg.PurgeTimeout = 100 * time.Millisecond
+	cfg.PurgeInterval = 50 * time.Millisecond
+	h := newHarness(t, 5, cfg)
+	h.makeOverlay()
+	h.p.HandlePacket(h.dataFrom(1, 1, []byte("m")))
+	h.run(time.Second)
+	if len(h.sentOfKind(wire.KindData)) != 0 {
+		t.Fatal("forwarded a payload that was purged before the delay elapsed")
+	}
+}
+
+func TestSecondHandReportAboutSelfIgnored(t *testing.T) {
+	// A Byzantine neighbour accusing *us* must not poison our own tables.
+	h := newHarness(t, 0, testConfig())
+	st := &wire.OverlayState{Active: true, Suspects: []wire.NodeID{0}}
+	h.introduceNeighbors(map[wire.NodeID]*wire.OverlayState{2: st})
+	// Nothing to assert on Trust().Level(0) (it is never consulted for
+	// self); the protocol must simply not crash and keep operating.
+	h.p.Broadcast([]byte("still alive"))
+	if len(h.delivered) != 1 {
+		t.Fatal("node stopped working after being accused")
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	h := newHarness(t, 0, testConfig())
+	h.p.Broadcast([]byte("a"))
+	h.p.HandlePacket(h.dataFrom(1, 1, []byte("b")))
+	st := h.p.Stats()
+	if st.Accepted != 2 {
+		t.Fatalf("Accepted = %d", st.Accepted)
+	}
+	if h.p.ID() != 0 {
+		t.Fatalf("ID = %d", h.p.ID())
+	}
+}
+
+func TestAbandonedMissingEntriesReaped(t *testing.T) {
+	cfg := testConfig()
+	cfg.PurgeTimeout = 2 * time.Second
+	cfg.PurgeInterval = 500 * time.Millisecond
+	h := newHarness(t, 0, cfg)
+	for i := 0; i < 5; i++ {
+		h.p.HandlePacket(h.gossipFrom(2, wire.MsgID{Origin: 1, Seq: wire.Seq(i + 1)}))
+	}
+	if got := h.p.MissingCount(); got != 5 {
+		t.Fatalf("missing = %d, want 5", got)
+	}
+	h.run(5 * time.Second)
+	if got := h.p.MissingCount(); got != 0 {
+		t.Fatalf("abandoned missing entries not reaped: %d", got)
+	}
+}

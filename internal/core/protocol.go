@@ -1,0 +1,603 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"bbcast/internal/env"
+	"bbcast/internal/fd"
+	"bbcast/internal/overlay"
+	"bbcast/internal/sig"
+	"bbcast/internal/wire"
+)
+
+// Deps are the host-provided dependencies of a Protocol.
+type Deps struct {
+	// ID is this node's identifier.
+	ID wire.NodeID
+	// Clock provides time and timers (simulated or real).
+	Clock env.Clock
+	// Send puts a packet on the air (one physical hop). The protocol sets
+	// pkt.Sender. Hosts route this through their MAC/transport.
+	Send func(pkt *wire.Packet)
+	// Scheme signs and verifies.
+	Scheme sig.Scheme
+	// Rand is this node's deterministic random stream.
+	Rand *rand.Rand
+	// Deliver is the application accept() upcall: called exactly once per
+	// accepted message.
+	Deliver func(origin wire.NodeID, id wire.MsgID, payload []byte)
+	// OnRoleChange, if non-nil, observes committed overlay role changes.
+	OnRoleChange func(role overlay.Role)
+}
+
+// msgState tracks one known message.
+type msgState struct {
+	payload    []byte
+	dataSig    []byte // originator signature over the data
+	headerSig  []byte // originator signature over the header (gossip proof)
+	receivedAt time.Duration
+	gossiped   bool // advertised at least once since receipt
+	purged     bool // payload dropped; id retained as duplicate-filter tombstone
+	// holders are the distinct neighbours seen advertising this message
+	// (stability detection input); bounded.
+	holders map[wire.NodeID]bool
+}
+
+// noteHolder records that `from` advertised the message.
+func (st *msgState) noteHolder(from wire.NodeID) {
+	if st.holders == nil {
+		st.holders = make(map[wire.NodeID]bool, 4)
+	}
+	if len(st.holders) < 64 {
+		st.holders[from] = true
+	}
+}
+
+// pendingMiss tracks a message known (from gossip) but not yet received.
+// Every distinct gossiper is asked once (after RequestDelay); subsequent
+// gossip rounds naturally retry the recovery, so no explicit retry loop is
+// needed.
+type pendingMiss struct {
+	headerSig  []byte
+	gossipers  map[wire.NodeID]bool
+	cancels    []func()
+	firstHeard time.Duration
+}
+
+// neighborState is what we know about one direct neighbour.
+type neighborState struct {
+	lastHeard time.Duration
+	hits      int
+	state     *wire.OverlayState // last verified report, nil before the first
+}
+
+// admitted reports whether the neighbour has proven itself with more than
+// one packet. Debouncing keeps marginal fringe links (whose beacons arrive
+// sporadically) from churning the overlay computation.
+func (n *neighborState) admitted() bool { return n.hits >= 2 }
+
+// Stats counts protocol-level events for analysis.
+type Stats struct {
+	Accepted        uint64
+	Duplicates      uint64
+	BadSignatures   uint64
+	Forwarded       uint64
+	GossipsSent     uint64
+	RequestsSent    uint64
+	FindsSent       uint64
+	RecoveredByData uint64 // requests answered with data by this node
+}
+
+// Protocol is one node's instance of the Byzantine broadcast protocol.
+type Protocol struct {
+	cfg  Config
+	deps Deps
+
+	seq wire.Seq
+
+	store   map[wire.MsgID]*msgState
+	missing map[wire.MsgID]*pendingMiss
+
+	neighbors   map[wire.NodeID]*neighborState
+	role        overlay.Role
+	roleCand    overlay.Role
+	roleRun     int
+	roleChanges uint64
+	maint       overlay.Maintainer
+
+	mute    *fd.Mute
+	verbose *fd.Verbose
+	trust   *fd.Trust
+
+	reqSeen map[wire.MsgID]map[wire.NodeID]int // request counts per requester
+
+	stats   Stats
+	stops   []func()
+	stopped bool
+}
+
+// New builds a protocol instance and starts its periodic tasks (gossip,
+// maintenance, purge). Call Stop to halt them.
+func New(cfg Config, deps Deps) *Protocol {
+	p := &Protocol{
+		cfg:       cfg,
+		deps:      deps,
+		store:     make(map[wire.MsgID]*msgState),
+		missing:   make(map[wire.MsgID]*pendingMiss),
+		neighbors: make(map[wire.NodeID]*neighborState),
+		role:      overlay.Passive,
+		maint:     overlay.New(cfg.Overlay),
+		reqSeen:   make(map[wire.MsgID]map[wire.NodeID]int),
+	}
+	now := deps.Clock.Now
+	p.mute = fd.NewMute(now, cfg.Mute)
+	p.verbose = fd.NewVerbose(now, cfg.Verbose)
+	p.trust = fd.NewTrust(now, cfg.Trust, p.mute, p.verbose)
+
+	p.schedulePeriodic(cfg.GossipInterval, cfg.GossipJitter, p.gossipTick)
+	p.schedulePeriodic(cfg.MaintenanceInterval, cfg.MaintenanceJitter, p.maintenanceTick)
+	if cfg.PurgeInterval > 0 {
+		p.schedulePeriodic(cfg.PurgeInterval, 0, p.purgeTick)
+	}
+	return p
+}
+
+// Stop halts all periodic tasks. The protocol must not be used afterwards.
+func (p *Protocol) Stop() {
+	p.stopped = true
+	for _, stop := range p.stops {
+		stop()
+	}
+	p.stops = nil
+}
+
+// ID returns the node identifier.
+func (p *Protocol) ID() wire.NodeID { return p.deps.ID }
+
+// Role returns the node's current overlay role.
+func (p *Protocol) Role() overlay.Role { return p.role }
+
+// InOverlay reports whether the node currently considers itself an overlay
+// node.
+func (p *Protocol) InOverlay() bool { return p.role.Active() }
+
+// Stats returns a snapshot of protocol counters.
+func (p *Protocol) Stats() Stats { return p.stats }
+
+// Trust exposes the TRUST detector (read-mostly; used by tests and tools).
+func (p *Protocol) Trust() *fd.Trust { return p.trust }
+
+// NeighborCount reports the current neighbour-table size.
+func (p *Protocol) NeighborCount() int { return len(p.neighbors) }
+
+// Holds reports whether the node has (unpurged) message id.
+func (p *Protocol) Holds(id wire.MsgID) bool {
+	st, ok := p.store[id]
+	return ok && !st.purged
+}
+
+// StoreSize reports the number of held payloads and retained tombstones —
+// the buffer the paper bounds by max_timeout·(n−1)·δ (§3.4.1).
+func (p *Protocol) StoreSize() (held, tombstones int) {
+	for _, st := range p.store {
+		if st.purged {
+			tombstones++
+		} else {
+			held++
+		}
+	}
+	return held, tombstones
+}
+
+func (p *Protocol) schedulePeriodic(period, jitter time.Duration, fn func()) {
+	if period <= 0 {
+		return
+	}
+	stopped := false
+	var cancel func()
+	var schedule func()
+	schedule = func() {
+		d := period
+		if jitter > 0 {
+			d += time.Duration(p.deps.Rand.Int63n(int64(2*jitter))) - jitter
+		}
+		cancel = p.deps.Clock.After(d, func() {
+			if stopped || p.stopped {
+				return
+			}
+			fn()
+			schedule()
+		})
+	}
+	schedule()
+	p.stops = append(p.stops, func() {
+		stopped = true
+		if cancel != nil {
+			cancel()
+		}
+	})
+}
+
+// Broadcast originates a new application message (§3.2 lines 1–4): sign it,
+// one-hop broadcast the data, and start gossiping its header signature.
+// It returns the message id.
+func (p *Protocol) Broadcast(payload []byte) wire.MsgID {
+	p.seq++
+	id := wire.MsgID{Origin: p.deps.ID, Seq: p.seq}
+	body := make([]byte, len(payload))
+	copy(body, payload)
+	dataSig := p.deps.Scheme.Sign(uint32(p.deps.ID), wire.DataSigBytes(id, body))
+	headerSig := p.deps.Scheme.Sign(uint32(p.deps.ID), wire.HeaderSigBytes(id))
+	p.store[id] = &msgState{
+		payload:    body,
+		dataSig:    dataSig,
+		headerSig:  headerSig,
+		receivedAt: p.deps.Clock.Now(),
+	}
+	p.send(&wire.Packet{
+		Kind:    wire.KindData,
+		TTL:     1,
+		Target:  wire.NoNode,
+		Origin:  id.Origin,
+		Seq:     id.Seq,
+		Payload: body,
+		Sig:     dataSig,
+	})
+	if p.cfg.DeliverOwn && p.deps.Deliver != nil {
+		p.stats.Accepted++
+		p.deps.Deliver(id.Origin, id, body)
+	}
+	return id
+}
+
+// send stamps the sender and hands the packet to the host.
+func (p *Protocol) send(pkt *wire.Packet) {
+	pkt.Sender = p.deps.ID
+	p.deps.Send(pkt)
+}
+
+// HandlePacket processes one received packet. Hosts call it for every frame
+// the radio delivers.
+func (p *Protocol) HandlePacket(pkt *wire.Packet) {
+	if p.stopped || pkt.Sender == p.deps.ID {
+		return
+	}
+	p.touchNeighbor(pkt.Sender)
+	if pkt.State != nil {
+		p.handleState(pkt.Sender, pkt.State, pkt.StateSig)
+	}
+	switch pkt.Kind {
+	case wire.KindData:
+		p.handleData(pkt)
+	case wire.KindGossip:
+		p.handleGossip(pkt)
+	case wire.KindRequest:
+		p.handleRequest(pkt)
+	case wire.KindFindMissing:
+		p.handleFindMissing(pkt)
+	case wire.KindOverlayState:
+		// State already processed above.
+	default:
+		// Unknown kind from a valid codec never happens; ignore defensively.
+	}
+}
+
+// handleData implements §3.2 lines 5–25.
+func (p *Protocol) handleData(pkt *wire.Packet) {
+	id := pkt.ID()
+	if st, ok := p.store[id]; ok && !st.purged {
+		p.stats.Duplicates++
+		// A duplicate still proves the sender transmitted the expected
+		// header: without this, expectations armed after the first copy
+		// arrived could never be fulfilled and correct overlay neighbours
+		// would accumulate false suspicions.
+		if p.cfg.EnableFDs && p.deps.Scheme.Verify(uint32(id.Origin), wire.DataSigBytes(id, pkt.Payload), pkt.Sig) {
+			p.mute.Fulfill(fd.ExpectKey{Kind: wire.KindData, ID: id}, pkt.Sender)
+		}
+		return
+	}
+	if !p.deps.Scheme.Verify(uint32(id.Origin), wire.DataSigBytes(id, pkt.Payload), pkt.Sig) {
+		p.stats.BadSignatures++
+		p.suspect(pkt.Sender, fd.ReasonBadSignature)
+		return
+	}
+	if st, ok := p.store[id]; ok && st.purged {
+		// Already accepted once (tombstone); refresh payload for recovery
+		// but do not deliver again.
+		st.payload = pkt.Payload
+		st.dataSig = pkt.Sig
+		st.purged = false
+		st.receivedAt = p.deps.Clock.Now()
+		p.stats.Duplicates++
+		if p.cfg.EnableFDs {
+			p.mute.Fulfill(fd.ExpectKey{Kind: wire.KindData, ID: id}, pkt.Sender)
+		}
+		return
+	}
+
+	heardGossipBefore := false
+	miss := p.missing[id]
+	if miss != nil {
+		heardGossipBefore = true
+		for _, cancel := range miss.cancels {
+			cancel()
+		}
+		delete(p.missing, id)
+	}
+
+	st := &msgState{
+		payload:    pkt.Payload,
+		dataSig:    pkt.Sig,
+		receivedAt: p.deps.Clock.Now(),
+	}
+	p.store[id] = st
+	p.stats.Accepted++
+	if p.deps.Deliver != nil {
+		p.deps.Deliver(id.Origin, id, pkt.Payload)
+	}
+
+	if p.cfg.EnableFDs {
+		// Any pending expectation for this data is satisfied by this sender.
+		p.mute.Fulfill(fd.ExpectKey{Kind: wire.KindData, ID: id}, pkt.Sender)
+		// §3.2 lines 8–11: received from a non-overlay node that is not the
+		// originator — the overlay neighbours should (also) forward it.
+		if pkt.Sender != id.Origin && !p.isOverlayNeighbor(pkt.Sender) {
+			if ol := p.overlayNeighbors(); len(ol) > 0 {
+				p.mute.Expect(fd.ExpectKey{Kind: wire.KindData, ID: id}, ol, fd.ExpectAny)
+			}
+		}
+	}
+
+	switch {
+	case p.InOverlay():
+		// §3.2 lines 12–13: overlay nodes forward (after a random
+		// assessment delay so co-located relays do not collide).
+		p.stats.Forwarded++
+		p.forwardDataJittered(id, 1, wire.NoNode)
+	case pkt.TTL >= 2:
+		// §3.2 lines 15–17: recovery floods travel two hops.
+		p.stats.Forwarded++
+		p.forwardDataJittered(id, pkt.TTL-1, pkt.Target)
+	}
+
+	// §3.2 lines 19–21: if we had heard a gossip for it while missing,
+	// (re)register it with the lazycast so the next periodic gossip
+	// advertises it — others that heard the same gossip may still be
+	// missing the data.
+	if heardGossipBefore && miss != nil {
+		p.registerGossip(id, st, miss.headerSig)
+	}
+}
+
+// forwardDataJittered re-broadcasts after a random assessment delay; the
+// message is re-read from the store at fire time (it may have been purged).
+func (p *Protocol) forwardDataJittered(id wire.MsgID, ttl uint8, target wire.NodeID) {
+	send := func() {
+		st, ok := p.store[id]
+		if !ok || st.purged || p.stopped {
+			return
+		}
+		p.forwardData(id, st, ttl, target)
+	}
+	if p.cfg.ForwardJitter <= 0 {
+		send()
+		return
+	}
+	p.deps.Clock.After(time.Duration(p.deps.Rand.Int63n(int64(p.cfg.ForwardJitter))), send)
+}
+
+func (p *Protocol) forwardData(id wire.MsgID, st *msgState, ttl uint8, target wire.NodeID) {
+	p.send(&wire.Packet{
+		Kind:    wire.KindData,
+		TTL:     ttl,
+		Target:  target,
+		Origin:  id.Origin,
+		Seq:     id.Seq,
+		Payload: st.payload,
+		Sig:     st.dataSig,
+	})
+}
+
+// handleGossip implements §3.2 lines 26–41, batched.
+func (p *Protocol) handleGossip(pkt *wire.Packet) {
+	for i := range pkt.Gossip {
+		entry := pkt.Gossip[i]
+		if !p.deps.Scheme.Verify(uint32(entry.ID.Origin), wire.HeaderSigBytes(entry.ID), entry.Sig) {
+			p.stats.BadSignatures++
+			p.suspect(pkt.Sender, fd.ReasonBadSignature)
+			continue
+		}
+		if st, ok := p.store[entry.ID]; ok {
+			// Lines 35–37: register it with the lazycast (if not already
+			// advertised) so the periodic gossip passes it onward. The
+			// gossiper is also a confirmed holder (stability detection).
+			if !st.purged {
+				p.registerGossip(entry.ID, st, entry.Sig)
+				st.noteHolder(pkt.Sender)
+			}
+			continue
+		}
+		p.noteMissing(entry.ID, entry.Sig, pkt.Sender)
+	}
+}
+
+// noteMissing registers a gossip-advertised message we do not hold and
+// schedules its recovery (§3.2 lines 27–33). Every distinct gossiper is
+// armed in MUTE (it has the message and must supply it when asked) and asked
+// once; later gossip rounds repeat the process until the message arrives.
+func (p *Protocol) noteMissing(id wire.MsgID, headerSig []byte, gossiper wire.NodeID) {
+	if !p.cfg.EnableRecovery {
+		return
+	}
+	miss := p.missing[id]
+	if miss == nil {
+		miss = &pendingMiss{
+			headerSig:  headerSig,
+			gossipers:  make(map[wire.NodeID]bool, 4),
+			firstHeard: p.deps.Clock.Now(),
+		}
+		p.missing[id] = miss
+	}
+	if miss.gossipers[gossiper] {
+		return // already being recovered via this gossiper
+	}
+	miss.gossipers[gossiper] = true
+	if p.cfg.EnableFDs {
+		// Line 28: the gossiper must be able to supply the message.
+		p.mute.Expect(fd.ExpectKey{Kind: wire.KindData, ID: id}, []wire.NodeID{gossiper}, fd.ExpectAny)
+	}
+	delay := p.cfg.RequestDelay
+	if gossiper == id.Origin {
+		// §3.2 line 29 skips requests to the originator entirely, but that
+		// loses one-shot messages whose initial broadcast was wiped out at
+		// every neighbour (only the originator ever gossips them, so no
+		// other recovery avenue exists). We deviate minimally: the
+		// originator is asked too, after a doubled delay, so it remains the
+		// avenue of last resort. See DESIGN.md ("deviations").
+		delay *= 2
+	}
+	p.scheduleRequest(id, miss, gossiper, delay)
+}
+
+func (p *Protocol) scheduleRequest(id wire.MsgID, miss *pendingMiss, gossiper wire.NodeID, delay time.Duration) {
+	cancel := p.deps.Clock.After(delay, func() {
+		if p.stopped {
+			return
+		}
+		if cur, ok := p.missing[id]; !ok || cur != miss {
+			return
+		}
+		if st, held := p.store[id]; held && !st.purged {
+			delete(p.missing, id)
+			return
+		}
+		p.stats.RequestsSent++
+		// Line 32: one-hop request addressed to the gossiper; overlay
+		// neighbours answer too.
+		p.send(&wire.Packet{
+			Kind:   wire.KindRequest,
+			TTL:    1,
+			Target: gossiper,
+			Origin: id.Origin,
+			Seq:    id.Seq,
+			Sig:    miss.headerSig,
+		})
+	})
+	miss.cancels = append(miss.cancels, cancel)
+}
+
+// handleRequest implements Figure 4 lines 42–61.
+func (p *Protocol) handleRequest(pkt *wire.Packet) {
+	id := pkt.ID()
+	if !p.deps.Scheme.Verify(uint32(id.Origin), wire.HeaderSigBytes(id), pkt.Sig) {
+		p.stats.BadSignatures++
+		p.suspect(pkt.Sender, fd.ReasonBadSignature)
+		return
+	}
+	requester := pkt.Sender
+	gossiper := pkt.Target
+	if !p.InOverlay() && p.deps.ID != gossiper {
+		return // line 43: only overlay nodes and the addressed gossiper react
+	}
+	if p.cfg.EnableFDs && p.verbose.Suspected(requester) {
+		// §3.1: detecting verbose nodes lets us "stop reacting to messages
+		// from these nodes" — the reaction-amplification cap. Only VERBOSE
+		// verdicts gate here: a false MUTE suspicion must not cut a correct
+		// node off from recovery.
+		return
+	}
+
+	st, have := p.store[id]
+	if have && !st.purged {
+		if p.InOverlay() && p.cfg.EnableFDs {
+			// Line 46: an overlay node already broadcast this message;
+			// tolerate a few re-requests (collisions), then indict.
+			if p.bumpRequestCount(id, requester) > p.cfg.RequestTolerance {
+				p.verbose.Indict(requester)
+			}
+		}
+		p.stats.RecoveredByData++
+		p.forwardData(id, st, 1, requester) // line 48
+		return
+	}
+
+	// We do not hold the message (lines 49–57).
+	if requester == id.Origin {
+		// Line 55: the originator "requesting" its own message is absurd.
+		if p.cfg.EnableFDs {
+			p.verbose.Indict(requester)
+		}
+		return
+	}
+	if p.InOverlay() && p.cfg.EnableFindMissing {
+		// Line 52: search two overlay hops out, bypassing one Byzantine hop.
+		p.stats.FindsSent++
+		p.send(&wire.Packet{
+			Kind:   wire.KindFindMissing,
+			TTL:    2,
+			Target: gossiper,
+			Origin: id.Origin,
+			Seq:    id.Seq,
+			Sig:    pkt.Sig,
+		})
+	}
+}
+
+// handleFindMissing implements Figure 4 lines 62–81.
+func (p *Protocol) handleFindMissing(pkt *wire.Packet) {
+	id := pkt.ID()
+	if !p.deps.Scheme.Verify(uint32(id.Origin), wire.HeaderSigBytes(id), pkt.Sig) {
+		p.stats.BadSignatures++
+		p.suspect(pkt.Sender, fd.ReasonBadSignature)
+		return
+	}
+	if p.cfg.EnableFDs && p.verbose.Suspected(pkt.Sender) {
+		return // do not relay or serve searches from verbose spammers (§3.1)
+	}
+	st, have := p.store[id]
+	if !have || st.purged {
+		// Lines 63–66: relay the search one more hop.
+		if pkt.TTL >= 2 {
+			fwd := pkt.Clone()
+			fwd.TTL = pkt.TTL - 1
+			p.send(fwd)
+		}
+		return
+	}
+	// Lines 67–78: we hold the message.
+	if !p.InOverlay() && p.deps.ID != pkt.Target {
+		return
+	}
+	if nb := p.neighbors[pkt.Sender]; nb != nil && nb.admitted() {
+		if p.InOverlay() && p.cfg.EnableFDs {
+			// Line 71: a direct neighbour should have had it already.
+			if p.bumpRequestCount(id, pkt.Sender) > p.cfg.RequestTolerance {
+				p.verbose.Indict(pkt.Sender)
+			}
+		}
+		p.forwardData(id, st, 1, pkt.Sender) // line 73
+	} else {
+		p.forwardData(id, st, 2, pkt.Sender) // line 75
+	}
+}
+
+func (p *Protocol) bumpRequestCount(id wire.MsgID, from wire.NodeID) int {
+	m := p.reqSeen[id]
+	if m == nil {
+		m = make(map[wire.NodeID]int)
+		p.reqSeen[id] = m
+	}
+	m[from]++
+	return m[from]
+}
+
+func (p *Protocol) suspect(id wire.NodeID, reason fd.Reason) {
+	if p.cfg.EnableFDs {
+		p.trust.Suspect(id, reason)
+	}
+}
+
+// MissingCount reports how many gossip-advertised messages are still being
+// recovered.
+func (p *Protocol) MissingCount() int { return len(p.missing) }

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"bbcast/internal/wire"
+)
+
+func stabilityConfig() Config {
+	cfg := testConfig()
+	cfg.StabilityPurge = true
+	cfg.StabilityThreshold = 2
+	cfg.StabilityMinAge = 2 * time.Second
+	cfg.PurgeTimeout = time.Hour // only stability can purge in these tests
+	cfg.PurgeInterval = 500 * time.Millisecond
+	return cfg
+}
+
+func TestStabilityPurgeAfterConfirmations(t *testing.T) {
+	h := newHarness(t, 0, stabilityConfig())
+	pkt := h.dataFrom(1, 1, []byte("m"))
+	h.p.HandlePacket(pkt)
+	id := pkt.ID()
+	// Two distinct neighbours advertise the message: it is stable.
+	h.p.HandlePacket(h.gossipFrom(2, id))
+	h.p.HandlePacket(h.gossipFrom(3, id))
+	h.run(3 * time.Second)
+	if h.p.Holds(id) {
+		t.Fatal("stable message not purged early")
+	}
+	held, tombs := h.p.StoreSize()
+	if held != 0 || tombs != 1 {
+		t.Fatalf("store = %d held, %d tombstones", held, tombs)
+	}
+	// Duplicate filtering survives the purge.
+	h.p.HandlePacket(pkt.Clone())
+	if len(h.delivered) != 1 {
+		t.Fatal("purged message re-delivered")
+	}
+}
+
+func TestStabilityPurgeNeedsThreshold(t *testing.T) {
+	h := newHarness(t, 0, stabilityConfig())
+	pkt := h.dataFrom(1, 1, []byte("m"))
+	h.p.HandlePacket(pkt)
+	h.p.HandlePacket(h.gossipFrom(2, pkt.ID())) // only one confirmation
+	h.run(5 * time.Second)
+	if !h.p.Holds(pkt.ID()) {
+		t.Fatal("message purged below the stability threshold")
+	}
+}
+
+func TestStabilityPurgeRespectsMinAge(t *testing.T) {
+	h := newHarness(t, 0, stabilityConfig())
+	pkt := h.dataFrom(1, 1, []byte("m"))
+	h.p.HandlePacket(pkt)
+	h.p.HandlePacket(h.gossipFrom(2, pkt.ID()))
+	h.p.HandlePacket(h.gossipFrom(3, pkt.ID()))
+	h.run(1 * time.Second) // below StabilityMinAge (2 s)
+	if !h.p.Holds(pkt.ID()) {
+		t.Fatal("message purged before the minimum age")
+	}
+}
+
+func TestStabilityRepeatGossiperCountsOnce(t *testing.T) {
+	h := newHarness(t, 0, stabilityConfig())
+	pkt := h.dataFrom(1, 1, []byte("m"))
+	h.p.HandlePacket(pkt)
+	id := pkt.ID()
+	for i := 0; i < 5; i++ {
+		h.p.HandlePacket(h.gossipFrom(2, id)) // same gossiper over and over
+	}
+	h.run(5 * time.Second)
+	if !h.p.Holds(id) {
+		t.Fatal("repeated gossiper counted as multiple holders")
+	}
+}
+
+func TestStabilityDisabledByDefault(t *testing.T) {
+	cfg := testConfig()
+	cfg.PurgeTimeout = time.Hour
+	h := newHarness(t, 0, cfg)
+	pkt := h.dataFrom(1, 1, []byte("m"))
+	h.p.HandlePacket(pkt)
+	id := pkt.ID()
+	for n := wire.NodeID(2); n < 10; n++ {
+		h.p.HandlePacket(h.gossipFrom(n, id))
+	}
+	h.run(20 * time.Second)
+	if !h.p.Holds(id) {
+		t.Fatal("stability purging fired though disabled")
+	}
+}
+
+func TestStabilityDefaultThresholdScalesWithNeighbors(t *testing.T) {
+	cfg := stabilityConfig()
+	cfg.StabilityThreshold = 0 // derive from neighbour count (min 3)
+	h := newHarness(t, 0, cfg)
+	pkt := h.dataFrom(1, 1, []byte("m"))
+	h.p.HandlePacket(pkt)
+	id := pkt.ID()
+	h.p.HandlePacket(h.gossipFrom(2, id))
+	h.p.HandlePacket(h.gossipFrom(3, id))
+	h.run(3 * time.Second)
+	if !h.p.Holds(id) {
+		t.Fatal("purged below the minimum default threshold of 3")
+	}
+	h.p.HandlePacket(h.gossipFrom(4, id))
+	h.run(2 * time.Second)
+	if h.p.Holds(id) {
+		t.Fatal("not purged at the default threshold")
+	}
+}

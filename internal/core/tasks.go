@@ -1,0 +1,392 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"bbcast/internal/fd"
+	"bbcast/internal/overlay"
+	"bbcast/internal/wire"
+)
+
+// gossipTick is the periodic lazycast (§3.2 line 4, §3.2.2 subtask 1): it
+// re-advertises the header signatures of recently received messages,
+// aggregated into as few packets as possible, optionally piggybacking the
+// overlay-state record.
+func (p *Protocol) gossipTick() {
+	now := p.deps.Clock.Now()
+	entries := make([]wire.GossipEntry, 0, 16)
+	ids := make([]wire.MsgID, 0, len(p.store))
+	for id := range p.store {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	for _, id := range ids {
+		st := p.store[id]
+		if st.purged || now-st.receivedAt > p.cfg.GossipRetention {
+			continue
+		}
+		if st.headerSig == nil {
+			// We received the data but never a gossip proof; derive one if
+			// we are the originator, otherwise we cannot advertise.
+			if id.Origin == p.deps.ID {
+				st.headerSig = p.deps.Scheme.Sign(uint32(p.deps.ID), wire.HeaderSigBytes(id))
+			} else {
+				continue
+			}
+		}
+		entries = append(entries, wire.GossipEntry{ID: id, Sig: st.headerSig})
+		st.gossiped = true
+		if p.cfg.GossipMaxEntries > 0 && len(entries) >= p.cfg.GossipMaxEntries {
+			break
+		}
+	}
+	p.sendGossipWithState(entries)
+}
+
+// sendGossipWithState emits the gossip (even when empty, if a state record
+// is due to ride on it) and attaches the overlay state when piggybacking.
+func (p *Protocol) sendGossipWithState(entries []wire.GossipEntry) {
+	var state *wire.OverlayState
+	var stateSig []byte
+	if p.cfg.PiggybackState {
+		state = p.buildState()
+		stateSig = p.deps.Scheme.Sign(uint32(p.deps.ID), wire.StateSigBytes(p.deps.ID, state))
+	}
+	if len(entries) == 0 && state == nil {
+		return
+	}
+	if !p.cfg.GossipAggregation && len(entries) > 1 {
+		// Ablation: one advertisement per packet (state on the first).
+		for i, e := range entries {
+			pkt := &wire.Packet{
+				Kind:   wire.KindGossip,
+				TTL:    1,
+				Target: wire.NoNode,
+				Origin: wire.NoNode,
+				Gossip: []wire.GossipEntry{e},
+			}
+			if i == 0 {
+				pkt.State = state
+				pkt.StateSig = stateSig
+			}
+			p.stats.GossipsSent++
+			p.send(pkt)
+		}
+		return
+	}
+	p.stats.GossipsSent++
+	p.send(&wire.Packet{
+		Kind:     wire.KindGossip,
+		TTL:      1,
+		Target:   wire.NoNode,
+		Origin:   wire.NoNode,
+		Gossip:   entries,
+		State:    state,
+		StateSig: stateSig,
+	})
+}
+
+// sendGossip emits a bare gossip packet (no piggybacked state).
+func (p *Protocol) sendGossip(entries []wire.GossipEntry) {
+	if len(entries) == 0 {
+		return
+	}
+	p.stats.GossipsSent++
+	p.send(&wire.Packet{
+		Kind:   wire.KindGossip,
+		TTL:    1,
+		Target: wire.NoNode,
+		Origin: wire.NoNode,
+		Gossip: entries,
+	})
+}
+
+// registerGossip records the header signature so the periodic lazycast can
+// advertise the message (the paper's lazycast "initiates periodic
+// broadcasting" — registration, not an immediate transmission; §3.2 lines
+// 20 and 36).
+func (p *Protocol) registerGossip(id wire.MsgID, st *msgState, headerSig []byte) {
+	if st.headerSig == nil {
+		st.headerSig = headerSig
+	}
+}
+
+// maintenanceTick is the overlay computation step (§3.3): refresh the
+// neighbour table, recompute the local role, and publish the state record
+// (as its own packet unless it piggybacks on gossip).
+func (p *Protocol) maintenanceTick() {
+	p.expireNeighbors()
+	view := p.buildView()
+	next := p.maint.Decide(view)
+	switch {
+	case next == p.role:
+		p.roleRun = 0
+	case p.role == overlay.Dominator && overlay.SuppressedByHigherDominator(view):
+		// MIS safety: two adjacent dominators violate independence, and the
+		// lower one must yield at once or the conflict propagates.
+		p.applyRole(next)
+	default:
+		// All other changes are damped: neighbour views lag by a beacon
+		// period and marginal fringe links flap, so a transient verdict
+		// must persist for JoinDamping consecutive steps before the role
+		// changes. Without damping, adjacent nodes step up in lockstep and
+		// the overlay churns indefinitely.
+		if next == p.roleCand {
+			p.roleRun++
+		} else {
+			p.roleCand = next
+			p.roleRun = 1
+		}
+		damping := p.cfg.JoinDamping
+		if damping < 1 {
+			damping = 1
+		}
+		if p.roleRun >= damping {
+			p.applyRole(next)
+		}
+	}
+	if !p.cfg.PiggybackState {
+		state := p.buildState()
+		p.send(&wire.Packet{
+			Kind:     wire.KindOverlayState,
+			TTL:      1,
+			Target:   wire.NoNode,
+			Origin:   wire.NoNode,
+			State:    state,
+			StateSig: p.deps.Scheme.Sign(uint32(p.deps.ID), wire.StateSigBytes(p.deps.ID, state)),
+		})
+	}
+}
+
+// purgeTick drops payloads past the retention window — or, with stability
+// purging on, as soon as enough distinct neighbours have advertised the
+// message — leaving tombstones so duplicates are still filtered (§3.2.2).
+func (p *Protocol) purgeTick() {
+	now := p.deps.Clock.Now()
+	// A message advertised but never received is abandoned once its
+	// recovery window passes (everyone else will have purged it too).
+	for id, miss := range p.missing {
+		if now-miss.firstHeard > p.cfg.PurgeTimeout {
+			for _, cancel := range miss.cancels {
+				cancel()
+			}
+			delete(p.missing, id)
+		}
+	}
+	for id, st := range p.store {
+		if st.purged {
+			continue
+		}
+		age := now - st.receivedAt
+		expired := age > p.cfg.PurgeTimeout
+		if !expired && p.cfg.StabilityPurge {
+			expired = p.stable(st, age)
+		}
+		if expired {
+			st.payload = nil
+			st.dataSig = nil
+			st.headerSig = nil
+			st.holders = nil
+			st.purged = true
+			delete(p.reqSeen, id)
+		}
+	}
+}
+
+// stable reports whether enough distinct neighbours advertised the message
+// for it to be safely dropped early.
+func (p *Protocol) stable(st *msgState, age time.Duration) bool {
+	minAge := p.cfg.StabilityMinAge
+	if minAge <= 0 {
+		minAge = 2 * p.cfg.GossipInterval
+	}
+	if age < minAge {
+		return false
+	}
+	threshold := p.cfg.StabilityThreshold
+	if threshold <= 0 {
+		threshold = len(p.neighbors) / 2
+		if threshold < 3 {
+			threshold = 3
+		}
+	}
+	return len(st.holders) >= threshold
+}
+
+func (p *Protocol) touchNeighbor(id wire.NodeID) {
+	nb := p.neighbors[id]
+	if nb == nil {
+		nb = &neighborState{}
+		p.neighbors[id] = nb
+	}
+	nb.lastHeard = p.deps.Clock.Now()
+	if nb.hits < 1<<30 {
+		nb.hits++
+	}
+}
+
+func (p *Protocol) expireNeighbors() {
+	if p.cfg.NeighborTTL <= 0 {
+		return
+	}
+	now := p.deps.Clock.Now()
+	for id, nb := range p.neighbors {
+		if now-nb.lastHeard > p.cfg.NeighborTTL {
+			delete(p.neighbors, id)
+		}
+	}
+}
+
+// handleState processes a neighbour's (signed) overlay-state record and its
+// second-hand suspicion reports.
+func (p *Protocol) handleState(from wire.NodeID, state *wire.OverlayState, stateSig []byte) {
+	if !p.deps.Scheme.Verify(uint32(from), wire.StateSigBytes(from, state), stateSig) {
+		p.stats.BadSignatures++
+		p.suspect(from, fd.ReasonBadSignature)
+		return
+	}
+	nb := p.neighbors[from]
+	if nb == nil {
+		nb = &neighborState{}
+		p.neighbors[from] = nb
+	}
+	nb.lastHeard = p.deps.Clock.Now()
+	nb.state = state
+	if p.cfg.EnableFDs {
+		for _, s := range state.Suspects {
+			if s != p.deps.ID {
+				p.trust.Report(from, s)
+			}
+		}
+	}
+}
+
+// buildView assembles the maintainer's input from the neighbour table and
+// the TRUST detector.
+func (p *Protocol) buildView() overlay.View {
+	v := overlay.View{Self: p.deps.ID, SelfRole: p.role}
+	v.Distrusts = func(id wire.NodeID) bool { return p.level(id) == fd.Untrusted }
+	ids := make([]wire.NodeID, 0, len(p.neighbors))
+	for id := range p.neighbors {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		nb := p.neighbors[id]
+		if !nb.admitted() {
+			continue
+		}
+		info := overlay.NeighborInfo{
+			ID:    id,
+			Role:  overlay.Passive,
+			Level: p.level(id),
+		}
+		if nb.state != nil {
+			switch {
+			case nb.state.Dominator:
+				info.Role = overlay.Dominator
+			case nb.state.Active:
+				info.Role = overlay.Bridge
+			}
+			info.Neighbors = nb.state.Neighbors
+			info.ActiveNeighbors = nb.state.ActiveNeighbors
+			info.DominatorNeighbors = nb.state.DominatorNeighbors
+		}
+		v.Neighbors = append(v.Neighbors, info)
+	}
+	return v
+}
+
+// level returns the local trust level for id (Trusted when detectors are
+// disabled).
+func (p *Protocol) level(id wire.NodeID) fd.Level {
+	if !p.cfg.EnableFDs {
+		return fd.Trusted
+	}
+	return p.trust.Level(id)
+}
+
+// buildState produces the signed maintenance record the node publishes.
+func (p *Protocol) buildState() *wire.OverlayState {
+	st := &wire.OverlayState{
+		Active:    p.role.Active(),
+		Dominator: p.role == overlay.Dominator,
+	}
+	ids := make([]wire.NodeID, 0, len(p.neighbors))
+	for id := range p.neighbors {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		nb := p.neighbors[id]
+		if !nb.admitted() {
+			continue
+		}
+		st.Neighbors = append(st.Neighbors, id)
+		if nb.state != nil && nb.state.Active && p.level(id) != fd.Untrusted {
+			st.ActiveNeighbors = append(st.ActiveNeighbors, id)
+			if nb.state.Dominator {
+				st.DominatorNeighbors = append(st.DominatorNeighbors, id)
+			}
+		}
+	}
+	if p.cfg.EnableFDs {
+		st.Suspects = p.trust.Suspects()
+	}
+	return st
+}
+
+// isOverlayNeighbor reports whether id is a usable overlay neighbour
+// (OL(1,p) membership).
+func (p *Protocol) isOverlayNeighbor(id wire.NodeID) bool {
+	nb := p.neighbors[id]
+	return nb != nil && nb.admitted() && nb.state != nil && nb.state.Active && p.level(id) != fd.Untrusted
+}
+
+// overlayNeighbors returns OL(1,p): the usable overlay neighbours, sorted.
+func (p *Protocol) overlayNeighbors() []wire.NodeID {
+	out := make([]wire.NodeID, 0, 8)
+	for id, nb := range p.neighbors {
+		if nb.admitted() && nb.state != nil && nb.state.Active && p.level(id) != fd.Untrusted {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// OverlayNeighbors exposes OL(1,p): the usable overlay neighbours.
+func (p *Protocol) OverlayNeighbors() []wire.NodeID { return p.overlayNeighbors() }
+
+// DescribeView renders the current maintainer view, for tools and debugging.
+func (p *Protocol) DescribeView() string {
+	v := p.buildView()
+	s := fmt.Sprintf("self=%d role=%v\n", v.Self, p.role)
+	for _, n := range v.Neighbors {
+		s += fmt.Sprintf("  nbr %d role=%v level=%v nbrs=%v act=%v\n", n.ID, n.Role, n.Level, n.Neighbors, n.ActiveNeighbors)
+	}
+	return s
+}
+
+// applyRole commits a role change.
+func (p *Protocol) applyRole(next overlay.Role) {
+	p.role = next
+	p.roleRun = 0
+	p.roleChanges++
+	if p.deps.OnRoleChange != nil {
+		p.deps.OnRoleChange(next)
+	}
+	if DebugRoleChange != nil {
+		DebugRoleChange(p.deps.ID, p.deps.Clock.Now())
+	}
+}
+
+// RoleChanges reports how many times the node's role changed (a measure of
+// overlay churn).
+func (p *Protocol) RoleChanges() uint64 { return p.roleChanges }
+
+// DebugRoleChange, when non-nil, observes every applied role change
+// (diagnostic hook used by tools and tests).
+var DebugRoleChange func(id wire.NodeID, at time.Duration)

@@ -1,0 +1,57 @@
+// Package env defines the small runtime interface the protocol stack needs
+// from its host — a clock and timers — so the same code runs inside the
+// deterministic simulator and over a real transport.
+package env
+
+import (
+	"sync"
+	"time"
+
+	"bbcast/internal/sim"
+)
+
+// Clock provides virtual or real time and one-shot timers.
+type Clock interface {
+	// Now returns the current time as an offset from an arbitrary epoch.
+	Now() time.Duration
+	// After runs fn once after d. The returned function cancels the timer;
+	// cancelling a fired timer is a no-op.
+	After(d time.Duration, fn func()) (cancel func())
+}
+
+// SimClock adapts a simulation engine to Clock.
+type SimClock struct {
+	Eng *sim.Engine
+}
+
+var _ Clock = SimClock{}
+
+// Now implements Clock.
+func (c SimClock) Now() time.Duration { return c.Eng.Now() }
+
+// After implements Clock.
+func (c SimClock) After(d time.Duration, fn func()) func() {
+	t := c.Eng.After(d, fn)
+	return func() { t.Stop() }
+}
+
+// RealClock implements Clock over wall time. The zero value is ready to use;
+// its epoch is the first call to Now.
+type RealClock struct {
+	once  sync.Once
+	epoch time.Time
+}
+
+var _ Clock = (*RealClock)(nil)
+
+// Now implements Clock.
+func (c *RealClock) Now() time.Duration {
+	c.once.Do(func() { c.epoch = time.Now() })
+	return time.Since(c.epoch)
+}
+
+// After implements Clock.
+func (c *RealClock) After(d time.Duration, fn func()) func() {
+	t := time.AfterFunc(d, fn)
+	return func() { t.Stop() }
+}

@@ -1,0 +1,516 @@
+// Package experiments defines the paper-reproduction experiment suite
+// (DESIGN.md E1–E10 plus ablations A1–A5). Each experiment runs a set of
+// scenarios through the runner and renders one table; the benchmark harness
+// in the repository root and cmd/bbexp both drive this package, so the
+// numbers in EXPERIMENTS.md regenerate from either entry point.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"bbcast/internal/core"
+	"bbcast/internal/overlay"
+	"bbcast/internal/runner"
+	"bbcast/internal/wire"
+)
+
+// Table is one experiment's output: paper-style rows of series × sweep.
+type Table struct {
+	ID     string
+	Title  string
+	Params string
+	Header []string
+	Rows   [][]string
+}
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Params != "" {
+		fmt.Fprintf(&b, "   (%s)\n", t.Params)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Config tunes the suite.
+type Config struct {
+	// Quick shrinks sweeps and durations for CI-speed smoke runs.
+	Quick bool
+	// Seed is the base seed; repeats derive consecutive seeds from it.
+	Seed int64
+	// Repeats is how many seeds each scenario is averaged over
+	// (default: 3, or 1 in Quick mode).
+	Repeats int
+}
+
+// base returns the canonical scenario every experiment perturbs.
+func (c Config) base() runner.Scenario {
+	sc := runner.DefaultScenario()
+	sc.Seed = c.Seed
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+	if c.Quick {
+		sc.Workload.End = 35 * time.Second
+		sc.Duration = 45 * time.Second
+	}
+	return sc
+}
+
+func (c Config) nSweep() []int {
+	if c.Quick {
+		return []int{25, 50}
+	}
+	return []int{25, 50, 75, 100}
+}
+
+// run executes the scenario across the configured repeats (consecutive
+// seeds) and returns the seed-averaged result. Counter-like fields are
+// averaged too, so every reported number is a per-seed mean.
+func (c Config) run(sc runner.Scenario) runner.Result {
+	repeats := c.Repeats
+	if repeats <= 0 {
+		repeats = 3
+		if c.Quick {
+			repeats = 1
+		}
+	}
+	// Seeds run concurrently: simulations are fully independent.
+	results := make([]runner.Result, repeats)
+	errs := make([]error, repeats)
+	var wg sync.WaitGroup
+	for i := 0; i < repeats; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			run := sc
+			run.Seed = sc.Seed + int64(i)*1000
+			results[i], errs[i] = runner.Run(run)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			// Experiment scenarios are constructed by this package; a
+			// failure is a programming error, surfaced loudly.
+			panic(fmt.Sprintf("experiment scenario failed: %v", err))
+		}
+	}
+	return average(results)
+}
+
+// average reduces per-seed results to their mean.
+func average(rs []runner.Result) runner.Result {
+	if len(rs) == 1 {
+		return rs[0]
+	}
+	out := rs[0]
+	n := float64(len(rs))
+	var delivery, txPerMsg float64
+	var latMean, latP50, latP95, latMax time.Duration
+	var totalTx, bytes, collisions uint64
+	var overlay, detected, injected int
+	byKind := make(map[wire.Kind]uint64)
+	var node core.Stats
+	for _, r := range rs {
+		delivery += r.DeliveryRatio
+		txPerMsg += r.TxPerMessage
+		latMean += r.LatMean
+		latP50 += r.LatP50
+		latP95 += r.LatP95
+		latMax += r.LatMax
+		totalTx += r.TotalTx
+		bytes += r.BytesOnAir
+		collisions += r.Collisions
+		overlay += r.OverlaySize
+		detected += r.AdversariesDetected
+		injected += r.Injected
+		for k, v := range r.TxByKind {
+			byKind[k] += v
+		}
+		node.Accepted += r.Node.Accepted
+		node.Duplicates += r.Node.Duplicates
+		node.BadSignatures += r.Node.BadSignatures
+		node.Forwarded += r.Node.Forwarded
+		node.GossipsSent += r.Node.GossipsSent
+		node.RequestsSent += r.Node.RequestsSent
+		node.FindsSent += r.Node.FindsSent
+		node.RecoveredByData += r.Node.RecoveredByData
+	}
+	out.DeliveryRatio = delivery / n
+	out.TxPerMessage = txPerMsg / n
+	out.LatMean = latMean / time.Duration(len(rs))
+	out.LatP50 = latP50 / time.Duration(len(rs))
+	out.LatP95 = latP95 / time.Duration(len(rs))
+	out.LatMax = latMax / time.Duration(len(rs))
+	out.TotalTx = totalTx / uint64(len(rs))
+	out.BytesOnAir = bytes / uint64(len(rs))
+	out.Collisions = collisions / uint64(len(rs))
+	out.OverlaySize = overlay / len(rs)
+	out.AdversariesDetected = detected / len(rs)
+	out.Injected = injected / len(rs)
+	out.TxByKind = make(map[wire.Kind]uint64, len(byKind))
+	for k, v := range byKind {
+		out.TxByKind[k] = v / uint64(len(rs))
+	}
+	out.Node = core.Stats{
+		Accepted:        node.Accepted / uint64(len(rs)),
+		Duplicates:      node.Duplicates / uint64(len(rs)),
+		BadSignatures:   node.BadSignatures / uint64(len(rs)),
+		Forwarded:       node.Forwarded / uint64(len(rs)),
+		GossipsSent:     node.GossipsSent / uint64(len(rs)),
+		RequestsSent:    node.RequestsSent / uint64(len(rs)),
+		FindsSent:       node.FindsSent / uint64(len(rs)),
+		RecoveredByData: node.RecoveredByData / uint64(len(rs)),
+	}
+	return out
+}
+
+func f1(v float64) string       { return fmt.Sprintf("%.1f", v) }
+func f3(v float64) string       { return fmt.Sprintf("%.3f", v) }
+func ms(d time.Duration) string { return fmt.Sprintf("%d", d.Milliseconds()) }
+func itoa(v int) string         { return fmt.Sprintf("%d", v) }
+func u64(v uint64) string       { return fmt.Sprintf("%d", v) }
+func perMsg(v uint64, n int) string {
+	if n == 0 {
+		return "0"
+	}
+	return f1(float64(v) / float64(n))
+}
+
+// E1MessageOverhead measures transmissions per message vs. network size for
+// the three protocols (failure-free). Expected shape: ByzCast's data cost
+// tracks the (flat) overlay size while flooding grows linearly with n; the
+// f+1 baseline pays (f+1) overlays.
+func E1MessageOverhead(c Config) Table {
+	t := Table{
+		ID:     "E1",
+		Title:  "message overhead vs. network size (failure-free)",
+		Params: "1000x1000 m, range 250 m, rate 1 msg/s, f=2",
+		Header: []string{"n", "protocol", "tx/msg", "data/msg", "gossip/msg", "bytes/msg", "delivery"},
+	}
+	for _, n := range c.nSweep() {
+		for _, proto := range []runner.Protocol{runner.ProtoByzCast, runner.ProtoFlooding, runner.ProtoFPlusOne} {
+			sc := c.base()
+			sc.N = n
+			sc.Protocol = proto
+			res := c.run(sc)
+			t.Rows = append(t.Rows, []string{
+				itoa(n), proto.String(),
+				f1(res.TxPerMessage),
+				perMsg(res.TxByKind[wire.KindData], res.Injected),
+				perMsg(res.TxByKind[wire.KindGossip], res.Injected),
+				perMsg(res.BytesOnAir, res.Injected),
+				f3(res.DeliveryRatio),
+			})
+		}
+	}
+	return t
+}
+
+// E2Delivery measures the delivery ratio vs. network size (failure-free).
+func E2Delivery(c Config) Table {
+	t := Table{
+		ID:     "E2",
+		Title:  "delivery ratio vs. network size (failure-free)",
+		Params: "as E1",
+		Header: []string{"n", "byzcast", "flooding", "f+1"},
+	}
+	for _, n := range c.nSweep() {
+		row := []string{itoa(n)}
+		for _, proto := range []runner.Protocol{runner.ProtoByzCast, runner.ProtoFlooding, runner.ProtoFPlusOne} {
+			sc := c.base()
+			sc.N = n
+			sc.Protocol = proto
+			row = append(row, f3(c.run(sc).DeliveryRatio))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// E3Latency measures dissemination latency vs. network size (failure-free).
+func E3Latency(c Config) Table {
+	t := Table{
+		ID:     "E3",
+		Title:  "dissemination latency vs. network size (failure-free)",
+		Params: "as E1; milliseconds",
+		Header: []string{"n", "protocol", "mean", "p50", "p95", "max"},
+	}
+	for _, n := range c.nSweep() {
+		for _, proto := range []runner.Protocol{runner.ProtoByzCast, runner.ProtoFlooding} {
+			sc := c.base()
+			sc.N = n
+			sc.Protocol = proto
+			res := c.run(sc)
+			t.Rows = append(t.Rows, []string{
+				itoa(n), proto.String(),
+				ms(res.LatMean), ms(res.LatP50), ms(res.LatP95), ms(res.LatMax),
+			})
+		}
+	}
+	return t
+}
+
+func (c Config) muteCounts() []int {
+	if c.Quick {
+		return []int{0, 8}
+	}
+	return []int{0, 4, 8, 12, 15}
+}
+
+// E4MuteDelivery measures delivery under mute Byzantine overlay nodes — the
+// paper's central claim: gossip recovery keeps delivery high where a pure
+// overlay (or flooding with losses) degrades.
+func E4MuteDelivery(c Config) Table {
+	t := Table{
+		ID:     "E4",
+		Title:  "delivery under mute Byzantine overlay nodes",
+		Params: "n=75, mute nodes placed on would-be dominators",
+		Header: []string{"mute", "byzcast+fd", "byzcast-fd", "flooding", "detected(+fd)"},
+	}
+	for _, count := range c.muteCounts() {
+		row := []string{itoa(count)}
+		var detected int
+		for _, arm := range []string{"fd", "nofd", "flood"} {
+			sc := c.base()
+			sc.N = 75
+			if count > 0 {
+				sc.Adversaries = []runner.Adversaries{{Kind: runner.AdvMute, Count: count}}
+				sc.Placement = runner.PlaceDominators
+			}
+			switch arm {
+			case "nofd":
+				sc.Core.EnableFDs = false
+			case "flood":
+				sc.Protocol = runner.ProtoFlooding
+			}
+			res := c.run(sc)
+			row = append(row, f3(res.DeliveryRatio))
+			if arm == "fd" {
+				detected = res.AdversariesDetected
+			}
+		}
+		row = append(row, itoa(detected))
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// E5MuteLatency measures recovery latency under mute failures, with and
+// without the failure detectors.
+func E5MuteLatency(c Config) Table {
+	t := Table{
+		ID:     "E5",
+		Title:  "latency under mute Byzantine overlay nodes (ms)",
+		Params: "n=75, dominator placement; FDs evict mute nodes from the overlay",
+		Header: []string{"mute", "mean(+fd)", "p95(+fd)", "mean(-fd)", "p95(-fd)"},
+	}
+	for _, count := range c.muteCounts() {
+		row := []string{itoa(count)}
+		for _, fds := range []bool{true, false} {
+			sc := c.base()
+			sc.N = 75
+			if count > 0 {
+				sc.Adversaries = []runner.Adversaries{{Kind: runner.AdvMute, Count: count}}
+				sc.Placement = runner.PlaceDominators
+			}
+			sc.Core.EnableFDs = fds
+			if !c.Quick {
+				sc.Workload.End = 90 * time.Second
+				sc.Duration = 105 * time.Second
+			}
+			res := c.run(sc)
+			row = append(row, ms(res.LatMean), ms(res.LatP95))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// E6OverlayCompare contrasts the CDS and MIS+B maintainers.
+func E6OverlayCompare(c Config) Table {
+	t := Table{
+		ID:     "E6",
+		Title:  "overlay maintainers: CDS vs MIS+B",
+		Params: "failure-free",
+		Header: []string{"n", "overlay", "size", "tx/msg", "delivery", "lat-p95(ms)"},
+	}
+	for _, n := range c.nSweep() {
+		for _, kind := range []overlay.Kind{overlay.CDS, overlay.MISB} {
+			sc := c.base()
+			sc.N = n
+			sc.Core.Overlay = kind
+			res := c.run(sc)
+			t.Rows = append(t.Rows, []string{
+				itoa(n), overlay.New(kind).Name(), itoa(res.OverlaySize),
+				f1(res.TxPerMessage), f3(res.DeliveryRatio), ms(res.LatP95),
+			})
+		}
+	}
+	return t
+}
+
+// E7Breakdown reports per-kind transmission counts, failure-free vs. under
+// mute attack — showing where the protocol's overhead goes.
+func E7Breakdown(c Config) Table {
+	t := Table{
+		ID:     "E7",
+		Title:  "transmission breakdown by packet kind",
+		Params: "n=75",
+		Header: []string{"scenario", "data", "gossip", "request", "find-missing", "total"},
+	}
+	for _, arm := range []struct {
+		label string
+		mute  int
+	}{{"failure-free", 0}, {"8 mute dominators", 8}} {
+		sc := c.base()
+		sc.N = 75
+		if arm.mute > 0 {
+			sc.Adversaries = []runner.Adversaries{{Kind: runner.AdvMute, Count: arm.mute}}
+			sc.Placement = runner.PlaceDominators
+		}
+		res := c.run(sc)
+		t.Rows = append(t.Rows, []string{
+			arm.label,
+			u64(res.TxByKind[wire.KindData]),
+			u64(res.TxByKind[wire.KindGossip]),
+			u64(res.TxByKind[wire.KindRequest]),
+			u64(res.TxByKind[wire.KindFindMissing]),
+			u64(res.TotalTx),
+		})
+	}
+	return t
+}
+
+// E8Mobility measures delivery and latency vs. node speed (random waypoint).
+func E8Mobility(c Config) Table {
+	t := Table{
+		ID:     "E8",
+		Title:  "mobility: delivery and latency vs. node speed",
+		Params: "n=75, random waypoint, pause 2 s",
+		Header: []string{"speed(m/s)", "protocol", "delivery", "lat-mean(ms)", "lat-p95(ms)"},
+	}
+	speeds := []float64{0, 1, 5, 10, 20}
+	if c.Quick {
+		speeds = []float64{0, 10}
+	}
+	for _, speed := range speeds {
+		for _, proto := range []runner.Protocol{runner.ProtoByzCast, runner.ProtoFlooding} {
+			sc := c.base()
+			sc.N = 75
+			sc.Protocol = proto
+			if speed > 0 {
+				sc.Mobility = runner.MobWaypoint
+				sc.Speed = speed
+				sc.Pause = 2 * time.Second
+			}
+			res := c.run(sc)
+			t.Rows = append(t.Rows, []string{
+				f1(speed), proto.String(), f3(res.DeliveryRatio),
+				ms(res.LatMean), ms(res.LatP95),
+			})
+		}
+	}
+	return t
+}
+
+// E9Verbose measures the damage of verbose (request-spam) attackers with and
+// without the VERBOSE failure detector.
+func E9Verbose(c Config) Table {
+	t := Table{
+		ID:     "E9",
+		Title:  "verbose attackers: reaction traffic with and without FDs",
+		Params: "n=75; spammers replay valid requests",
+		Header: []string{"verbose", "arm", "tx/msg", "delivery", "detected"},
+	}
+	counts := []int{0, 1, 3, 5}
+	if c.Quick {
+		counts = []int{0, 3}
+	}
+	for _, count := range counts {
+		for _, fds := range []bool{true, false} {
+			sc := c.base()
+			sc.N = 75
+			if count > 0 {
+				sc.Adversaries = []runner.Adversaries{{Kind: runner.AdvVerbose, Count: count}}
+			}
+			sc.Core.EnableFDs = fds
+			res := c.run(sc)
+			arm := "+fd"
+			if !fds {
+				arm = "-fd"
+			}
+			t.Rows = append(t.Rows, []string{
+				itoa(count), arm, f1(res.TxPerMessage), f3(res.DeliveryRatio),
+				itoa(res.AdversariesDetected),
+			})
+		}
+	}
+	return t
+}
+
+// E10FPlusOne shows the §1 claim: the f+1-overlays baseline pays (f+1)×
+// while ByzCast's failure-free cost is one overlay regardless of f.
+func E10FPlusOne(c Config) Table {
+	t := Table{
+		ID:     "E10",
+		Title:  "cost scaling vs. tolerated failures f (failure-free)",
+		Params: "n=75; byzcast row is f-independent (tolerates any f with one correct node per neighbourhood)",
+		Header: []string{"protocol", "f", "tx/msg", "data/msg", "delivery"},
+	}
+	byz := c.base()
+	byz.N = 75
+	byzRes := c.run(byz)
+	t.Rows = append(t.Rows, []string{
+		"byzcast", "any", f1(byzRes.TxPerMessage),
+		perMsg(byzRes.TxByKind[wire.KindData], byzRes.Injected),
+		f3(byzRes.DeliveryRatio),
+	})
+	fs := []int{0, 1, 2, 3, 4}
+	if c.Quick {
+		fs = []int{0, 2}
+	}
+	for _, f := range fs {
+		sc := c.base()
+		sc.N = 75
+		sc.Protocol = runner.ProtoFPlusOne
+		sc.F = f
+		res := c.run(sc)
+		t.Rows = append(t.Rows, []string{
+			"f+1", itoa(f), f1(res.TxPerMessage),
+			perMsg(res.TxByKind[wire.KindData], res.Injected),
+			f3(res.DeliveryRatio),
+		})
+	}
+	return t
+}

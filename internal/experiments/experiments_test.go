@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"bbcast/internal/runner"
+)
+
+func quickCfg() Config { return Config{Quick: true, Seed: 1, Repeats: 1} }
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{
+		ID:     "T",
+		Title:  "demo",
+		Params: "p",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"1", "2"}, {"333333333333", "4"}},
+	}
+	out := tab.String()
+	if !strings.Contains(out, "== T: demo ==") || !strings.Contains(out, "(p)") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want 5", len(lines))
+	}
+	// Columns align: the header's second column starts where row cells do.
+	if !strings.Contains(lines[2], "long-header") && !strings.Contains(lines[2], "a") {
+		t.Fatalf("unexpected table body: %q", lines[2])
+	}
+}
+
+func TestByIDAndIDsAgree(t *testing.T) {
+	for _, id := range IDs() {
+		if _, ok := byIDFns()[id]; !ok {
+			t.Errorf("IDs() lists %q but ByID cannot resolve it", id)
+		}
+	}
+	if _, ok := ByID("nope", quickCfg()); ok {
+		t.Error("ByID resolved a bogus id")
+	}
+}
+
+// byIDFns mirrors ByID's registry without running anything.
+func byIDFns() map[string]bool {
+	out := map[string]bool{}
+	for _, id := range IDs() {
+		out[id] = true
+	}
+	return out
+}
+
+func TestQuickExperimentsProduceRows(t *testing.T) {
+	// Run a representative subset end to end in quick mode; each must yield
+	// a plausibly sized table with non-empty cells.
+	cfg := quickCfg()
+	for _, id := range []string{"E2", "E7", "A2"} {
+		tab, ok := ByID(id, cfg)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s produced no rows", id)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Fatalf("%s row width %d != header width %d", id, len(row), len(tab.Header))
+			}
+			for _, cell := range row {
+				if cell == "" {
+					t.Fatalf("%s has an empty cell in %v", id, row)
+				}
+			}
+		}
+	}
+}
+
+func TestE2DeliveryValuesParse(t *testing.T) {
+	tab := E2Delivery(quickCfg())
+	for _, row := range tab.Rows {
+		for _, cell := range row[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatalf("unparseable delivery %q", cell)
+			}
+			if v < 0 || v > 1 {
+				t.Fatalf("delivery %v out of range", v)
+			}
+		}
+	}
+}
+
+func TestAverageReducesResults(t *testing.T) {
+	a := runner.Result{}
+	a.DeliveryRatio = 1.0
+	a.LatMean = 100 * time.Millisecond
+	a.TotalTx = 100
+	a.OverlaySize = 10
+	b := runner.Result{}
+	b.DeliveryRatio = 0.5
+	b.LatMean = 200 * time.Millisecond
+	b.TotalTx = 200
+	b.OverlaySize = 20
+	avg := average([]runner.Result{a, b})
+	if avg.DeliveryRatio != 0.75 {
+		t.Fatalf("delivery = %v", avg.DeliveryRatio)
+	}
+	if avg.LatMean != 150*time.Millisecond {
+		t.Fatalf("latency = %v", avg.LatMean)
+	}
+	if avg.TotalTx != 150 || avg.OverlaySize != 15 {
+		t.Fatalf("tx = %d overlay = %d", avg.TotalTx, avg.OverlaySize)
+	}
+}
+
+func TestAverageSingleIsIdentity(t *testing.T) {
+	r := runner.Result{}
+	r.DeliveryRatio = 0.9
+	if got := average([]runner.Result{r}); got.DeliveryRatio != 0.9 {
+		t.Fatal("single-element average altered the result")
+	}
+}
+
+func TestAllQuickTablesEndToEnd(t *testing.T) {
+	// Run the complete suite in quick mode: every experiment must produce a
+	// well-formed table. Slow (~2 min); skipped with -short.
+	if testing.Short() {
+		t.Skip("full quick-suite run skipped in -short mode")
+	}
+	for _, tab := range All(quickCfg()) {
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s produced no rows", tab.ID)
+		}
+		if tab.String() == "" {
+			t.Errorf("%s renders empty", tab.ID)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Errorf("%s row/header width mismatch", tab.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"time"
+
+	"bbcast/internal/runner"
+)
+
+// A7FDClasses contrasts the paper's two failure-detector classes under mute
+// attack: interval detectors (I_mute: suspicions age out and heal false
+// positives — the practical choice for long-running systems, §2.2) versus
+// eventually-perfect-style detectors (◇P_mute: suspicions never expire —
+// faster convergence, but any false suspicion from radio loss is permanent).
+func A7FDClasses(c Config) Table {
+	t := Table{
+		ID:     "A7",
+		Title:  "failure-detector class: interval vs eventually-perfect",
+		Params: "n=75, 8 mute dominators",
+		Header: []string{"class", "delivery", "lat-mean(ms)", "lat-p95(ms)", "detected"},
+	}
+	for _, arm := range []struct {
+		label   string
+		forever bool
+	}{{"interval (aging)", false}, {"eventually-perfect", true}} {
+		sc := c.base()
+		sc.N = 75
+		sc.Adversaries = []runner.Adversaries{{Kind: runner.AdvMute, Count: 8}}
+		sc.Placement = runner.PlaceDominators
+		if arm.forever {
+			sc.Core.Mute.SuspicionTTL = 0
+			sc.Core.Mute.AgeInterval = 0
+			sc.Core.Verbose.SuspicionTTL = 0
+			sc.Core.Verbose.AgeInterval = 0
+			sc.Core.Trust.DirectTTL = 0
+			sc.Core.Trust.ReportTTL = 0
+		}
+		res := c.run(sc)
+		t.Rows = append(t.Rows, []string{
+			arm.label, f3(res.DeliveryRatio), ms(res.LatMean), ms(res.LatP95),
+			itoa(res.AdversariesDetected),
+		})
+	}
+	return t
+}
+
+// A8Poisson compares periodic and Poisson traffic: burstiness stresses the
+// MAC and the recovery path.
+func A8Poisson(c Config) Table {
+	t := Table{
+		ID:     "A8",
+		Title:  "traffic model: periodic vs Poisson arrivals",
+		Params: "n=75, mean rate 2 msg/s",
+		Header: []string{"arrivals", "delivery", "lat-mean(ms)", "lat-p95(ms)", "collisions"},
+	}
+	for _, poisson := range []bool{false, true} {
+		sc := c.base()
+		sc.N = 75
+		sc.Workload.Rate = 2
+		sc.Workload.Poisson = poisson
+		res := c.run(sc)
+		label := "periodic"
+		if poisson {
+			label = "poisson"
+		}
+		t.Rows = append(t.Rows, []string{
+			label, f3(res.DeliveryRatio), ms(res.LatMean), ms(res.LatP95),
+			u64(res.Collisions),
+		})
+	}
+	return t
+}
+
+// E11FastPathTimeline shows the failure detectors at work over time: with
+// FDs on, latency degrades when mute dominators first black-hole traffic and
+// then recovers as suspicions evict them from the overlay; without FDs every
+// affected message keeps paying the gossip-recovery latency.
+func E11FastPathTimeline(c Config) Table {
+	t := Table{
+		ID:     "E11",
+		Title:  "fast-path restoration timeline under mute attack (latency per 30 s window)",
+		Params: "n=75, 10 mute dominators, 3-minute run",
+		Header: []string{"window", "mean(+fd) ms", "p95(+fd) ms", "mean(-fd) ms", "p95(-fd) ms"},
+	}
+	bucket := 30 * time.Second
+	end := 165 * time.Second
+	if c.Quick {
+		bucket = 20 * time.Second
+		end = 55 * time.Second
+	}
+	type series struct {
+		mean, p95 []string
+	}
+	var arms []series
+	for _, fds := range []bool{true, false} {
+		sc := c.base()
+		sc.N = 75
+		sc.Adversaries = []runner.Adversaries{{Kind: runner.AdvMute, Count: 10}}
+		sc.Placement = runner.PlaceDominators
+		sc.Core.EnableFDs = fds
+		sc.Workload.End = end
+		sc.Duration = end + 15*time.Second
+		sc.LatencyBucket = bucket
+		res, err := runner.Run(sc)
+		if err != nil {
+			panic(err)
+		}
+		var sr series
+		for _, b := range res.Timeline {
+			sr.mean = append(sr.mean, ms(b.Mean))
+			sr.p95 = append(sr.p95, ms(b.P95))
+		}
+		arms = append(arms, sr)
+	}
+	rows := len(arms[0].mean)
+	if len(arms[1].mean) < rows {
+		rows = len(arms[1].mean)
+	}
+	for i := 0; i < rows; i++ {
+		start := time.Duration(i) * bucket
+		t.Rows = append(t.Rows, []string{
+			start.String(),
+			arms[0].mean[i], arms[0].p95[i],
+			arms[1].mean[i], arms[1].p95[i],
+		})
+	}
+	return t
+}
+
+// A9Capture ablates the radio capture effect: letting the stronger of two
+// overlapping frames survive reduces effective collision losses, which
+// mostly benefits the dense flooding baseline.
+func A9Capture(c Config) Table {
+	t := Table{
+		ID:     "A9",
+		Title:  "radio capture effect",
+		Params: "n=75; capture ratio 0.5 (≈6 dB)",
+		Header: []string{"capture", "protocol", "delivery", "collisions", "lat-p95(ms)"},
+	}
+	for _, capture := range []bool{false, true} {
+		for _, proto := range []runner.Protocol{runner.ProtoByzCast, runner.ProtoFlooding} {
+			sc := c.base()
+			sc.N = 75
+			sc.Protocol = proto
+			if capture {
+				sc.Radio.CaptureRatio = 0.5
+			}
+			res := c.run(sc)
+			label := "off"
+			if capture {
+				label = "on"
+			}
+			t.Rows = append(t.Rows, []string{
+				label, proto.String(), f3(res.DeliveryRatio),
+				u64(res.Collisions), ms(res.LatP95),
+			})
+		}
+	}
+	return t
+}

@@ -1,0 +1,199 @@
+// Package geo provides 2-D geometry primitives and a spatial grid index used
+// by the wireless medium for fast neighbourhood queries.
+package geo
+
+import "math"
+
+// Point is a position in the plane, in metres.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by k.
+func (p Point) Scale(k float64) Point { return Point{p.X * k, p.Y * k} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. Prefer this
+// in hot paths that only compare distances.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Norm returns the Euclidean length of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Sqrt(p.X*p.X + p.Y*p.Y) }
+
+// Clamp returns p clamped into the rectangle [0,w]×[0,h].
+func (p Point) Clamp(w, h float64) Point {
+	return Point{math.Min(math.Max(p.X, 0), w), math.Min(math.Max(p.Y, 0), h)}
+}
+
+// Rect is an axis-aligned area [0,W]×[0,H].
+type Rect struct {
+	W, H float64
+}
+
+// Contains reports whether p lies inside r (inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= 0 && p.X <= r.W && p.Y >= 0 && p.Y <= r.H
+}
+
+// Grid is a uniform spatial hash over a rectangular area. It maps integer
+// item ids to positions and answers range queries in time proportional to the
+// number of cells intersecting the query disk.
+//
+// The zero value is not usable; construct with NewGrid. Grid is not safe for
+// concurrent use.
+type Grid struct {
+	cell  float64
+	cols  int
+	rows  int
+	cells map[int][]uint32
+	pos   map[uint32]Point
+}
+
+// NewGrid returns a grid over area with the given cell size. Cell size should
+// be on the order of the query radius (the transmission range) for best
+// performance.
+func NewGrid(area Rect, cellSize float64) *Grid {
+	if cellSize <= 0 {
+		cellSize = 1
+	}
+	cols := int(area.W/cellSize) + 1
+	rows := int(area.H/cellSize) + 1
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return &Grid{
+		cell:  cellSize,
+		cols:  cols,
+		rows:  rows,
+		cells: make(map[int][]uint32),
+		pos:   make(map[uint32]Point),
+	}
+}
+
+func (g *Grid) cellIndex(p Point) int {
+	cx := int(p.X / g.cell)
+	cy := int(p.Y / g.cell)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= g.rows {
+		cy = g.rows - 1
+	}
+	return cy*g.cols + cx
+}
+
+// Insert places id at p, replacing any previous position for id.
+func (g *Grid) Insert(id uint32, p Point) {
+	if _, ok := g.pos[id]; ok {
+		g.Remove(id)
+	}
+	g.pos[id] = p
+	ci := g.cellIndex(p)
+	g.cells[ci] = append(g.cells[ci], id)
+}
+
+// Remove deletes id from the grid. Removing an absent id is a no-op.
+func (g *Grid) Remove(id uint32) {
+	p, ok := g.pos[id]
+	if !ok {
+		return
+	}
+	ci := g.cellIndex(p)
+	bucket := g.cells[ci]
+	for i, v := range bucket {
+		if v == id {
+			bucket[i] = bucket[len(bucket)-1]
+			g.cells[ci] = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	delete(g.pos, id)
+}
+
+// Move updates id's position. It is equivalent to Remove+Insert but cheaper
+// when the item stays in the same cell.
+func (g *Grid) Move(id uint32, p Point) {
+	old, ok := g.pos[id]
+	if !ok {
+		g.Insert(id, p)
+		return
+	}
+	if g.cellIndex(old) == g.cellIndex(p) {
+		g.pos[id] = p
+		return
+	}
+	g.Remove(id)
+	g.Insert(id, p)
+}
+
+// Pos returns the position of id and whether it is present.
+func (g *Grid) Pos(id uint32) (Point, bool) {
+	p, ok := g.pos[id]
+	return p, ok
+}
+
+// Len reports the number of items in the grid.
+func (g *Grid) Len() int { return len(g.pos) }
+
+// Near appends to dst the ids of all items within radius r of p (excluding
+// none; callers filter self). The result order is deterministic only up to
+// grid bucket order; callers that need determinism should sort.
+func (g *Grid) Near(p Point, r float64, dst []uint32) []uint32 {
+	r2 := r * r
+	minCX := int((p.X - r) / g.cell)
+	maxCX := int((p.X + r) / g.cell)
+	minCY := int((p.Y - r) / g.cell)
+	maxCY := int((p.Y + r) / g.cell)
+	if minCX < 0 {
+		minCX = 0
+	}
+	if minCY < 0 {
+		minCY = 0
+	}
+	if maxCX >= g.cols {
+		maxCX = g.cols - 1
+	}
+	if maxCY >= g.rows {
+		maxCY = g.rows - 1
+	}
+	for cy := minCY; cy <= maxCY; cy++ {
+		for cx := minCX; cx <= maxCX; cx++ {
+			for _, id := range g.cells[cy*g.cols+cx] {
+				if g.pos[id].Dist2(p) <= r2 {
+					dst = append(dst, id)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// Each calls fn for every (id, position) pair in unspecified order.
+func (g *Grid) Each(fn func(id uint32, p Point)) {
+	for id, p := range g.pos {
+		fn(id, p)
+	}
+}

@@ -1,0 +1,233 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{3, 4}
+	if got := p.Norm(); got != 5 {
+		t.Fatalf("Norm = %v, want 5", got)
+	}
+	if got := p.Add(Point{1, 1}); got != (Point{4, 5}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := p.Sub(Point{1, 1}); got != (Point{2, 3}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{6, 8}) {
+		t.Fatalf("Scale = %v", got)
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	a, b := Point{1, 2}, Point{4, 6}
+	if a.Dist(b) != b.Dist(a) {
+		t.Fatal("Dist not symmetric")
+	}
+	if a.Dist(b) != 5 {
+		t.Fatalf("Dist = %v, want 5", a.Dist(b))
+	}
+	if a.Dist2(b) != 25 {
+		t.Fatalf("Dist2 = %v, want 25", a.Dist2(b))
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ in, want Point }{
+		{Point{-1, 5}, Point{0, 5}},
+		{Point{5, -1}, Point{5, 0}},
+		{Point{11, 5}, Point{10, 5}},
+		{Point{5, 12}, Point{5, 10}},
+		{Point{5, 5}, Point{5, 5}},
+	}
+	for _, c := range cases {
+		if got := c.in.Clamp(10, 10); got != c.want {
+			t.Errorf("Clamp(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{10, 20}
+	if !r.Contains(Point{0, 0}) || !r.Contains(Point{10, 20}) {
+		t.Fatal("boundary points should be contained")
+	}
+	if r.Contains(Point{-0.1, 5}) || r.Contains(Point{5, 20.1}) {
+		t.Fatal("outside points should not be contained")
+	}
+}
+
+func TestGridInsertRemove(t *testing.T) {
+	g := NewGrid(Rect{100, 100}, 10)
+	g.Insert(1, Point{5, 5})
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
+	}
+	p, ok := g.Pos(1)
+	if !ok || p != (Point{5, 5}) {
+		t.Fatalf("Pos = %v,%v", p, ok)
+	}
+	g.Remove(1)
+	if g.Len() != 0 {
+		t.Fatal("Remove did not delete")
+	}
+	if _, ok := g.Pos(1); ok {
+		t.Fatal("Pos found removed item")
+	}
+	g.Remove(1) // no-op
+}
+
+func TestGridInsertReplaces(t *testing.T) {
+	g := NewGrid(Rect{100, 100}, 10)
+	g.Insert(1, Point{5, 5})
+	g.Insert(1, Point{95, 95})
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after re-insert", g.Len())
+	}
+	near := g.Near(Point{5, 5}, 2, nil)
+	if len(near) != 0 {
+		t.Fatal("item still found at old location")
+	}
+	near = g.Near(Point{95, 95}, 2, nil)
+	if len(near) != 1 {
+		t.Fatal("item not found at new location")
+	}
+}
+
+func TestGridMoveAcrossCells(t *testing.T) {
+	g := NewGrid(Rect{100, 100}, 10)
+	g.Insert(7, Point{5, 5})
+	g.Move(7, Point{55, 55})
+	if got := g.Near(Point{55, 55}, 1, nil); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("Near after move = %v", got)
+	}
+	if got := g.Near(Point{5, 5}, 1, nil); len(got) != 0 {
+		t.Fatalf("item remains at old cell: %v", got)
+	}
+}
+
+func TestGridMoveWithinCell(t *testing.T) {
+	g := NewGrid(Rect{100, 100}, 10)
+	g.Insert(7, Point{5, 5})
+	g.Move(7, Point{6, 6})
+	p, _ := g.Pos(7)
+	if p != (Point{6, 6}) {
+		t.Fatalf("Pos = %v, want {6 6}", p)
+	}
+	if got := g.Near(Point{6, 6}, 0.5, nil); len(got) != 1 {
+		t.Fatalf("Near = %v", got)
+	}
+}
+
+func TestGridMoveAbsentInserts(t *testing.T) {
+	g := NewGrid(Rect{100, 100}, 10)
+	g.Move(3, Point{1, 1})
+	if g.Len() != 1 {
+		t.Fatal("Move of absent id should insert")
+	}
+}
+
+func TestGridNearEdge(t *testing.T) {
+	g := NewGrid(Rect{100, 100}, 10)
+	g.Insert(1, Point{0, 0})
+	g.Insert(2, Point{100, 100})
+	// Query disks that extend outside the area must not panic and must find
+	// the boundary items.
+	if got := g.Near(Point{0, 0}, 5, nil); len(got) != 1 {
+		t.Fatalf("corner query = %v", got)
+	}
+	if got := g.Near(Point{100, 100}, 5, nil); len(got) != 1 {
+		t.Fatalf("far corner query = %v", got)
+	}
+}
+
+// Property: Near returns exactly the items within radius, per brute force.
+func TestQuickGridNearMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64, radiusRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		area := Rect{500, 300}
+		g := NewGrid(area, 50)
+		n := 80
+		pts := make(map[uint32]Point, n)
+		for i := 0; i < n; i++ {
+			p := Point{r.Float64() * area.W, r.Float64() * area.H}
+			g.Insert(uint32(i), p)
+			pts[uint32(i)] = p
+		}
+		q := Point{r.Float64() * area.W, r.Float64() * area.H}
+		radius := float64(radiusRaw) // 0..255 m
+		got := g.Near(q, radius, nil)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		var want []uint32
+		for id, p := range pts {
+			if p.Dist(q) <= radius {
+				want = append(want, id)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: distance satisfies the triangle inequality.
+func TestQuickTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := Point{float64(ax), float64(ay)}
+		b := Point{float64(bx), float64(by)}
+		c := Point{float64(cx), float64(cy)}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridDegenerateCellSize(t *testing.T) {
+	g := NewGrid(Rect{10, 10}, 0) // falls back to 1
+	g.Insert(1, Point{5, 5})
+	if got := g.Near(Point{5, 5}, 1, nil); len(got) != 1 {
+		t.Fatalf("Near = %v", got)
+	}
+}
+
+func TestGridEach(t *testing.T) {
+	g := NewGrid(Rect{10, 10}, 5)
+	g.Insert(1, Point{1, 1})
+	g.Insert(2, Point{9, 9})
+	seen := map[uint32]bool{}
+	g.Each(func(id uint32, p Point) { seen[id] = true })
+	if !seen[1] || !seen[2] || len(seen) != 2 {
+		t.Fatalf("Each visited %v", seen)
+	}
+}
+
+func TestNearOutsideAreaPoints(t *testing.T) {
+	// Items inserted slightly outside the nominal area are clamped to border
+	// cells and must still be findable.
+	g := NewGrid(Rect{100, 100}, 10)
+	g.Insert(1, Point{-3, -3})
+	got := g.Near(Point{0, 0}, 5, nil)
+	if len(got) != 1 {
+		t.Fatalf("Near = %v, want the out-of-area item", got)
+	}
+	if math.IsNaN(g.pos[1].X) {
+		t.Fatal("position corrupted")
+	}
+}

@@ -1,0 +1,150 @@
+// Package mac implements a simple CSMA medium-access layer with carrier
+// sensing, random backoff and per-node transmit queueing.
+//
+// Broadcast frames in 802.11-style MACs are not acknowledged, so the only
+// MAC-level mechanisms that matter for the protocol's behaviour are (a)
+// serialization of the node's own transmissions, (b) deferral while the
+// channel is sensed busy, and (c) a random initial jitter that de-synchronises
+// the many forwarders of a flooded frame (the classic broadcast-storm
+// mitigation). All three are modelled here.
+package mac
+
+import (
+	"math/rand"
+	"time"
+
+	"bbcast/internal/radio"
+	"bbcast/internal/sim"
+	"bbcast/internal/wire"
+)
+
+// Config holds MAC parameters.
+type Config struct {
+	// Slot is the backoff slot time.
+	Slot time.Duration
+	// CWMin and CWMax bound the contention window in slots. The window
+	// doubles on every deferral, starting at CWMin.
+	CWMin, CWMax int
+	// JitterMax is the maximum random delay inserted before the first
+	// transmission attempt of every frame.
+	JitterMax time.Duration
+	// MaxDefer caps how many times a frame defers to a busy channel before
+	// being transmitted regardless (guarantees progress).
+	MaxDefer int
+	// QueueCap bounds the transmit queue; excess frames are dropped.
+	QueueCap int
+}
+
+// DefaultConfig returns 802.11b-flavoured MAC parameters.
+func DefaultConfig() Config {
+	return Config{
+		Slot:      20 * time.Microsecond,
+		CWMin:     16,
+		CWMax:     1024,
+		JitterMax: 2 * time.Millisecond,
+		MaxDefer:  50,
+		QueueCap:  256,
+	}
+}
+
+// Stats counts MAC events.
+type Stats struct {
+	Sent      uint64 // frames handed to the radio
+	Deferrals uint64 // busy-channel backoffs
+	Dropped   uint64 // frames dropped to queue overflow
+}
+
+// MAC serializes one node's transmissions onto the shared medium. It is
+// single-threaded (simulation callbacks only).
+type MAC struct {
+	eng    *sim.Engine
+	medium *radio.Medium
+	id     wire.NodeID
+	rng    *rand.Rand
+	cfg    Config
+
+	queue   []*wire.Packet
+	busy    bool
+	stats   Stats
+	stopped bool
+}
+
+// New builds a MAC for node id. rng must be the node's deterministic stream.
+func New(eng *sim.Engine, medium *radio.Medium, id wire.NodeID, rng *rand.Rand, cfg Config) *MAC {
+	return &MAC{eng: eng, medium: medium, id: id, rng: rng, cfg: cfg}
+}
+
+// Stats returns a snapshot of the MAC counters.
+func (m *MAC) Stats() Stats { return m.stats }
+
+// QueueLen reports the number of frames waiting (excluding any in flight).
+func (m *MAC) QueueLen() int { return len(m.queue) }
+
+// Stop discards queued frames and refuses new ones.
+func (m *MAC) Stop() {
+	m.stopped = true
+	m.queue = nil
+}
+
+// Send enqueues pkt for transmission. The packet must not be modified by the
+// caller afterwards.
+func (m *MAC) Send(pkt *wire.Packet) {
+	if m.stopped {
+		return
+	}
+	if len(m.queue) >= m.cfg.QueueCap {
+		m.stats.Dropped++
+		return
+	}
+	m.queue = append(m.queue, pkt)
+	if !m.busy {
+		m.busy = true
+		m.scheduleAttempt(m.jitter(), m.cfg.CWMin, 0)
+	}
+}
+
+func (m *MAC) jitter() time.Duration {
+	if m.cfg.JitterMax <= 0 {
+		return 0
+	}
+	return time.Duration(m.rng.Int63n(int64(m.cfg.JitterMax)))
+}
+
+func (m *MAC) scheduleAttempt(delay time.Duration, cw, defers int) {
+	m.eng.After(delay, func() { m.attempt(cw, defers) })
+}
+
+func (m *MAC) attempt(cw, defers int) {
+	if m.stopped || len(m.queue) == 0 {
+		m.busy = false
+		return
+	}
+	if m.medium.Busy(m.id) && defers < m.cfg.MaxDefer {
+		m.stats.Deferrals++
+		backoff := m.cfg.Slot * time.Duration(1+m.rng.Intn(cw))
+		next := cw * 2
+		if next > m.cfg.CWMax {
+			next = m.cfg.CWMax
+		}
+		m.scheduleAttempt(backoff, next, defers+1)
+		return
+	}
+	pkt := m.queue[0]
+	copy(m.queue, m.queue[1:])
+	m.queue = m.queue[:len(m.queue)-1]
+	m.stats.Sent++
+	m.medium.Broadcast(m.id, pkt)
+	// Wait out our own airtime plus fresh jitter before the next frame.
+	wait := m.medium.Airtime(pkt.AirSize()) + m.jitter()
+	if len(m.queue) > 0 {
+		m.scheduleAttempt(wait, m.cfg.CWMin, 0)
+	} else {
+		m.eng.After(wait, func() {
+			if len(m.queue) > 0 {
+				m.attempt(m.cfg.CWMin, 0)
+			} else {
+				m.busy = false
+			}
+		})
+	}
+}

@@ -1,0 +1,230 @@
+// Package metrics collects and summarizes experiment measurements: per-kind
+// transmission counts, delivery tracking per injected message, and latency
+// distributions.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"bbcast/internal/wire"
+)
+
+// Collector accumulates raw events during a run. It is single-threaded
+// (simulation callbacks).
+type Collector struct {
+	txByKind  map[wire.Kind]uint64
+	injected  map[wire.MsgID]injection
+	delivered map[wire.MsgID]map[wire.NodeID]time.Duration
+}
+
+type injection struct {
+	at     time.Duration
+	origin wire.NodeID
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		txByKind:  make(map[wire.Kind]uint64),
+		injected:  make(map[wire.MsgID]injection),
+		delivered: make(map[wire.MsgID]map[wire.NodeID]time.Duration),
+	}
+}
+
+// OnTransmit records a frame put on the air.
+func (c *Collector) OnTransmit(pkt *wire.Packet) { c.txByKind[pkt.Kind]++ }
+
+// OnInject records the origination of message id at the given time.
+func (c *Collector) OnInject(id wire.MsgID, origin wire.NodeID, at time.Duration) {
+	c.injected[id] = injection{at: at, origin: origin}
+}
+
+// OnAccept records that node accepted message id at the given time. Repeat
+// accepts for the same (node, id) are ignored.
+func (c *Collector) OnAccept(node wire.NodeID, id wire.MsgID, at time.Duration) {
+	m := c.delivered[id]
+	if m == nil {
+		m = make(map[wire.NodeID]time.Duration)
+		c.delivered[id] = m
+	}
+	if _, ok := m[node]; !ok {
+		m[node] = at
+	}
+}
+
+// Injected reports the number of originated messages.
+func (c *Collector) Injected() int { return len(c.injected) }
+
+// Results summarizes a run.
+type Results struct {
+	Protocol string
+	N        int
+	Injected int
+
+	// DeliveryRatio is the mean, over injected messages, of the fraction of
+	// eligible receivers that accepted the message.
+	DeliveryRatio float64
+
+	LatMean time.Duration
+	LatP50  time.Duration
+	LatP95  time.Duration
+	LatMax  time.Duration
+
+	TotalTx    uint64
+	TxByKind   map[wire.Kind]uint64
+	BytesOnAir uint64
+	Collisions uint64
+
+	// TxPerMessage is TotalTx divided by the number of injected messages.
+	TxPerMessage float64
+	// OverlaySize is the number of overlay-active nodes at the end of the
+	// run (zero for protocols without an overlay).
+	OverlaySize int
+}
+
+// Summarize computes results. receivers maps each message's eligible
+// receiver count (correct nodes other than the originator); usually this is
+// constant, so a single value is passed.
+func (c *Collector) Summarize(protocol string, n int, eligible func(origin wire.NodeID) int) Results {
+	r := Results{
+		Protocol: protocol,
+		N:        n,
+		Injected: len(c.injected),
+		TxByKind: make(map[wire.Kind]uint64, len(c.txByKind)),
+	}
+	for k, v := range c.txByKind {
+		r.TxByKind[k] = v
+		r.TotalTx += v
+	}
+	if r.Injected > 0 {
+		r.TxPerMessage = float64(r.TotalTx) / float64(r.Injected)
+	}
+
+	ids := make([]wire.MsgID, 0, len(c.injected))
+	for id := range c.injected {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+
+	var ratioSum float64
+	var lats []time.Duration
+	for _, id := range ids {
+		inj := c.injected[id]
+		want := eligible(inj.origin)
+		if want <= 0 {
+			ratioSum += 1
+			continue
+		}
+		got := 0
+		for node, at := range c.delivered[id] {
+			if node == inj.origin {
+				continue
+			}
+			got++
+			lats = append(lats, at-inj.at)
+		}
+		ratioSum += float64(got) / float64(want)
+	}
+	if r.Injected > 0 {
+		r.DeliveryRatio = ratioSum / float64(r.Injected)
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var sum time.Duration
+		for _, l := range lats {
+			sum += l
+		}
+		r.LatMean = sum / time.Duration(len(lats))
+		r.LatP50 = percentile(lats, 0.50)
+		r.LatP95 = percentile(lats, 0.95)
+		r.LatMax = lats[len(lats)-1]
+	}
+	return r
+}
+
+// Bucket is one time slice of a latency timeline.
+type Bucket struct {
+	Start time.Duration // bucket start (injection time)
+	Count int           // delivery samples whose message was injected in the bucket
+	Mean  time.Duration
+	P95   time.Duration
+}
+
+// Timeline buckets delivery latencies by message injection time, showing how
+// dissemination speed evolves over a run (e.g. the overlay fast path
+// degrading under attack and healing as failure detectors evict offenders).
+func (c *Collector) Timeline(bucket time.Duration) []Bucket {
+	if bucket <= 0 {
+		return nil
+	}
+	byBucket := make(map[int][]time.Duration)
+	maxIdx := 0
+	for id, inj := range c.injected {
+		idx := int(inj.at / bucket)
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+		for node, at := range c.delivered[id] {
+			if node == inj.origin {
+				continue
+			}
+			byBucket[idx] = append(byBucket[idx], at-inj.at)
+		}
+	}
+	out := make([]Bucket, 0, maxIdx+1)
+	for i := 0; i <= maxIdx; i++ {
+		lats := byBucket[i]
+		b := Bucket{Start: time.Duration(i) * bucket, Count: len(lats)}
+		if len(lats) > 0 {
+			sort.Slice(lats, func(x, y int) bool { return lats[x] < lats[y] })
+			var sum time.Duration
+			for _, l := range lats {
+				sum += l
+			}
+			b.Mean = sum / time.Duration(len(lats))
+			b.P95 = percentile(lats, 0.95)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// percentile returns the q-quantile of sorted samples (nearest-rank).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// String renders a one-line summary.
+func (r Results) String() string {
+	return fmt.Sprintf("%-10s n=%-4d msgs=%-4d delivery=%.3f tx/msg=%-8.1f lat(mean=%s p95=%s) collisions=%d overlay=%d",
+		r.Protocol, r.N, r.Injected, r.DeliveryRatio, r.TxPerMessage,
+		r.LatMean.Round(time.Millisecond), r.LatP95.Round(time.Millisecond),
+		r.Collisions, r.OverlaySize)
+}
+
+// KindBreakdown renders the per-kind transmission counts, sorted by kind.
+func (r Results) KindBreakdown() string {
+	kinds := make([]wire.Kind, 0, len(r.TxByKind))
+	for k := range r.TxByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, r.TxByKind[k]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,457 @@
+// Package mobility provides node-movement models for the wireless simulator.
+//
+// A Model answers "where is node i at virtual time t". Models are pure given
+// their seed, so positions can be sampled lazily without simulation events,
+// and two queries for the same (node, time) always agree.
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"bbcast/internal/geo"
+)
+
+// Model yields node positions over time. Implementations must be
+// deterministic: Pos(id, t) depends only on the construction parameters.
+type Model interface {
+	// Pos returns the position of node id at time t. t must be
+	// nondecreasing per node across calls (models may keep per-node cursors).
+	Pos(id uint32, t time.Duration) geo.Point
+	// Area returns the area nodes move in.
+	Area() geo.Rect
+}
+
+// Static places nodes at fixed positions.
+type Static struct {
+	area geo.Rect
+	pos  []geo.Point
+}
+
+var _ Model = (*Static)(nil)
+
+// NewStatic returns a static model with explicit positions for nodes 0..len-1.
+func NewStatic(area geo.Rect, positions []geo.Point) *Static {
+	cp := make([]geo.Point, len(positions))
+	copy(cp, positions)
+	return &Static{area: area, pos: cp}
+}
+
+// NewUniformStatic places n nodes uniformly at random in area.
+func NewUniformStatic(area geo.Rect, n int, seed int64) *Static {
+	rng := rand.New(rand.NewSource(seed))
+	pos := make([]geo.Point, n)
+	for i := range pos {
+		pos[i] = geo.Point{X: rng.Float64() * area.W, Y: rng.Float64() * area.H}
+	}
+	return &Static{area: area, pos: pos}
+}
+
+// NewGridStatic places n nodes on a jittered grid covering area. A jittered
+// grid keeps the network connected at moderate densities more reliably than
+// uniform placement, which is useful for repeatable experiments.
+func NewGridStatic(area geo.Rect, n int, jitter float64, seed int64) *Static {
+	rng := rand.New(rand.NewSource(seed))
+	cols := 1
+	for cols*cols < n {
+		cols++
+	}
+	rows := (n + cols - 1) / cols
+	dx := area.W / float64(cols)
+	dy := area.H / float64(rows)
+	pos := make([]geo.Point, n)
+	for i := range pos {
+		cx := float64(i%cols)*dx + dx/2
+		cy := float64(i/cols)*dy + dy/2
+		p := geo.Point{
+			X: cx + (rng.Float64()*2-1)*jitter*dx,
+			Y: cy + (rng.Float64()*2-1)*jitter*dy,
+		}
+		pos[i] = p.Clamp(area.W, area.H)
+	}
+	return &Static{area: area, pos: pos}
+}
+
+// Pos implements Model.
+func (s *Static) Pos(id uint32, _ time.Duration) geo.Point {
+	if int(id) >= len(s.pos) {
+		return geo.Point{}
+	}
+	return s.pos[id]
+}
+
+// Area implements Model.
+func (s *Static) Area() geo.Rect { return s.area }
+
+// N reports the number of placed nodes.
+func (s *Static) N() int { return len(s.pos) }
+
+// waypointLeg is one straight segment of a random-waypoint trajectory.
+type waypointLeg struct {
+	from, to geo.Point
+	start    time.Duration
+	end      time.Duration // arrival at `to`; pause until pauseEnd
+	pauseEnd time.Duration
+}
+
+// RandomWaypoint implements the classic random-waypoint model: each node
+// repeatedly picks a uniform destination, moves toward it at a speed drawn
+// uniformly from [MinSpeed, MaxSpeed], then pauses for Pause.
+type RandomWaypoint struct {
+	area     geo.Rect
+	minSpeed float64 // m/s, > 0
+	maxSpeed float64 // m/s
+	pause    time.Duration
+	seed     int64
+
+	legs []waypointLeg // current leg per node
+	rngs []*rand.Rand
+}
+
+var _ Model = (*RandomWaypoint)(nil)
+
+// NewRandomWaypoint builds a random-waypoint model for n nodes. minSpeed must
+// be positive (the well-known speed-decay pathology of the model arises from
+// allowing speeds near zero).
+func NewRandomWaypoint(area geo.Rect, n int, minSpeed, maxSpeed float64, pause time.Duration, seed int64) *RandomWaypoint {
+	if minSpeed <= 0 {
+		minSpeed = 0.1
+	}
+	if maxSpeed < minSpeed {
+		maxSpeed = minSpeed
+	}
+	m := &RandomWaypoint{
+		area:     area,
+		minSpeed: minSpeed,
+		maxSpeed: maxSpeed,
+		pause:    pause,
+		seed:     seed,
+		legs:     make([]waypointLeg, n),
+		rngs:     make([]*rand.Rand, n),
+	}
+	for i := 0; i < n; i++ {
+		m.rngs[i] = rand.New(rand.NewSource(seed ^ (int64(i)+1)*0x7f4a7c15ee6d1b09))
+		start := geo.Point{X: m.rngs[i].Float64() * area.W, Y: m.rngs[i].Float64() * area.H}
+		m.legs[i] = m.nextLeg(i, start, 0)
+	}
+	return m
+}
+
+func (m *RandomWaypoint) nextLeg(i int, from geo.Point, start time.Duration) waypointLeg {
+	rng := m.rngs[i]
+	to := geo.Point{X: rng.Float64() * m.area.W, Y: rng.Float64() * m.area.H}
+	speed := m.minSpeed + rng.Float64()*(m.maxSpeed-m.minSpeed)
+	dist := from.Dist(to)
+	travel := time.Duration(dist / speed * float64(time.Second))
+	return waypointLeg{
+		from:     from,
+		to:       to,
+		start:    start,
+		end:      start + travel,
+		pauseEnd: start + travel + m.pause,
+	}
+}
+
+// Pos implements Model. Queries must be per-node nondecreasing in t.
+func (m *RandomWaypoint) Pos(id uint32, t time.Duration) geo.Point {
+	i := int(id)
+	if i >= len(m.legs) {
+		return geo.Point{}
+	}
+	leg := &m.legs[i]
+	for t >= leg.pauseEnd {
+		m.legs[i] = m.nextLeg(i, leg.to, leg.pauseEnd)
+		leg = &m.legs[i]
+	}
+	if t >= leg.end {
+		return leg.to // pausing
+	}
+	if leg.end == leg.start {
+		return leg.to
+	}
+	frac := float64(t-leg.start) / float64(leg.end-leg.start)
+	return leg.from.Add(leg.to.Sub(leg.from).Scale(frac))
+}
+
+// Area implements Model.
+func (m *RandomWaypoint) Area() geo.Rect { return m.area }
+
+// RandomWalk moves each node in a straight line for a fixed epoch, then turns
+// to a fresh uniform direction, reflecting off area borders.
+type RandomWalk struct {
+	area  geo.Rect
+	speed float64
+	epoch time.Duration
+
+	pos  []geo.Point
+	dir  []geo.Point // unit vectors
+	at   []time.Duration
+	rngs []*rand.Rand
+}
+
+var _ Model = (*RandomWalk)(nil)
+
+// NewRandomWalk builds a random-walk model for n nodes moving at speed m/s,
+// changing direction every epoch.
+func NewRandomWalk(area geo.Rect, n int, speed float64, epoch time.Duration, seed int64) *RandomWalk {
+	if epoch <= 0 {
+		epoch = time.Second
+	}
+	m := &RandomWalk{
+		area:  area,
+		speed: speed,
+		epoch: epoch,
+		pos:   make([]geo.Point, n),
+		dir:   make([]geo.Point, n),
+		at:    make([]time.Duration, n),
+		rngs:  make([]*rand.Rand, n),
+	}
+	for i := 0; i < n; i++ {
+		m.rngs[i] = rand.New(rand.NewSource(seed ^ (int64(i)+1)*0x2545f4914f6cdd1d))
+		m.pos[i] = geo.Point{X: m.rngs[i].Float64() * area.W, Y: m.rngs[i].Float64() * area.H}
+		m.dir[i] = randDir(m.rngs[i])
+	}
+	return m
+}
+
+func randDir(rng *rand.Rand) geo.Point {
+	for {
+		p := geo.Point{X: rng.Float64()*2 - 1, Y: rng.Float64()*2 - 1}
+		n := p.Norm()
+		if n > 1e-6 && n <= 1 {
+			return p.Scale(1 / n)
+		}
+	}
+}
+
+// Pos implements Model. Queries must be per-node nondecreasing in t.
+func (m *RandomWalk) Pos(id uint32, t time.Duration) geo.Point {
+	i := int(id)
+	if i >= len(m.pos) {
+		return geo.Point{}
+	}
+	for m.at[i] < t {
+		step := m.epoch
+		if m.at[i]+step > t {
+			step = t - m.at[i]
+		}
+		dist := m.speed * step.Seconds()
+		next := m.pos[i].Add(m.dir[i].Scale(dist))
+		// Reflect off borders.
+		if next.X < 0 {
+			next.X = -next.X
+			m.dir[i].X = -m.dir[i].X
+		}
+		if next.X > m.area.W {
+			next.X = 2*m.area.W - next.X
+			m.dir[i].X = -m.dir[i].X
+		}
+		if next.Y < 0 {
+			next.Y = -next.Y
+			m.dir[i].Y = -m.dir[i].Y
+		}
+		if next.Y > m.area.H {
+			next.Y = 2*m.area.H - next.Y
+			m.dir[i].Y = -m.dir[i].Y
+		}
+		m.pos[i] = next.Clamp(m.area.W, m.area.H)
+		m.at[i] += step
+		if m.at[i]%m.epoch == 0 {
+			m.dir[i] = randDir(m.rngs[i])
+		}
+	}
+	return m.pos[i]
+}
+
+// Area implements Model.
+func (m *RandomWalk) Area() geo.Rect { return m.area }
+
+// Ferry models a partitioned network healed only by a message ferry: two
+// static clusters at opposite ends of the area, never in mutual radio range,
+// plus one node shuttling between them. This realizes the paper's weakened
+// connectivity assumption (footnote 7): the well-connected graph is only
+// *infinitely often* connected, and dissemination time grows with the
+// disconnected durations.
+type Ferry struct {
+	area    geo.Rect
+	pos     []geo.Point // static cluster positions; ferry is the last id
+	ferryID uint32
+	speed   float64
+	left    geo.Point // ferry turnaround points
+	right   geo.Point
+}
+
+var _ Model = (*Ferry)(nil)
+
+// NewFerry places nPerSide nodes in each of two clusters (columns at the
+// left and right edges) and one ferry node (id 2*nPerSide) shuttling between
+// cluster centres at the given speed.
+func NewFerry(area geo.Rect, nPerSide int, speed float64, seed int64) *Ferry {
+	rng := rand.New(rand.NewSource(seed))
+	clusterW := area.W / 6
+	pos := make([]geo.Point, 0, 2*nPerSide)
+	place := func(x0 float64) {
+		for i := 0; i < nPerSide; i++ {
+			pos = append(pos, geo.Point{
+				X: x0 + rng.Float64()*clusterW,
+				Y: rng.Float64() * area.H,
+			})
+		}
+	}
+	place(0)
+	place(area.W - clusterW)
+	if speed <= 0 {
+		speed = 10
+	}
+	return &Ferry{
+		area:    area,
+		pos:     pos,
+		ferryID: uint32(2 * nPerSide),
+		speed:   speed,
+		left:    geo.Point{X: clusterW / 2, Y: area.H / 2},
+		right:   geo.Point{X: area.W - clusterW/2, Y: area.H / 2},
+	}
+}
+
+// N reports the total node count (clusters plus ferry).
+func (f *Ferry) N() int { return len(f.pos) + 1 }
+
+// FerryID reports the shuttling node's id.
+func (f *Ferry) FerryID() uint32 { return f.ferryID }
+
+// Pos implements Model. The ferry follows a triangle wave between the two
+// cluster centres; all other nodes are static.
+func (f *Ferry) Pos(id uint32, t time.Duration) geo.Point {
+	if id != f.ferryID {
+		if int(id) >= len(f.pos) {
+			return geo.Point{}
+		}
+		return f.pos[id]
+	}
+	span := f.right.X - f.left.X
+	period := 2 * span / f.speed // seconds for a round trip
+	phase := t.Seconds() - period*float64(int(t.Seconds()/period))
+	var x float64
+	if phase < period/2 {
+		x = f.left.X + f.speed*phase
+	} else {
+		x = f.right.X - f.speed*(phase-period/2)
+	}
+	return geo.Point{X: x, Y: f.area.H / 2}
+}
+
+// Area implements Model.
+func (f *Ferry) Area() geo.Rect { return f.area }
+
+// GaussMarkov is the Gauss–Markov mobility model: each node's velocity
+// evolves as a first-order autoregressive process
+//
+//	v(t+1) = α·v(t) + (1−α)·v̄ + σ·sqrt(1−α²)·w,  w ~ N(0,1)
+//
+// producing smooth, temporally correlated motion (no sharp waypoint turns).
+// α = 1 is a straight line, α = 0 memoryless Brownian-like motion.
+type GaussMarkov struct {
+	area      geo.Rect
+	alpha     float64
+	meanSpeed float64
+	sigma     float64
+	epoch     time.Duration
+
+	pos  []geo.Point
+	vel  []geo.Point
+	at   []time.Duration
+	rngs []*rand.Rand
+}
+
+var _ Model = (*GaussMarkov)(nil)
+
+// NewGaussMarkov builds the model for n nodes with memory α ∈ [0,1], mean
+// speed (m/s) and speed deviation sigma, updating velocity every epoch.
+func NewGaussMarkov(area geo.Rect, n int, alpha, meanSpeed, sigma float64, epoch time.Duration, seed int64) *GaussMarkov {
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	if epoch <= 0 {
+		epoch = time.Second
+	}
+	m := &GaussMarkov{
+		area:      area,
+		alpha:     alpha,
+		meanSpeed: meanSpeed,
+		sigma:     sigma,
+		epoch:     epoch,
+		pos:       make([]geo.Point, n),
+		vel:       make([]geo.Point, n),
+		at:        make([]time.Duration, n),
+		rngs:      make([]*rand.Rand, n),
+	}
+	for i := 0; i < n; i++ {
+		m.rngs[i] = rand.New(rand.NewSource(seed ^ (int64(i)+1)*0x9e3779b97f4a7))
+		m.pos[i] = geo.Point{X: m.rngs[i].Float64() * area.W, Y: m.rngs[i].Float64() * area.H}
+		m.vel[i] = randDir(m.rngs[i]).Scale(meanSpeed)
+	}
+	return m
+}
+
+// Pos implements Model. Queries must be per-node nondecreasing in t.
+func (m *GaussMarkov) Pos(id uint32, t time.Duration) geo.Point {
+	i := int(id)
+	if i >= len(m.pos) {
+		return geo.Point{}
+	}
+	for m.at[i] < t {
+		step := m.epoch
+		if m.at[i]+step > t {
+			step = t - m.at[i]
+		}
+		next := m.pos[i].Add(m.vel[i].Scale(step.Seconds()))
+		// Reflect at borders (flipping the offending velocity component).
+		if next.X < 0 {
+			next.X = -next.X
+			m.vel[i].X = -m.vel[i].X
+		}
+		if next.X > m.area.W {
+			next.X = 2*m.area.W - next.X
+			m.vel[i].X = -m.vel[i].X
+		}
+		if next.Y < 0 {
+			next.Y = -next.Y
+			m.vel[i].Y = -m.vel[i].Y
+		}
+		if next.Y > m.area.H {
+			next.Y = 2*m.area.H - next.Y
+			m.vel[i].Y = -m.vel[i].Y
+		}
+		m.pos[i] = next.Clamp(m.area.W, m.area.H)
+		m.at[i] += step
+		if m.at[i]%m.epoch == 0 {
+			m.updateVelocity(i)
+		}
+	}
+	return m.pos[i]
+}
+
+// updateVelocity applies the AR(1) step per component, with the mean
+// velocity pointing along the current heading at meanSpeed.
+func (m *GaussMarkov) updateVelocity(i int) {
+	rng := m.rngs[i]
+	speed := m.vel[i].Norm()
+	var mean geo.Point
+	if speed > 1e-9 {
+		mean = m.vel[i].Scale(m.meanSpeed / speed)
+	} else {
+		mean = randDir(rng).Scale(m.meanSpeed)
+	}
+	noise := math.Sqrt(1-m.alpha*m.alpha) * m.sigma
+	m.vel[i] = geo.Point{
+		X: m.alpha*m.vel[i].X + (1-m.alpha)*mean.X + noise*rng.NormFloat64(),
+		Y: m.alpha*m.vel[i].Y + (1-m.alpha)*mean.Y + noise*rng.NormFloat64(),
+	}
+}
+
+// Area implements Model.
+func (m *GaussMarkov) Area() geo.Rect { return m.area }

@@ -1,0 +1,300 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"bbcast/internal/geo"
+)
+
+var area = geo.Rect{W: 1000, H: 1000}
+
+func TestStaticPositionsFixed(t *testing.T) {
+	m := NewUniformStatic(area, 10, 1)
+	p0 := m.Pos(3, 0)
+	p1 := m.Pos(3, time.Hour)
+	if p0 != p1 {
+		t.Fatalf("static node moved: %v -> %v", p0, p1)
+	}
+	if !area.Contains(p0) {
+		t.Fatalf("position %v outside area", p0)
+	}
+	if m.N() != 10 {
+		t.Fatalf("N = %d", m.N())
+	}
+}
+
+func TestStaticExplicit(t *testing.T) {
+	pts := []geo.Point{{X: 1, Y: 2}, {X: 3, Y: 4}}
+	m := NewStatic(area, pts)
+	if m.Pos(0, 0) != pts[0] || m.Pos(1, 0) != pts[1] {
+		t.Fatal("explicit positions not honoured")
+	}
+	// Out-of-range id returns origin rather than panicking.
+	if m.Pos(99, 0) != (geo.Point{}) {
+		t.Fatal("out-of-range id should return zero point")
+	}
+	// The input slice is copied at the boundary.
+	pts[0] = geo.Point{X: 99, Y: 99}
+	if m.Pos(0, 0) == (geo.Point{X: 99, Y: 99}) {
+		t.Fatal("NewStatic aliased caller slice")
+	}
+}
+
+func TestGridStaticInArea(t *testing.T) {
+	m := NewGridStatic(area, 37, 0.4, 7)
+	for i := uint32(0); i < 37; i++ {
+		if !area.Contains(m.Pos(i, 0)) {
+			t.Fatalf("node %d at %v outside area", i, m.Pos(i, 0))
+		}
+	}
+}
+
+func TestGridStaticSpread(t *testing.T) {
+	// With zero jitter nodes sit on distinct grid points.
+	m := NewGridStatic(area, 25, 0, 7)
+	seen := map[geo.Point]bool{}
+	for i := uint32(0); i < 25; i++ {
+		seen[m.Pos(i, 0)] = true
+	}
+	if len(seen) != 25 {
+		t.Fatalf("grid placement collided: %d distinct of 25", len(seen))
+	}
+}
+
+func TestRandomWaypointStaysInArea(t *testing.T) {
+	m := NewRandomWaypoint(area, 5, 1, 10, time.Second, 3)
+	for ti := 0; ti <= 600; ti++ {
+		tm := time.Duration(ti) * time.Second
+		for id := uint32(0); id < 5; id++ {
+			p := m.Pos(id, tm)
+			if !area.Contains(p) {
+				t.Fatalf("node %d at %v outside area at t=%v", id, p, tm)
+			}
+		}
+	}
+}
+
+func TestRandomWaypointMoves(t *testing.T) {
+	m := NewRandomWaypoint(area, 1, 5, 5, 0, 9)
+	p0 := m.Pos(0, 0)
+	p1 := m.Pos(0, 30*time.Second)
+	if p0.Dist(p1) == 0 {
+		t.Fatal("waypoint node did not move in 30s")
+	}
+}
+
+func TestRandomWaypointSpeedBound(t *testing.T) {
+	const speed = 10.0
+	m := NewRandomWaypoint(area, 3, speed, speed, 0, 11)
+	prev := make([]geo.Point, 3)
+	for id := uint32(0); id < 3; id++ {
+		prev[id] = m.Pos(id, 0)
+	}
+	step := 100 * time.Millisecond
+	for ti := 1; ti <= 3000; ti++ {
+		tm := time.Duration(ti) * step
+		for id := uint32(0); id < 3; id++ {
+			p := m.Pos(id, tm)
+			maxStep := speed*step.Seconds() + 1e-6
+			if p.Dist(prev[id]) > maxStep {
+				t.Fatalf("node %d jumped %.3f m in %v (max %.3f)", id, p.Dist(prev[id]), step, maxStep)
+			}
+			prev[id] = p
+		}
+	}
+}
+
+func TestRandomWaypointPause(t *testing.T) {
+	// With an enormous pause, after the first leg completes the node is
+	// parked at its destination for a long stretch.
+	m := NewRandomWaypoint(area, 1, 100, 100, time.Hour, 5)
+	// Longest possible leg is diagonal/speed = sqrt(2)*1000/100 ≈ 14.2s.
+	pA := m.Pos(0, 20*time.Second)
+	pB := m.Pos(0, 21*time.Second)
+	if pA != pB {
+		t.Fatalf("node moved during pause: %v -> %v", pA, pB)
+	}
+}
+
+func TestRandomWalkStaysInAreaAndMoves(t *testing.T) {
+	m := NewRandomWalk(area, 4, 20, 2*time.Second, 13)
+	start := make([]geo.Point, 4)
+	for id := uint32(0); id < 4; id++ {
+		start[id] = m.Pos(id, 0)
+	}
+	moved := false
+	for ti := 1; ti <= 300; ti++ {
+		tm := time.Duration(ti) * time.Second
+		for id := uint32(0); id < 4; id++ {
+			p := m.Pos(id, tm)
+			if !area.Contains(p) {
+				t.Fatalf("walk node %d at %v outside area", id, p)
+			}
+			if p.Dist(start[id]) > 1 {
+				moved = true
+			}
+		}
+	}
+	if !moved {
+		t.Fatal("no random-walk node moved")
+	}
+}
+
+func TestModelsDeterministic(t *testing.T) {
+	sample := func() []geo.Point {
+		m := NewRandomWaypoint(area, 3, 1, 10, time.Second, 77)
+		var out []geo.Point
+		for ti := 0; ti < 50; ti++ {
+			for id := uint32(0); id < 3; id++ {
+				out = append(out, m.Pos(id, time.Duration(ti)*time.Second))
+			}
+		}
+		return out
+	}
+	a, b := sample(), sample()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trajectories diverge at sample %d", i)
+		}
+	}
+}
+
+// Property: positions remain in-area for arbitrary query sequences.
+func TestQuickWaypointInArea(t *testing.T) {
+	f := func(seed int64, steps []uint16) bool {
+		m := NewRandomWaypoint(area, 2, 0.5, 30, 500*time.Millisecond, seed)
+		var tm time.Duration
+		for _, s := range steps {
+			tm += time.Duration(s) * time.Millisecond
+			for id := uint32(0); id < 2; id++ {
+				if !area.Contains(m.Pos(id, tm)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFerryClustersStaticAndSeparated(t *testing.T) {
+	m := NewFerry(geo.Rect{W: 1200, H: 300}, 5, 20, 1)
+	if m.N() != 11 || m.FerryID() != 10 {
+		t.Fatalf("N=%d ferry=%d", m.N(), m.FerryID())
+	}
+	for id := uint32(0); id < 10; id++ {
+		if m.Pos(id, 0) != m.Pos(id, time.Hour) {
+			t.Fatalf("cluster node %d moved", id)
+		}
+	}
+	// Left and right clusters are far apart.
+	for l := uint32(0); l < 5; l++ {
+		for r := uint32(5); r < 10; r++ {
+			if m.Pos(l, 0).Dist(m.Pos(r, 0)) < 600 {
+				t.Fatalf("clusters too close: %v vs %v", m.Pos(l, 0), m.Pos(r, 0))
+			}
+		}
+	}
+}
+
+func TestFerryShuttles(t *testing.T) {
+	area := geo.Rect{W: 1200, H: 300}
+	m := NewFerry(area, 3, 50, 1)
+	ferry := m.FerryID()
+	start := m.Pos(ferry, 0)
+	if start.X > area.W/2 {
+		t.Fatalf("ferry starts at %v, want left side", start)
+	}
+	// span = right.X-left.X = 1200-200 = 1000 m at 50 m/s → 20 s one way.
+	mid := m.Pos(ferry, 20*time.Second)
+	if mid.X < area.W*3/4 {
+		t.Fatalf("ferry at %v after one crossing, want right side", mid)
+	}
+	back := m.Pos(ferry, 40*time.Second)
+	if back.X > area.W/4 {
+		t.Fatalf("ferry at %v after a round trip, want left side", back)
+	}
+	// Never leaves the area.
+	for ti := 0; ti < 200; ti++ {
+		p := m.Pos(ferry, time.Duration(ti)*time.Second)
+		if !area.Contains(p) {
+			t.Fatalf("ferry left the area: %v", p)
+		}
+	}
+}
+
+func TestGaussMarkovStaysInAreaAndMoves(t *testing.T) {
+	m := NewGaussMarkov(area, 4, 0.75, 10, 3, time.Second, 5)
+	start := make([]geo.Point, 4)
+	for id := uint32(0); id < 4; id++ {
+		start[id] = m.Pos(id, 0)
+	}
+	moved := false
+	for ti := 1; ti <= 400; ti++ {
+		tm := time.Duration(ti) * 500 * time.Millisecond
+		for id := uint32(0); id < 4; id++ {
+			p := m.Pos(id, tm)
+			if !area.Contains(p) {
+				t.Fatalf("node %d at %v left the area", id, p)
+			}
+			if p.Dist(start[id]) > 5 {
+				moved = true
+			}
+		}
+	}
+	if !moved {
+		t.Fatal("no Gauss-Markov node moved")
+	}
+}
+
+func TestGaussMarkovSmootherThanWalk(t *testing.T) {
+	// High α motion has temporally correlated headings: the mean turn angle
+	// per epoch should be much smaller than for a fresh-direction walk.
+	turn := func(positions []geo.Point) float64 {
+		var sum float64
+		n := 0
+		for i := 2; i < len(positions); i++ {
+			a := positions[i-1].Sub(positions[i-2])
+			b := positions[i].Sub(positions[i-1])
+			na, nb := a.Norm(), b.Norm()
+			if na < 1e-9 || nb < 1e-9 {
+				continue
+			}
+			cos := (a.X*b.X + a.Y*b.Y) / (na * nb)
+			if cos > 1 {
+				cos = 1
+			}
+			if cos < -1 {
+				cos = -1
+			}
+			sum += math.Acos(cos)
+			n++
+		}
+		return sum / float64(n)
+	}
+	sample := func(m Model) []geo.Point {
+		var out []geo.Point
+		for ti := 0; ti < 120; ti++ {
+			out = append(out, m.Pos(0, time.Duration(ti)*time.Second))
+		}
+		return out
+	}
+	smooth := turn(sample(NewGaussMarkov(area, 1, 0.9, 10, 2, time.Second, 3)))
+	jerky := turn(sample(NewRandomWalk(area, 1, 10, time.Second, 3)))
+	if smooth >= jerky {
+		t.Fatalf("Gauss-Markov (α=0.9) mean turn %.2f not smoother than random walk %.2f", smooth, jerky)
+	}
+}
+
+func TestGaussMarkovAlphaClamped(t *testing.T) {
+	m := NewGaussMarkov(area, 1, 5, 10, 2, time.Second, 3) // α>1 clamps to 1
+	p := m.Pos(0, 10*time.Second)
+	if !area.Contains(p) {
+		t.Fatal("clamped-alpha model left the area")
+	}
+}

@@ -1,0 +1,412 @@
+// Package overlay implements the self-stabilizing overlay-maintenance
+// protocols of §3.3: the Connected Dominating Set (CDS) and the Maximal
+// Independent Set with Bridges (MIS+B) rules of [21] (self-stabilizing
+// generalizations of Wu & Li), augmented with the paper's trust levels.
+//
+// There is no global knowledge: each node periodically runs a local
+// computation step over its current view — its neighbours' last reported
+// states — and decides whether it considers itself an overlay (active) node.
+// The goodness number is the node identifier, which is unforgeable
+// (§3.3: "we replace the notion of a goodness number with the node's id").
+//
+// Trust levels gate the computation: Untrusted neighbours are ignored
+// entirely; Unknown neighbours still count as nodes that must be covered but
+// are never relied upon as coverers, ensuring an alternative overlay path
+// exists around suspected nodes.
+package overlay
+
+import (
+	"sort"
+
+	"bbcast/internal/fd"
+	"bbcast/internal/wire"
+)
+
+// Role is a node's standing in the overlay. Distinguishing dominators
+// (independent-set members) from bridges is what makes the MIS+B rules
+// self-stabilizing: MIS suppression flows only from dominators, so a bridge
+// activating next to a dominator never deactivates it.
+type Role int
+
+// Roles.
+const (
+	Passive Role = iota + 1
+	Bridge
+	Dominator
+)
+
+// Active reports whether the role places the node in the overlay.
+func (r Role) Active() bool { return r == Bridge || r == Dominator }
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case Passive:
+		return "passive"
+	case Bridge:
+		return "bridge"
+	case Dominator:
+		return "dominator"
+	default:
+		return "role(?)"
+	}
+}
+
+// NeighborInfo is a node's knowledge of one neighbour, assembled from the
+// neighbour's last (signed) overlay-state report and the local TRUST level.
+type NeighborInfo struct {
+	ID    wire.NodeID
+	Role  Role
+	Level fd.Level
+	// Neighbors is the neighbour's own reported one-hop neighbourhood.
+	Neighbors []wire.NodeID
+	// ActiveNeighbors is the subset the neighbour believes active.
+	ActiveNeighbors []wire.NodeID
+	// DominatorNeighbors is the subset the neighbour believes to be
+	// dominators.
+	DominatorNeighbors []wire.NodeID
+}
+
+// View is the local state a maintainer decides on.
+type View struct {
+	Self      wire.NodeID
+	SelfRole  Role
+	Neighbors []NeighborInfo
+	// Distrusts, when non-nil, reports whether the local TRUST detector
+	// marks a node Untrusted — consulted for bridge candidates that are not
+	// direct neighbours (known only through reports).
+	Distrusts func(wire.NodeID) bool
+}
+
+// Maintainer decides, from purely local knowledge, what role the node should
+// take. Decide is invoked periodically (each computation step).
+type Maintainer interface {
+	// Name identifies the protocol in reports ("cds" or "mis+b").
+	Name() string
+	// Decide returns the role the node should take.
+	Decide(v View) Role
+}
+
+// Kind selects a maintainer implementation.
+type Kind int
+
+// Maintainer kinds.
+const (
+	CDS Kind = iota + 1
+	MISB
+)
+
+// New returns a maintainer of the given kind.
+func New(kind Kind) Maintainer {
+	switch kind {
+	case MISB:
+		return misb{}
+	default:
+		return cds{}
+	}
+}
+
+// usable reports whether a neighbour may participate in computations at all.
+func usable(n NeighborInfo) bool { return n.Level != fd.Untrusted }
+
+// reliable reports whether a neighbour may serve as a coverer/relay.
+func reliable(n NeighborInfo) bool { return n.Level == fd.Trusted }
+
+// adjacent reports whether n's reported neighbourhood contains id.
+func adjacent(n NeighborInfo, id wire.NodeID) bool {
+	for _, x := range n.Neighbors {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// cds implements the marking algorithm of Wu & Li with the two ID-based
+// pruning rules, filtered by trust.
+type cds struct{}
+
+var _ Maintainer = cds{}
+
+func (cds) Name() string { return "cds" }
+
+// Decide marks the node if it has two usable neighbours that are not
+// adjacent to each other (it may be needed to connect them), then applies
+// the pruning rules: the node retires if its usable neighbourhood is covered
+// by one trusted active neighbour with a higher ID (rule 1), or by two
+// adjacent trusted active neighbours with higher IDs (rule 2).
+func (cds) Decide(v View) Role {
+	nbrs := v.Neighbors
+	// Leader rule (§3.3): a node with the highest identifier among its
+	// usable neighbours elects itself. This covers dense neighbourhoods
+	// (cliques) where the marking rule below never fires.
+	leader := true
+	for _, n := range nbrs {
+		if usable(n) && n.ID > v.Self {
+			leader = false
+			break
+		}
+	}
+	if leader {
+		return Dominator
+	}
+	// Marking step.
+	marked := false
+	for i := 0; i < len(nbrs) && !marked; i++ {
+		if !usable(nbrs[i]) {
+			continue
+		}
+		for j := i + 1; j < len(nbrs); j++ {
+			if !usable(nbrs[j]) {
+				continue
+			}
+			if !adjacent(nbrs[i], nbrs[j].ID) && !adjacent(nbrs[j], nbrs[i].ID) {
+				marked = true
+				break
+			}
+		}
+	}
+	if !marked {
+		return Passive
+	}
+
+	covered := func(coverers ...NeighborInfo) bool {
+		for _, n := range nbrs {
+			if !usable(n) {
+				continue
+			}
+			ok := false
+			for _, c := range coverers {
+				if c.ID == n.ID || adjacent(c, n.ID) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Pruning rule 1.
+	for _, w := range nbrs {
+		if reliable(w) && w.Role.Active() && w.ID > v.Self && covered(w) {
+			return Passive
+		}
+	}
+	// Pruning rule 2.
+	for i := 0; i < len(nbrs); i++ {
+		w1 := nbrs[i]
+		if !reliable(w1) || !w1.Role.Active() || w1.ID <= v.Self {
+			continue
+		}
+		for j := i + 1; j < len(nbrs); j++ {
+			w2 := nbrs[j]
+			if !reliable(w2) || !w2.Role.Active() || w2.ID <= v.Self {
+				continue
+			}
+			if (adjacent(w1, w2.ID) || adjacent(w2, w1.ID)) && covered(w1, w2) {
+				return Passive
+			}
+		}
+	}
+	return Dominator
+}
+
+// misb implements the maximal-independent-set rule plus bridge election.
+type misb struct{}
+
+var _ Maintainer = misb{}
+
+func (misb) Name() string { return "mis+b" }
+
+// Decide applies three rules, any of which makes the node active:
+//
+//  1. MIS: no trusted dominator neighbour has a higher ID (highest-ID
+//     greedy independent set; untrusted neighbours never suppress us, so
+//     mute nodes claiming membership cannot hollow out the overlay).
+//  2. Bridge-2: two dominator neighbours u, v are not adjacent, and we hold
+//     the highest ID among their common neighbours (computed from u's and
+//     v's own reported neighbour lists, so every contender elects the same
+//     node).
+//  3. Bridge-3: a dominator neighbour u and a neighbour w that reports a
+//     dominator x we cannot hear; we bridge if we hold the highest ID
+//     among the common neighbours of u and w. The symmetric rule fires at
+//     a neighbour of x, completing a two-bridge path between dominators
+//     three hops apart.
+//
+// Bridges never justify further bridges: both rules anchor on dominator
+// endpoints, which keeps the overlay from cascading toward the full node
+// set.
+func (misb) Decide(v View) Role {
+	nbrs := v.Neighbors
+	// Rule 1: MIS membership - suppression flows only from higher-ID
+	// trusted dominators.
+	suppressed := false
+	for _, n := range nbrs {
+		if reliable(n) && n.Role == Dominator && n.ID > v.Self {
+			suppressed = true
+			break
+		}
+	}
+	if !suppressed {
+		return Dominator
+	}
+
+	// Rule 2: bridge between two dominator neighbours that cannot hear
+	// each other.
+	for i := 0; i < len(nbrs); i++ {
+		u := nbrs[i]
+		if !usable(u) || u.Role != Dominator {
+			continue
+		}
+		for j := i + 1; j < len(nbrs); j++ {
+			w := nbrs[j]
+			if !usable(w) || w.Role != Dominator {
+				continue
+			}
+			if adjacent(u, w.ID) || adjacent(w, u.ID) {
+				continue
+			}
+			if alreadyBridged(v, u, w) {
+				continue
+			}
+			if bestCommonID(v, u, w) == v.Self {
+				return Bridge
+			}
+		}
+	}
+
+	// Rule 3: seed a two-bridge path toward a dominator three hops away.
+	for _, u := range nbrs {
+		if !usable(u) || u.Role != Dominator {
+			continue
+		}
+		for _, w := range nbrs {
+			if w.ID == u.ID || !reliable(w) {
+				continue
+			}
+			if !reportsFarDominator(v, u, w) {
+				continue
+			}
+			if alreadyBridged(v, u, w) {
+				continue
+			}
+			if bestCommonID(v, u, w) == v.Self {
+				return Bridge
+			}
+		}
+	}
+	return Passive
+}
+
+// alreadyBridged reports whether some node other than self is, per u's and
+// w's own reports, an active common neighbour of both — the pair is served
+// and electing another bridge would be redundant. This makes elections
+// sticky: once a bridge is up, diverging neighbour views cannot elect
+// duplicates, and if duplicates do arise the extra ones retire here.
+func alreadyBridged(v View, u, w NeighborInfo) bool {
+	for _, c := range u.ActiveNeighbors {
+		if c == v.Self || c == w.ID {
+			continue
+		}
+		if containsID(w.ActiveNeighbors, c) && !distrusted(v, c) {
+			return true
+		}
+	}
+	return false
+}
+
+// reportsFarDominator reports whether w advertises a dominator neighbour
+// that we cannot hear and that is not adjacent to u (a dominator pair three
+// hops apart, with us and w as the candidate connectors).
+func reportsFarDominator(v View, u, w NeighborInfo) bool {
+	for _, x := range w.DominatorNeighbors {
+		if x == u.ID || x == v.Self {
+			continue
+		}
+		if adjacent(u, x) {
+			continue // u hears x: a 2-hop (or direct) pair, rule 2 territory
+		}
+		local := false
+		for _, n := range v.Neighbors {
+			if n.ID == x {
+				local = true
+				break
+			}
+		}
+		if !local {
+			return true
+		}
+	}
+	return false
+}
+
+// bestCommonID returns the highest ID among the nodes adjacent to both u and
+// w, per their own reports, skipping candidates the elector distrusts (a
+// suspected node must not be relied on as the bridge; electors with
+// differing trust views may then over-elect, which costs efficiency but
+// never connectivity). Among electors with equal trust views the candidate
+// set is identical, so exactly one node elects itself.
+func bestCommonID(v View, u, w NeighborInfo) wire.NodeID {
+	best := wire.NoNode
+	first := true
+	for _, a := range u.Neighbors {
+		if a == u.ID || a == w.ID {
+			continue
+		}
+		if !containsID(w.Neighbors, a) {
+			continue
+		}
+		if distrusted(v, a) {
+			continue
+		}
+		if first || a > best {
+			best = a
+			first = false
+		}
+	}
+	if first {
+		return wire.NoNode
+	}
+	return best
+}
+
+// distrusted reports whether the elector's own table marks id Untrusted.
+func distrusted(v View, id wire.NodeID) bool {
+	for _, n := range v.Neighbors {
+		if n.ID == id {
+			return n.Level == fd.Untrusted
+		}
+	}
+	return v.Distrusts != nil && v.Distrusts(id)
+}
+
+func containsID(ids []wire.NodeID, id wire.NodeID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// SuppressedByHigherDominator reports whether the view contains a trusted
+// dominator neighbour with a higher ID than self — the MIS conflict that
+// must demote a dominator immediately (two adjacent dominators violate
+// independence; all other role changes may be damped for stability).
+func SuppressedByHigherDominator(v View) bool {
+	for _, n := range v.Neighbors {
+		if reliable(n) && n.Role == Dominator && n.ID > v.Self {
+			return true
+		}
+	}
+	return false
+}
+
+// SortView normalizes a view's neighbour order (by ID); decisions do not
+// depend on order, but deterministic traces are easier to debug.
+func SortView(v *View) {
+	sort.Slice(v.Neighbors, func(i, j int) bool { return v.Neighbors[i].ID < v.Neighbors[j].ID })
+}

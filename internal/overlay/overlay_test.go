@@ -1,0 +1,552 @@
+package overlay
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bbcast/internal/fd"
+	"bbcast/internal/geo"
+	"bbcast/internal/wire"
+)
+
+// graph is a synchronous test harness: ground-truth adjacency plus per-node
+// trust assignments, iterated to a fixpoint with fair (descending-ID
+// sequential) scheduling, as the jittered periodic timers of the real
+// protocol provide.
+type graph struct {
+	n     int
+	adj   [][]bool
+	roles []Role
+	// level[i][j] is i's trust in j (default Trusted).
+	level map[[2]int]fd.Level
+}
+
+func newGraph(n int) *graph {
+	g := &graph{n: n, adj: make([][]bool, n), roles: make([]Role, n), level: map[[2]int]fd.Level{}}
+	for i := range g.adj {
+		g.adj[i] = make([]bool, n)
+		g.roles[i] = Passive
+	}
+	return g
+}
+
+func (g *graph) active(i int) bool { return g.roles[i].Active() }
+
+func (g *graph) connect(a, b int) {
+	g.adj[a][b] = true
+	g.adj[b][a] = true
+}
+
+func (g *graph) trust(a, b int, l fd.Level) { g.level[[2]int{a, b}] = l }
+
+func (g *graph) levelOf(a, b int) fd.Level {
+	if l, ok := g.level[[2]int{a, b}]; ok {
+		return l
+	}
+	return fd.Trusted
+}
+
+func (g *graph) neighborIDs(i int) []wire.NodeID {
+	var out []wire.NodeID
+	for j := 0; j < g.n; j++ {
+		if g.adj[i][j] {
+			out = append(out, wire.NodeID(j))
+		}
+	}
+	return out
+}
+
+func (g *graph) view(i int) View {
+	v := View{Self: wire.NodeID(i), SelfRole: g.roles[i]}
+	v.Distrusts = func(id wire.NodeID) bool { return g.levelOf(i, int(id)) == fd.Untrusted }
+	for j := 0; j < g.n; j++ {
+		if !g.adj[i][j] {
+			continue
+		}
+		var actNbrs, domNbrs []wire.NodeID
+		for k := 0; k < g.n; k++ {
+			if g.adj[j][k] && g.active(k) {
+				actNbrs = append(actNbrs, wire.NodeID(k))
+				if g.roles[k] == Dominator {
+					domNbrs = append(domNbrs, wire.NodeID(k))
+				}
+			}
+		}
+		v.Neighbors = append(v.Neighbors, NeighborInfo{
+			ID:                 wire.NodeID(j),
+			Role:               g.roles[j],
+			Level:              g.levelOf(i, j),
+			Neighbors:          g.neighborIDs(j),
+			ActiveNeighbors:    actNbrs,
+			DominatorNeighbors: domNbrs,
+		})
+	}
+	return v
+}
+
+// stabilize runs computation steps until no decision changes, returning the
+// number of full sweeps. It fails the test if no fixpoint is reached.
+func (g *graph) stabilize(t *testing.T, m Maintainer) int {
+	t.Helper()
+	for sweep := 1; sweep <= 60; sweep++ {
+		changed := false
+		// Descending-ID order: suppression flows from high to low IDs.
+		for i := g.n - 1; i >= 0; i-- {
+			next := m.Decide(g.view(i))
+			if next != g.roles[i] {
+				g.roles[i] = next
+				changed = true
+			}
+		}
+		if !changed {
+			return sweep
+		}
+	}
+	t.Fatalf("%s did not stabilize in 60 sweeps", m.Name())
+	return 0
+}
+
+// dominated checks every node is active or has an active neighbour it can
+// rely on (trusted from the node's perspective).
+func (g *graph) dominated() bool {
+	for i := 0; i < g.n; i++ {
+		if g.active(i) {
+			continue
+		}
+		ok := false
+		for j := 0; j < g.n; j++ {
+			if g.adj[i][j] && g.active(j) && g.levelOf(i, j) == fd.Trusted {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// activeConnected checks the subgraph induced by active nodes is connected.
+func (g *graph) activeConnected() bool {
+	var first = -1
+	for i := 0; i < g.n; i++ {
+		if g.active(i) {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		return false
+	}
+	seen := make([]bool, g.n)
+	stack := []int{first}
+	seen[first] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for j := 0; j < g.n; j++ {
+			if g.adj[v][j] && g.active(j) && !seen[j] {
+				seen[j] = true
+				stack = append(stack, j)
+			}
+		}
+	}
+	for i := 0; i < g.n; i++ {
+		if g.active(i) && !seen[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *graph) activeCount() int {
+	c := 0
+	for i := range g.roles {
+		if g.active(i) {
+			c++
+		}
+	}
+	return c
+}
+
+func line(n int) *graph {
+	g := newGraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.connect(i, i+1)
+	}
+	return g
+}
+
+func clique(n int) *graph {
+	g := newGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.connect(i, j)
+		}
+	}
+	return g
+}
+
+// unitDisk builds a random connected unit-disk graph (retrying placements).
+func unitDisk(t *testing.T, n int, area, radius float64, seed int64) *graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for attempt := 0; attempt < 50; attempt++ {
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = geo.Point{X: rng.Float64() * area, Y: rng.Float64() * area}
+		}
+		g := newGraph(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if pts[i].Dist(pts[j]) <= radius {
+					g.connect(i, j)
+				}
+			}
+		}
+		if graphConnected(g) {
+			return g
+		}
+	}
+	t.Fatal("could not generate a connected unit-disk graph")
+	return nil
+}
+
+func graphConnected(g *graph) bool {
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for j := 0; j < g.n; j++ {
+			if g.adj[v][j] && !seen[j] {
+				seen[j] = true
+				stack = append(stack, j)
+			}
+		}
+	}
+	for _, s := range seen {
+		if !s {
+			return false
+		}
+	}
+	return true
+}
+
+func maintainers() []Maintainer { return []Maintainer{New(CDS), New(MISB)} }
+
+func TestSingletonIsActive(t *testing.T) {
+	for _, m := range maintainers() {
+		g := newGraph(1)
+		g.stabilize(t, m)
+		if !g.active(0) {
+			t.Errorf("%s: isolated node should be active (it is its own overlay)", m.Name())
+		}
+	}
+}
+
+func TestCliqueElectsHighestID(t *testing.T) {
+	for _, m := range maintainers() {
+		g := clique(5)
+		g.stabilize(t, m)
+		if !g.active(4) {
+			t.Errorf("%s: highest-ID node not active in clique", m.Name())
+		}
+		if !g.dominated() {
+			t.Errorf("%s: clique not dominated", m.Name())
+		}
+	}
+}
+
+func TestLineDominatesAndConnects(t *testing.T) {
+	for _, m := range maintainers() {
+		for _, n := range []int{2, 3, 5, 8, 13} {
+			g := line(n)
+			g.stabilize(t, m)
+			if !g.dominated() {
+				t.Errorf("%s: line(%d) not dominated; roles=%v", m.Name(), n, g.roles)
+			}
+			if !g.activeConnected() {
+				t.Errorf("%s: line(%d) overlay disconnected; roles=%v", m.Name(), n, g.roles)
+			}
+		}
+	}
+}
+
+func TestStarTopology(t *testing.T) {
+	for _, m := range maintainers() {
+		g := newGraph(6)
+		for i := 1; i < 6; i++ {
+			g.connect(0, i)
+		}
+		g.stabilize(t, m)
+		if !g.active(0) {
+			t.Errorf("%s: hub of star must be active; roles=%v", m.Name(), g.roles)
+		}
+		if !g.dominated() {
+			t.Errorf("%s: star not dominated", m.Name())
+		}
+	}
+}
+
+func TestRandomUnitDiskProperties(t *testing.T) {
+	for _, m := range maintainers() {
+		for seed := int64(1); seed <= 8; seed++ {
+			g := unitDisk(t, 40, 1000, 280, seed)
+			g.stabilize(t, m)
+			if !g.dominated() {
+				t.Errorf("%s seed %d: not dominated", m.Name(), seed)
+			}
+			if !g.activeConnected() {
+				t.Errorf("%s seed %d: overlay disconnected", m.Name(), seed)
+			}
+		}
+	}
+}
+
+func TestOverlaySmallerThanGraph(t *testing.T) {
+	// The whole point of an overlay: fewer forwarders than flooding.
+	for _, m := range maintainers() {
+		total, active := 0, 0
+		for seed := int64(1); seed <= 5; seed++ {
+			g := unitDisk(t, 50, 1000, 320, seed)
+			g.stabilize(t, m)
+			total += g.n
+			active += g.activeCount()
+		}
+		if active >= total*3/4 {
+			t.Errorf("%s: overlay has %d of %d nodes; expected a substantially smaller set", m.Name(), active, total)
+		}
+	}
+}
+
+func TestMISDominatorIndependence(t *testing.T) {
+	// Rule-1 members (dominators) form an independent set among trusted
+	// nodes: no two adjacent dominators.
+	m := New(MISB)
+	for seed := int64(1); seed <= 5; seed++ {
+		g := unitDisk(t, 30, 900, 300, seed)
+		g.stabilize(t, m)
+		for i := 0; i < g.n; i++ {
+			for j := i + 1; j < g.n; j++ {
+				if g.adj[i][j] && g.roles[i] == Dominator && g.roles[j] == Dominator {
+					t.Fatalf("seed %d: adjacent dominators %d,%d; roles=%v", seed, i, j, g.roles)
+				}
+			}
+		}
+	}
+}
+
+func TestMISBCliqueSingleActive(t *testing.T) {
+	// In a clique the MIS is a single node and no bridges are needed.
+	g := clique(6)
+	g.stabilize(t, New(MISB))
+	if g.activeCount() != 1 || g.roles[5] != Dominator {
+		t.Fatalf("clique roles = %v, want only node 5 active", g.roles)
+	}
+}
+
+func TestUntrustedNeighborCannotSuppress(t *testing.T) {
+	// Node 1's only higher-ID neighbour (2) is untrusted: node 1 must stay
+	// active (a mute node claiming overlay membership cannot hollow out the
+	// overlay).
+	for _, m := range maintainers() {
+		g := line(3) // 0-1-2
+		g.trust(1, 2, fd.Untrusted)
+		g.trust(0, 2, fd.Untrusted)
+		g.stabilize(t, m)
+		if !g.active(1) {
+			t.Errorf("%s: node 1 suppressed by untrusted neighbour; roles=%v", m.Name(), g.roles)
+		}
+	}
+}
+
+func TestUnknownNeighborNotRelied(t *testing.T) {
+	// Unknown nodes must not serve as coverers: with its higher-ID
+	// neighbour Unknown, node 1 stays active.
+	for _, m := range maintainers() {
+		g := line(3)
+		g.trust(1, 2, fd.Unknown)
+		g.trust(0, 2, fd.Unknown)
+		g.stabilize(t, m)
+		if !g.active(1) {
+			t.Errorf("%s: node relied on Unknown coverer; roles=%v", m.Name(), g.roles)
+		}
+	}
+}
+
+func TestByzantineSuspectedPathRoutesAround(t *testing.T) {
+	// Diamond: 0-1-3, 0-2-3. Node 3 highest. Node 2 untrusted by everyone.
+	// The overlay must still connect 0 and 3 through node 1.
+	for _, m := range maintainers() {
+		g := newGraph(4)
+		g.connect(0, 1)
+		g.connect(0, 2)
+		g.connect(1, 3)
+		g.connect(2, 3)
+		for _, i := range []int{0, 1, 3} {
+			g.trust(i, 2, fd.Untrusted)
+		}
+		g.stabilize(t, m)
+		if !g.active(1) {
+			t.Errorf("%s: with node 2 suspected, node 1 must join; roles=%v", m.Name(), g.roles)
+		}
+	}
+}
+
+func TestDecideIsPure(t *testing.T) {
+	// Decide must not mutate the view.
+	for _, m := range maintainers() {
+		g := line(5)
+		v := g.view(2)
+		before := len(v.Neighbors)
+		m.Decide(v)
+		m.Decide(v)
+		if len(v.Neighbors) != before {
+			t.Errorf("%s: Decide mutated the view", m.Name())
+		}
+	}
+}
+
+func TestSortView(t *testing.T) {
+	v := View{Self: 0, Neighbors: []NeighborInfo{{ID: 5}, {ID: 2}, {ID: 9}}}
+	SortView(&v)
+	if v.Neighbors[0].ID != 2 || v.Neighbors[1].ID != 5 || v.Neighbors[2].ID != 9 {
+		t.Fatalf("SortView order wrong: %+v", v.Neighbors)
+	}
+}
+
+func TestNewKinds(t *testing.T) {
+	if New(CDS).Name() != "cds" {
+		t.Fatal("New(CDS) wrong")
+	}
+	if New(MISB).Name() != "mis+b" {
+		t.Fatal("New(MISB) wrong")
+	}
+	if New(Kind(99)).Name() != "cds" {
+		t.Fatal("unknown kind should default to cds")
+	}
+}
+
+// Property: on random connected unit-disk graphs with all nodes trusted,
+// stabilization yields a dominating set (both maintainers).
+func TestQuickDomination(t *testing.T) {
+	f := func(seedRaw uint32) bool {
+		seed := int64(seedRaw%1000) + 1
+		for _, m := range maintainers() {
+			g := unitDisk(t, 25, 800, 300, seed)
+			g.stabilize(t, m)
+			if !g.dominated() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBridgeElectionConsistent(t *testing.T) {
+	// Two dominators two hops apart with several common neighbours: exactly
+	// the max-ID common neighbour elects itself.
+	// Topology: dominators 8 and 9; common neighbours 2, 5, 7.
+	g := newGraph(10)
+	for _, c := range []int{2, 5, 7} {
+		g.connect(8, c)
+		g.connect(9, c)
+	}
+	g.roles[8] = Dominator
+	g.roles[9] = Dominator
+	m := New(MISB)
+	for _, c := range []int{2, 5} {
+		if got := m.Decide(g.view(c)); got == Bridge {
+			t.Errorf("node %d elected itself despite higher common neighbour 7", c)
+		}
+	}
+	if got := m.Decide(g.view(7)); got != Bridge {
+		t.Errorf("max-ID common neighbour 7 did not bridge: got %v", got)
+	}
+}
+
+func TestBridgeElectionSkipsDistrustedCandidate(t *testing.T) {
+	// As above, but every elector distrusts node 7: node 5 takes over.
+	g := newGraph(10)
+	for _, c := range []int{2, 5, 7} {
+		g.connect(8, c)
+		g.connect(9, c)
+	}
+	g.roles[8] = Dominator
+	g.roles[9] = Dominator
+	for _, i := range []int{2, 5, 8, 9} {
+		g.trust(i, 7, fd.Untrusted)
+	}
+	m := New(MISB)
+	if got := m.Decide(g.view(5)); got != Bridge {
+		t.Errorf("next-best candidate did not bridge around distrusted 7: got %v", got)
+	}
+	if got := m.Decide(g.view(2)); got == Bridge {
+		t.Errorf("node 2 elected itself though 5 outranks it")
+	}
+}
+
+func TestBridgeSticky(t *testing.T) {
+	// Once a bridge is active between the pair, no further node elects
+	// itself even if it outranks the incumbent in the candidate set.
+	g := newGraph(10)
+	for _, c := range []int{2, 5, 7} {
+		g.connect(8, c)
+		g.connect(9, c)
+	}
+	g.roles[8] = Dominator
+	g.roles[9] = Dominator
+	g.roles[5] = Bridge // incumbent (lower than 7)
+	m := New(MISB)
+	if got := m.Decide(g.view(7)); got == Bridge {
+		t.Errorf("node 7 duplicated an already-bridged pair")
+	}
+}
+
+func TestAdjacentDominatorsNeedNoBridge(t *testing.T) {
+	g := newGraph(4)
+	g.connect(2, 3) // dominators hear each other
+	g.connect(1, 2)
+	g.connect(1, 3)
+	g.roles[2] = Dominator
+	g.roles[3] = Dominator
+	if got := New(MISB).Decide(g.view(1)); got == Bridge {
+		t.Error("bridged two adjacent dominators")
+	}
+}
+
+func TestSuppressedByHigherDominatorHelper(t *testing.T) {
+	g := newGraph(3)
+	g.connect(0, 2)
+	g.roles[2] = Dominator
+	if !SuppressedByHigherDominator(g.view(0)) {
+		t.Error("higher dominator not detected")
+	}
+	if SuppressedByHigherDominator(g.view(2)) {
+		t.Error("dominator suppressed by nothing")
+	}
+	// Untrusted dominators do not suppress.
+	g.trust(0, 2, fd.Untrusted)
+	if SuppressedByHigherDominator(g.view(0)) {
+		t.Error("untrusted dominator suppressed a node")
+	}
+}
+
+func TestRoleHelpers(t *testing.T) {
+	if Passive.Active() || !Bridge.Active() || !Dominator.Active() {
+		t.Error("Role.Active wrong")
+	}
+	names := map[Role]string{Passive: "passive", Bridge: "bridge", Dominator: "dominator", Role(9): "role(?)"}
+	for r, want := range names {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q", r, r.String())
+		}
+	}
+}

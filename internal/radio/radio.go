@@ -1,0 +1,324 @@
+// Package radio models the shared wireless medium: omni-directional
+// transmission disks, airtime, propagation delay, distance-dependent fringe
+// loss, background noise loss, half-duplex radios, and collisions between
+// overlapping transmissions at a common receiver (§2 of the paper).
+//
+// The model is deliberately richer than the paper's formal unit-disk
+// abstraction, matching the paper's remark (footnote 2) that the evaluation
+// simulator modelled "real transmission range behavior including
+// distortions, background noise, etc.".
+package radio
+
+import (
+	"sort"
+	"time"
+
+	"bbcast/internal/geo"
+	"bbcast/internal/mobility"
+	"bbcast/internal/sim"
+	"bbcast/internal/wire"
+)
+
+// Config are the physical-layer parameters.
+type Config struct {
+	// Range is the nominal transmission range in metres.
+	Range float64
+	// Bitrate is the channel rate in bits/s (2 Mb/s matches the 802.11
+	// generation the paper's SWANS evaluation simulated).
+	Bitrate float64
+	// PropDelay is the fixed per-hop propagation + processing latency.
+	PropDelay time.Duration
+	// FringeStart is the fraction of Range beyond which reception
+	// probability decays linearly to zero at Range. 1 disables fringe loss
+	// (pure unit disk).
+	FringeStart float64
+	// BaseLoss is the distance-independent background loss probability.
+	BaseLoss float64
+	// HalfDuplex, when set, makes a node deaf while it transmits.
+	HalfDuplex bool
+	// CaptureRatio enables the capture effect: when two frames overlap at a
+	// receiver, the closer one survives if its distance is at most
+	// CaptureRatio times the other's (e.g. 0.5 ≈ a 6 dB power advantage
+	// under inverse-square attenuation). Zero disables capture: any overlap
+	// corrupts both frames.
+	CaptureRatio float64
+	// PosUpdate is how often node positions are refreshed from the mobility
+	// model into the spatial index.
+	PosUpdate time.Duration
+}
+
+// DefaultConfig returns the physical parameters used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Range:       250,
+		Bitrate:     2e6,
+		PropDelay:   5 * time.Microsecond,
+		FringeStart: 0.85,
+		BaseLoss:    0.01,
+		HalfDuplex:  true,
+		PosUpdate:   100 * time.Millisecond,
+	}
+}
+
+// Stats counts physical-layer events.
+type Stats struct {
+	Transmissions  uint64 // frames put on the air
+	BytesOnAir     uint64
+	Deliveries     uint64 // frames handed to a receiver
+	Collisions     uint64 // receptions lost to overlap
+	FringeLosses   uint64 // receptions lost to distance/noise
+	HalfDuplexDrop uint64 // receptions lost because receiver was transmitting
+}
+
+// reception is one in-flight frame at one receiver.
+type reception struct {
+	start, end time.Duration
+	dist       float64
+	corrupted  bool
+}
+
+// interval is a closed transmit window, for half-duplex accounting.
+type interval struct {
+	start, end time.Duration
+}
+
+// Medium is the shared channel. It is single-threaded: all methods must be
+// called from simulation callbacks (the sim engine's goroutine).
+type Medium struct {
+	eng   *sim.Engine
+	model mobility.Model
+	cfg   Config
+	n     int
+
+	grid    *geo.Grid
+	rx      map[wire.NodeID]func(*wire.Packet)
+	ongoing map[wire.NodeID][]*reception
+	txBusy  map[wire.NodeID][]interval
+	stats   Stats
+	stopPos func()
+
+	// OnTransmit, if non-nil, observes every frame put on the air.
+	OnTransmit func(from wire.NodeID, pkt *wire.Packet)
+
+	scratch []uint32
+}
+
+// New builds a medium for n nodes moving per model.
+func New(eng *sim.Engine, model mobility.Model, n int, cfg Config) *Medium {
+	m := &Medium{
+		eng:     eng,
+		model:   model,
+		cfg:     cfg,
+		n:       n,
+		grid:    geo.NewGrid(model.Area(), cfg.Range),
+		rx:      make(map[wire.NodeID]func(*wire.Packet), n),
+		ongoing: make(map[wire.NodeID][]*reception, n),
+		txBusy:  make(map[wire.NodeID][]interval, n),
+	}
+	for i := 0; i < n; i++ {
+		m.grid.Insert(uint32(i), model.Pos(uint32(i), 0))
+	}
+	if cfg.PosUpdate > 0 {
+		m.stopPos = eng.Every(cfg.PosUpdate, m.refreshPositions)
+	}
+	return m
+}
+
+// Close stops the medium's periodic position updates.
+func (m *Medium) Close() {
+	if m.stopPos != nil {
+		m.stopPos()
+		m.stopPos = nil
+	}
+}
+
+func (m *Medium) refreshPositions() {
+	now := m.eng.Now()
+	for i := 0; i < m.n; i++ {
+		m.grid.Move(uint32(i), m.model.Pos(uint32(i), now))
+	}
+}
+
+// Attach registers the receive callback for node id. Each delivered packet
+// is a deep copy private to the receiver.
+func (m *Medium) Attach(id wire.NodeID, fn func(*wire.Packet)) {
+	m.rx[id] = fn
+}
+
+// Stats returns a snapshot of the physical-layer counters.
+func (m *Medium) Stats() Stats { return m.stats }
+
+// Airtime returns the time a frame of the given size occupies the channel.
+func (m *Medium) Airtime(size int) time.Duration {
+	return time.Duration(float64(size*8) / m.cfg.Bitrate * float64(time.Second))
+}
+
+// Pos returns node id's current position.
+func (m *Medium) Pos(id wire.NodeID) geo.Point {
+	p, _ := m.grid.Pos(uint32(id))
+	return p
+}
+
+// Neighbors returns the ids within transmission range of id, sorted. This is
+// ground truth used by baselines and tests; the protocol itself discovers
+// neighbours from traffic.
+func (m *Medium) Neighbors(id wire.NodeID) []wire.NodeID {
+	p := m.Pos(id)
+	m.scratch = m.grid.Near(p, m.cfg.Range, m.scratch[:0])
+	out := make([]wire.NodeID, 0, len(m.scratch))
+	for _, raw := range m.scratch {
+		if wire.NodeID(raw) != id {
+			out = append(out, wire.NodeID(raw))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Busy reports whether node id senses the channel busy now: it is itself
+// transmitting, or at least one frame is currently arriving at it.
+func (m *Medium) Busy(id wire.NodeID) bool {
+	now := m.eng.Now()
+	for _, iv := range m.txBusy[id] {
+		if iv.start <= now && now < iv.end {
+			return true
+		}
+	}
+	for _, r := range m.ongoing[id] {
+		if r.start <= now && now < r.end {
+			return true
+		}
+	}
+	return false
+}
+
+// Broadcast puts pkt on the air from node `from`. Delivery to each in-range
+// node is scheduled after airtime + propagation delay, subject to collision,
+// fringe-loss, noise and half-duplex rules. The caller must have set
+// pkt.Sender; the medium does not alter the packet.
+func (m *Medium) Broadcast(from wire.NodeID, pkt *wire.Packet) {
+	now := m.eng.Now()
+	size := pkt.AirSize()
+	dur := m.Airtime(size)
+	m.stats.Transmissions++
+	m.stats.BytesOnAir += uint64(size)
+	if m.OnTransmit != nil {
+		m.OnTransmit(from, pkt)
+	}
+
+	m.txBusy[from] = pruneIntervals(append(m.txBusy[from], interval{now, now + dur}), now)
+
+	src := m.Pos(from)
+	m.scratch = m.grid.Near(src, m.cfg.Range, m.scratch[:0])
+	// Sort for deterministic RNG draw order.
+	sort.Slice(m.scratch, func(i, j int) bool { return m.scratch[i] < m.scratch[j] })
+
+	for _, raw := range m.scratch {
+		dst := wire.NodeID(raw)
+		if dst == from {
+			continue
+		}
+		dist := src.Dist(m.Pos(dst))
+		rxStart := now + m.cfg.PropDelay
+		rxEnd := rxStart + dur
+		rec := &reception{start: rxStart, end: rxEnd, dist: dist}
+
+		// Overlapping frames at a receiver corrupt each other — unless the
+		// capture effect lets the markedly stronger (closer) one survive.
+		for _, other := range m.ongoing[dst] {
+			if other.start < rxEnd && rxStart < other.end {
+				m.collide(rec, other)
+			}
+		}
+		m.ongoing[dst] = append(m.ongoing[dst], rec)
+
+		m.eng.At(rxEnd, func() {
+			m.finishReception(from, dst, rec, dist, pkt)
+		})
+	}
+}
+
+// collide resolves an overlap between two receptions at one receiver.
+func (m *Medium) collide(a, b *reception) {
+	r := m.cfg.CaptureRatio
+	switch {
+	case r > 0 && a.dist <= r*b.dist:
+		b.corrupted = true
+	case r > 0 && b.dist <= r*a.dist:
+		a.corrupted = true
+	default:
+		a.corrupted = true
+		b.corrupted = true
+	}
+}
+
+func (m *Medium) finishReception(from, dst wire.NodeID, rec *reception, dist float64, pkt *wire.Packet) {
+	// Drop the reception record.
+	list := m.ongoing[dst]
+	for i, r := range list {
+		if r == rec {
+			list[i] = list[len(list)-1]
+			m.ongoing[dst] = list[:len(list)-1]
+			break
+		}
+	}
+
+	if rec.corrupted {
+		m.stats.Collisions++
+		return
+	}
+	if m.cfg.HalfDuplex && m.transmittedDuring(dst, rec.start, rec.end) {
+		m.stats.HalfDuplexDrop++
+		return
+	}
+	if !m.receives(dist) {
+		m.stats.FringeLosses++
+		return
+	}
+	fn := m.rx[dst]
+	if fn == nil {
+		return
+	}
+	m.stats.Deliveries++
+	fn(pkt.Clone())
+}
+
+// receives draws the distance-dependent reception outcome.
+func (m *Medium) receives(dist float64) bool {
+	rng := m.eng.Rand()
+	if m.cfg.BaseLoss > 0 && rng.Float64() < m.cfg.BaseLoss {
+		return false
+	}
+	fringe := m.cfg.FringeStart * m.cfg.Range
+	if dist <= fringe || m.cfg.FringeStart >= 1 {
+		return true
+	}
+	if dist >= m.cfg.Range {
+		return false
+	}
+	// Linear decay from 1 at the fringe boundary to 0 at Range.
+	p := 1 - (dist-fringe)/(m.cfg.Range-fringe)
+	return rng.Float64() < p
+}
+
+func (m *Medium) transmittedDuring(id wire.NodeID, start, end time.Duration) bool {
+	ivs := pruneIntervals(m.txBusy[id], start)
+	m.txBusy[id] = ivs
+	for _, iv := range ivs {
+		if iv.start < end && start < iv.end {
+			return true
+		}
+	}
+	return false
+}
+
+// pruneIntervals drops intervals that ended before cutoff.
+func pruneIntervals(ivs []interval, cutoff time.Duration) []interval {
+	out := ivs[:0]
+	for _, iv := range ivs {
+		if iv.end >= cutoff {
+			out = append(out, iv)
+		}
+	}
+	return out
+}

@@ -1,0 +1,647 @@
+// Package runner assembles complete simulated networks — radio, MAC,
+// protocol instances, adversaries and workload — runs them, and collects
+// results. It is the engine behind the public bbcast API, the example
+// programs and the benchmark harness.
+package runner
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"bbcast/internal/baseline"
+	"bbcast/internal/byzantine"
+	"bbcast/internal/core"
+	"bbcast/internal/env"
+	"bbcast/internal/fd"
+	"bbcast/internal/geo"
+	"bbcast/internal/mac"
+	"bbcast/internal/metrics"
+	"bbcast/internal/mobility"
+	"bbcast/internal/overlay"
+	"bbcast/internal/radio"
+	"bbcast/internal/sig"
+	"bbcast/internal/sim"
+	"bbcast/internal/trace"
+	"bbcast/internal/viz"
+	"bbcast/internal/wire"
+)
+
+// Protocol selects the dissemination protocol under test.
+type Protocol int
+
+// Protocols.
+const (
+	ProtoByzCast Protocol = iota + 1 // the paper's protocol
+	ProtoFlooding
+	ProtoFPlusOne
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoByzCast:
+		return "byzcast"
+	case ProtoFlooding:
+		return "flooding"
+	case ProtoFPlusOne:
+		return "f+1"
+	default:
+		return "proto(?)"
+	}
+}
+
+// MobilityKind selects the movement model.
+type MobilityKind int
+
+// Mobility kinds.
+const (
+	MobGrid MobilityKind = iota + 1 // jittered grid, static (repeatable connectivity)
+	MobUniform
+	MobWaypoint
+	MobWalk
+	// MobFerry partitions the network into two static clusters joined only
+	// by a shuttling ferry node (id N-1); N should be odd. Realizes the
+	// paper's footnote-7 weakened connectivity.
+	MobFerry
+	// MobGaussMarkov is smooth temporally-correlated motion.
+	MobGaussMarkov
+)
+
+// AdversaryPlacement selects where adversaries are placed.
+type AdversaryPlacement int
+
+// Placements.
+const (
+	// PlaceSpread distributes adversaries across the id space (default).
+	PlaceSpread AdversaryPlacement = iota
+	// PlaceDominators puts adversaries on the nodes the ID-based election
+	// will make overlay dominators (greedy max-ID MIS over the ground-truth
+	// topology) — the paper's worst case of Byzantine overlay nodes
+	// (Figure 5).
+	PlaceDominators
+)
+
+// AdversaryKind selects a Byzantine behaviour.
+type AdversaryKind int
+
+// Adversary kinds.
+const (
+	AdvMute       AdversaryKind = iota + 1
+	AdvMuteSilent               // also suppresses gossip advertisements
+	AdvVerbose
+	AdvTamper
+	AdvSelective
+)
+
+// Adversaries places Count nodes with the given behaviour. Adversaries are
+// spread across the area (grid placement maps ids to positions) at the
+// locally highest ids, which the ID-based overlay election favours as
+// dominators — the paper's worst case of Byzantine overlay nodes (Figure 5).
+type Adversaries struct {
+	Kind  AdversaryKind
+	Count int
+}
+
+// Workload describes traffic injection.
+type Workload struct {
+	// Senders is how many distinct correct nodes originate messages
+	// (round-robin). They are taken from the lowest ids.
+	Senders int
+	// Rate is the network-wide injection rate δ in messages/second.
+	Rate float64
+	// PayloadSize is the application payload in bytes.
+	PayloadSize int
+	// Start and End bound the injection window.
+	Start, End time.Duration
+	// Poisson, when set, draws exponential inter-arrival gaps (rate Rate)
+	// instead of a fixed period.
+	Poisson bool
+}
+
+// Scenario is a complete experiment description.
+type Scenario struct {
+	Name string
+	Seed int64
+
+	N     int
+	Area  geo.Rect
+	Radio radio.Config
+	MAC   mac.Config
+
+	Mobility MobilityKind
+	// Speed is the node speed (m/s) for waypoint/walk mobility.
+	Speed float64
+	// Pause is the waypoint pause time.
+	Pause time.Duration
+
+	Protocol Protocol
+	// Core configures the paper's protocol (ProtoByzCast).
+	Core core.Config
+	// F is the tolerated failure count for ProtoFPlusOne (f+1 overlays).
+	F int
+	// UseEd25519 switches from the fast simulation signature scheme to
+	// real Ed25519.
+	UseEd25519 bool
+
+	Adversaries []Adversaries
+	// Placement selects where adversaries are put (see AdversaryPlacement).
+	Placement AdversaryPlacement
+	Workload  Workload
+	// LatencyBucket, when positive, fills Result.Timeline with latency
+	// statistics bucketed by message injection time.
+	LatencyBucket time.Duration
+	// SnapshotSVG, when non-empty, writes an SVG rendering of the final
+	// topology and overlay to this path.
+	SnapshotSVG string
+	// Trace, when non-nil, receives a JSON line per simulation event
+	// (transmissions, injections, acceptances, role changes).
+	Trace io.Writer
+	// Duration is the total simulated time (allow drain past Workload.End).
+	Duration time.Duration
+}
+
+// DefaultScenario returns the base configuration the experiments perturb:
+// 75 nodes on a jittered grid in 1000×1000 m, 250 m range, one message per
+// second for 60 s.
+func DefaultScenario() Scenario {
+	return Scenario{
+		Name:     "default",
+		Seed:     1,
+		N:        75,
+		Area:     geo.Rect{W: 1000, H: 1000},
+		Radio:    radio.DefaultConfig(),
+		MAC:      mac.DefaultConfig(),
+		Mobility: MobGrid,
+		Protocol: ProtoByzCast,
+		Core:     core.DefaultConfig(),
+		F:        2,
+		Workload: Workload{
+			Senders:     5,
+			Rate:        1,
+			PayloadSize: 256,
+			Start:       15 * time.Second,
+			End:         75 * time.Second,
+		},
+		Duration: 85 * time.Second,
+	}
+}
+
+// broadcaster is what the runner needs from any protocol under test.
+type broadcaster interface {
+	Broadcast(payload []byte) wire.MsgID
+	HandlePacket(pkt *wire.Packet)
+	Stop()
+	Stats() core.Stats
+}
+
+// Result bundles the metrics summary with lower-layer statistics.
+type Result struct {
+	metrics.Results
+	Phys radio.Stats
+	// Node aggregates the protocol counters over all nodes.
+	Node core.Stats
+	// AdversariesDetected is how many correct nodes ended the run
+	// distrusting at least one genuinely Byzantine node (FD effectiveness).
+	AdversariesDetected int
+	// Timeline is filled when Scenario.LatencyBucket is set.
+	Timeline []metrics.Bucket
+}
+
+// Run executes the scenario and returns its results.
+func Run(sc Scenario) (Result, error) {
+	if sc.N <= 0 {
+		return Result{}, fmt.Errorf("runner: scenario needs N > 0, got %d", sc.N)
+	}
+	if sc.Duration <= 0 {
+		return Result{}, fmt.Errorf("runner: scenario needs a positive duration")
+	}
+	if sc.Radio.Range <= 0 {
+		sc.Radio = radio.DefaultConfig()
+	}
+	if sc.MAC.Slot <= 0 {
+		sc.MAC = mac.DefaultConfig()
+	}
+
+	eng := sim.New(sc.Seed)
+	model := buildMobility(sc)
+	if sc.Mobility == MobGrid || sc.Mobility == MobUniform {
+		sc.Radio.PosUpdate = 0 // static: skip position refresh events
+	}
+	medium := radio.New(eng, model, sc.N, sc.Radio)
+	defer medium.Close()
+
+	scheme, err := buildScheme(sc)
+	if err != nil {
+		return Result{}, err
+	}
+
+	collector := metrics.NewCollector()
+	var tracer *trace.Writer
+	if sc.Trace != nil {
+		tracer = trace.NewWriter(sc.Trace)
+	}
+	medium.OnTransmit = func(from wire.NodeID, pkt *wire.Packet) {
+		collector.OnTransmit(pkt)
+		if tracer != nil {
+			tracer.Emit(trace.Event{
+				T: trace.At(eng.Now()), Node: from, Type: trace.TypeTx,
+				Kind: pkt.Kind.String(), Msg: pkt.ID().String(),
+			})
+		}
+	}
+
+	behaviors := assignAdversaries(sc, eng, medium)
+	correct := make([]bool, sc.N)
+	for i := range correct {
+		_, isAdv := behaviors[wire.NodeID(i)]
+		correct[i] = !isAdv
+	}
+	numCorrect := 0
+	for _, c := range correct {
+		if c {
+			numCorrect++
+		}
+	}
+
+	protos := make([]broadcaster, sc.N)
+	macs := make([]*mac.MAC, sc.N)
+	clock := env.SimClock{Eng: eng}
+
+	var fpOverlays [][]int
+	if sc.Protocol == ProtoFPlusOne {
+		// Overlays are built from solid links only (inside the fringe-free
+		// radius): a CDS whose edges sit in the lossy fringe is connected
+		// on paper but black-holes in practice.
+		solid := sc.Radio.Range * sc.Radio.FringeStart
+		if solid <= 0 {
+			solid = sc.Radio.Range
+		}
+		fpOverlays = baseline.DisjointOverlays(adjacency(medium, sc.N, solid), sc.F)
+	}
+
+	for i := 0; i < sc.N; i++ {
+		id := wire.NodeID(i)
+		macs[i] = mac.New(eng, medium, id, eng.SubRand(uint64(i)), sc.MAC)
+		behavior := behaviorFor(behaviors, id)
+		m := macs[i]
+		send := func(pkt *wire.Packet) {
+			if out := behavior.FilterSend(pkt); out != nil {
+				m.Send(out)
+			}
+		}
+		deps := core.Deps{
+			ID:     id,
+			Clock:  clock,
+			Send:   send,
+			Scheme: scheme,
+			Rand:   eng.SubRand(uint64(i) + 1<<32),
+		}
+		if correct[i] {
+			deps.Deliver = func(origin wire.NodeID, mid wire.MsgID, payload []byte) {
+				collector.OnAccept(id, mid, eng.Now())
+				if tracer != nil {
+					tracer.Emit(trace.Event{
+						T: trace.At(eng.Now()), Node: id, Type: trace.TypeAccept,
+						Msg: mid.String(),
+					})
+				}
+			}
+		}
+		if tracer != nil {
+			deps.OnRoleChange = func(role overlay.Role) {
+				tracer.Emit(trace.Event{
+					T: trace.At(eng.Now()), Node: id, Type: trace.TypeRole,
+					Detail: role.String(),
+				})
+			}
+		}
+		switch sc.Protocol {
+		case ProtoFlooding:
+			protos[i] = baseline.NewFlooding(deps, sc.Core.ForwardJitter)
+		case ProtoFPlusOne:
+			var memberOf []int
+			for c, members := range fpOverlays {
+				for _, v := range members {
+					if v == i {
+						memberOf = append(memberOf, c)
+					}
+				}
+			}
+			protos[i] = baseline.NewFPlusOne(deps, sc.F, memberOf, sc.Core.ForwardJitter)
+		default:
+			protos[i] = core.New(sc.Core, deps)
+		}
+		p := protos[i]
+		medium.Attach(id, func(pkt *wire.Packet) {
+			behavior.OnReceive(pkt)
+			p.HandlePacket(pkt)
+		})
+		if _, isAdv := behaviors[id]; isAdv {
+			b := behavior
+			eng.Every(byzantine.TickInterval, func() { b.Tick(m.Send) })
+		}
+	}
+
+	scheduleWorkload(sc, eng, protos, correct, collector, tracer)
+
+	eng.Run(sc.Duration)
+
+	if debugInspect != nil {
+		cores := make([]*core.Protocol, sc.N)
+		for i := range protos {
+			cores[i], _ = protos[i].(*core.Protocol)
+		}
+		debugInspect(cores)
+	}
+
+	res := Result{Phys: medium.Stats()}
+	res.Results = collector.Summarize(sc.Protocol.String(), sc.N, func(origin wire.NodeID) int {
+		if correct[origin] {
+			return numCorrect - 1
+		}
+		return numCorrect
+	})
+	res.Results.BytesOnAir = medium.Stats().BytesOnAir
+	res.Results.Collisions = medium.Stats().Collisions
+	if sc.LatencyBucket > 0 {
+		res.Timeline = collector.Timeline(sc.LatencyBucket)
+	}
+	if sc.SnapshotSVG != "" {
+		if err := writeSnapshot(sc, medium, protos, behaviors); err != nil {
+			return res, fmt.Errorf("runner: snapshot: %w", err)
+		}
+	}
+
+	for i := 0; i < sc.N; i++ {
+		st := protos[i].Stats()
+		res.Node.Accepted += st.Accepted
+		res.Node.Duplicates += st.Duplicates
+		res.Node.BadSignatures += st.BadSignatures
+		res.Node.Forwarded += st.Forwarded
+		res.Node.GossipsSent += st.GossipsSent
+		res.Node.RequestsSent += st.RequestsSent
+		res.Node.FindsSent += st.FindsSent
+		res.Node.RecoveredByData += st.RecoveredByData
+		if cp, ok := protos[i].(*core.Protocol); ok {
+			if cp.InOverlay() {
+				res.Results.OverlaySize++
+			}
+			if correct[i] && distrustsAnAdversary(cp, behaviors) {
+				res.AdversariesDetected++
+			}
+		}
+		protos[i].Stop()
+		macs[i].Stop()
+	}
+	if sc.Protocol == ProtoFPlusOne {
+		for _, ov := range fpOverlays {
+			res.Results.OverlaySize += len(ov)
+		}
+	}
+	return res, nil
+}
+
+func distrustsAnAdversary(p *core.Protocol, behaviors map[wire.NodeID]byzantine.Behavior) bool {
+	for advID := range behaviors {
+		if p.Trust().Level(advID) != fd.Trusted {
+			return true
+		}
+	}
+	return false
+}
+
+func buildMobility(sc Scenario) mobility.Model {
+	switch sc.Mobility {
+	case MobUniform:
+		return mobility.NewUniformStatic(sc.Area, sc.N, sc.Seed)
+	case MobWaypoint:
+		minSpeed := sc.Speed / 2
+		if minSpeed <= 0 {
+			minSpeed = 0.5
+		}
+		return mobility.NewRandomWaypoint(sc.Area, sc.N, minSpeed, sc.Speed, sc.Pause, sc.Seed)
+	case MobWalk:
+		return mobility.NewRandomWalk(sc.Area, sc.N, sc.Speed, 2*time.Second, sc.Seed)
+	case MobFerry:
+		speed := sc.Speed
+		if speed <= 0 {
+			speed = 30
+		}
+		return mobility.NewFerry(sc.Area, (sc.N-1)/2, speed, sc.Seed)
+	case MobGaussMarkov:
+		return mobility.NewGaussMarkov(sc.Area, sc.N, 0.85, sc.Speed, sc.Speed/3, time.Second, sc.Seed)
+	default:
+		return mobility.NewGridStatic(sc.Area, sc.N, 0.35, sc.Seed)
+	}
+}
+
+func buildScheme(sc Scenario) (sig.Scheme, error) {
+	if sc.UseEd25519 {
+		return sig.NewEd25519(sc.N, sc.Seed)
+	}
+	return sig.NewHMAC(sc.N, sc.Seed), nil
+}
+
+// assignAdversaries spreads the configured behaviours across the id space,
+// starting from the top id and stepping so adversaries land in distinct
+// regions of the (id-ordered) placement.
+func assignAdversaries(sc Scenario, eng *sim.Engine, medium *radio.Medium) map[wire.NodeID]byzantine.Behavior {
+	out := make(map[wire.NodeID]byzantine.Behavior)
+	total := 0
+	for _, a := range sc.Adversaries {
+		total += a.Count
+	}
+	if total == 0 {
+		return out
+	}
+	var order []wire.NodeID
+	if sc.Placement == PlaceDominators {
+		order = greedyMIS(medium, sc.N)
+	}
+	step := sc.N / total
+	if step < 1 {
+		step = 1
+	}
+	next := sc.N - 1
+	mi := 0
+	pick := func() wire.NodeID {
+		// Prefer would-be dominators (descending id), then spread.
+		for mi < len(order) {
+			id := order[mi]
+			mi++
+			if _, taken := out[id]; !taken {
+				return id
+			}
+		}
+		for next >= 0 {
+			id := wire.NodeID(next)
+			next -= step
+			if _, taken := out[id]; !taken {
+				return id
+			}
+		}
+		// Wrap around for dense adversary counts.
+		for i := sc.N - 1; i >= 0; i-- {
+			if _, taken := out[wire.NodeID(i)]; !taken {
+				return wire.NodeID(i)
+			}
+		}
+		return wire.NoNode
+	}
+	for _, a := range sc.Adversaries {
+		for k := 0; k < a.Count; k++ {
+			id := pick()
+			if id == wire.NoNode {
+				break
+			}
+			switch a.Kind {
+			case AdvMuteSilent:
+				out[id] = &byzantine.Mute{Self: id, DropGossip: true}
+			case AdvVerbose:
+				out[id] = &byzantine.Verbose{Self: id, Rng: eng.SubRand(uint64(id) + 2<<32), PerTick: 4}
+			case AdvTamper:
+				out[id] = &byzantine.Tamper{Self: id}
+			case AdvSelective:
+				out[id] = &byzantine.SelectiveDrop{Self: id, Rng: eng.SubRand(uint64(id) + 2<<32), DropProb: 0.5}
+			default:
+				out[id] = &byzantine.Mute{Self: id}
+			}
+		}
+	}
+	return out
+}
+
+func behaviorFor(m map[wire.NodeID]byzantine.Behavior, id wire.NodeID) byzantine.Behavior {
+	if b, ok := m[id]; ok {
+		return b
+	}
+	return byzantine.Correct{}
+}
+
+// writeSnapshot renders the end-of-run topology to the configured SVG path.
+func writeSnapshot(sc Scenario, medium *radio.Medium, protos []broadcaster, behaviors map[wire.NodeID]byzantine.Behavior) error {
+	snap := viz.Snapshot{
+		Area:  sc.Area,
+		Range: sc.Radio.Range,
+	}
+	for i := 0; i < sc.N; i++ {
+		id := wire.NodeID(i)
+		node := viz.Node{ID: id, Pos: medium.Pos(id), Role: overlay.Passive}
+		if cp, ok := protos[i].(*core.Protocol); ok {
+			node.Role = cp.Role()
+		}
+		_, node.Adversary = behaviors[id]
+		snap.Nodes = append(snap.Nodes, node)
+		for _, j := range medium.Neighbors(id) {
+			if j > id {
+				snap.Links = append(snap.Links, [2]wire.NodeID{id, j})
+			}
+		}
+	}
+	f, err := os.Create(sc.SnapshotSVG)
+	if err != nil {
+		return err
+	}
+	if err := viz.Render(f, snap); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// greedyMIS computes the maximal independent set the ID-based election
+// converges to on the initial ground-truth topology, highest ids first.
+func greedyMIS(medium *radio.Medium, n int) []wire.NodeID {
+	inMIS := make(map[wire.NodeID]bool, n)
+	var out []wire.NodeID
+	for i := n - 1; i >= 0; i-- {
+		id := wire.NodeID(i)
+		blocked := false
+		for _, nb := range medium.Neighbors(id) {
+			if nb > id && inMIS[nb] {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			inMIS[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// adjacency snapshots ground-truth connectivity up to the given link length
+// (used by the f+1 baseline's setup-time overlay construction).
+func adjacency(medium *radio.Medium, n int, maxDist float64) [][]bool {
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		pi := medium.Pos(wire.NodeID(i))
+		for _, j := range medium.Neighbors(wire.NodeID(i)) {
+			if pi.Dist(medium.Pos(j)) <= maxDist {
+				adj[i][j] = true
+				adj[j][i] = true
+			}
+		}
+	}
+	return adj
+}
+
+// scheduleWorkload injects messages per the scenario's workload description.
+func scheduleWorkload(sc Scenario, eng *sim.Engine, protos []broadcaster, correct []bool, collector *metrics.Collector, tracer *trace.Writer) {
+	w := sc.Workload
+	if w.Rate <= 0 || w.Senders <= 0 {
+		return
+	}
+	var senders []int
+	for i := 0; i < len(protos) && len(senders) < w.Senders; i++ {
+		if correct[i] {
+			senders = append(senders, i)
+		}
+	}
+	if len(senders) == 0 {
+		return
+	}
+	interval := time.Duration(float64(time.Second) / w.Rate)
+	payload := make([]byte, w.PayloadSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	rng := eng.SubRand(0xb0ad)
+	k := 0
+	for at := w.Start; at < w.End; {
+		sender := senders[k%len(senders)]
+		k++
+		eng.At(at, func() {
+			id := protos[sender].Broadcast(payload)
+			collector.OnInject(id, wire.NodeID(sender), eng.Now())
+			if tracer != nil {
+				tracer.Emit(trace.Event{
+					T: trace.At(eng.Now()), Node: wire.NodeID(sender),
+					Type: trace.TypeInject, Msg: id.String(),
+				})
+			}
+		})
+		if w.Poisson {
+			at += time.Duration(rng.ExpFloat64() * float64(interval))
+		} else {
+			at += interval
+		}
+	}
+}
+
+// RunInspect is Run with a post-run inspection hook over the core protocol
+// instances (nil entries for baseline protocols); used by tests and the
+// experiment harness to sample internal state before teardown.
+func RunInspect(sc Scenario, inspect func(protos []*core.Protocol)) (Result, error) {
+	debugInspect = inspect
+	defer func() { debugInspect = nil }()
+	return Run(sc)
+}
+
+var debugInspect func(protos []*core.Protocol)

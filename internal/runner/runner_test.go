@@ -1,0 +1,319 @@
+package runner
+
+import (
+	"testing"
+	"time"
+
+	"bbcast/internal/core"
+	"bbcast/internal/fd"
+	"bbcast/internal/wire"
+)
+
+// quickScenario is a small, fast base used by most tests.
+func quickScenario() Scenario {
+	sc := DefaultScenario()
+	sc.N = 50
+	sc.Workload.End = 45 * time.Second
+	sc.Duration = 55 * time.Second
+	return sc
+}
+
+func TestFailureFreeDelivery(t *testing.T) {
+	for _, proto := range []Protocol{ProtoByzCast, ProtoFlooding, ProtoFPlusOne} {
+		sc := quickScenario()
+		sc.Protocol = proto
+		res, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		min := 0.90
+		if proto == ProtoByzCast {
+			min = 0.99 // gossip recovery should make it near-perfect
+		}
+		if res.DeliveryRatio < min {
+			t.Errorf("%v delivery = %.3f, want ≥ %.2f", proto, res.DeliveryRatio, min)
+		}
+		if res.Injected == 0 {
+			t.Errorf("%v injected no messages", proto)
+		}
+	}
+}
+
+func TestByzCastFewerDataTransmissionsThanFlooding(t *testing.T) {
+	// The overlay's whole point (§1): fewer data transmissions than
+	// flooding's one-per-node.
+	base := quickScenario()
+	byz, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := base
+	fl.Protocol = ProtoFlooding
+	flood, err := Run(fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byzData := float64(byz.TxByKind[wire.KindData]) / float64(byz.Injected)
+	floodData := float64(flood.TxByKind[wire.KindData]) / float64(flood.Injected)
+	if byzData >= floodData {
+		t.Errorf("byzcast data tx/msg = %.1f not below flooding's %.1f", byzData, floodData)
+	}
+}
+
+func TestOverlaySubstantiallySmallerThanNetwork(t *testing.T) {
+	sc := quickScenario()
+	sc.N = 100
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OverlaySize == 0 || res.OverlaySize >= sc.N*3/4 {
+		t.Errorf("overlay = %d of %d nodes", res.OverlaySize, sc.N)
+	}
+}
+
+func TestMuteAdversariesDoNotStopDissemination(t *testing.T) {
+	// The paper's headline property: even with Byzantine overlay nodes
+	// black-holing traffic, gossip + recovery delivers everywhere
+	// (eventual dissemination).
+	sc := quickScenario()
+	sc.Adversaries = []Adversaries{{Kind: AdvMute, Count: 10}}
+	sc.Placement = PlaceDominators
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveryRatio < 0.97 {
+		t.Errorf("delivery under 20%% mute dominators = %.3f", res.DeliveryRatio)
+	}
+	if res.AdversariesDetected == 0 {
+		t.Error("no correct node detected any mute adversary")
+	}
+}
+
+func TestFDsReduceLatencyUnderMuteFailures(t *testing.T) {
+	// With the detectors on, mute overlay nodes are evicted and traffic
+	// returns to the overlay fast path; without them every affected message
+	// pays the gossip-recovery latency (§4's mute-failure experiments).
+	run := func(fds bool) Result {
+		sc := quickScenario()
+		sc.Adversaries = []Adversaries{{Kind: AdvMute, Count: 10}}
+		sc.Placement = PlaceDominators
+		sc.Core.EnableFDs = fds
+		sc.Workload.End = 75 * time.Second
+		sc.Duration = 90 * time.Second
+		res, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	with := run(true)
+	without := run(false)
+	if with.DeliveryRatio < 0.97 || without.DeliveryRatio < 0.97 {
+		t.Fatalf("delivery dropped: with=%.3f without=%.3f", with.DeliveryRatio, without.DeliveryRatio)
+	}
+	if with.LatMean >= without.LatMean {
+		t.Errorf("FDs did not reduce mean latency: with=%v without=%v", with.LatMean, without.LatMean)
+	}
+}
+
+func TestTamperAdversaryDetected(t *testing.T) {
+	sc := quickScenario()
+	sc.Adversaries = []Adversaries{{Kind: AdvTamper, Count: 5}}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveryRatio < 0.99 {
+		t.Errorf("delivery under tamperers = %.3f", res.DeliveryRatio)
+	}
+	if res.Node.BadSignatures == 0 {
+		t.Error("no tampered frame was caught by signature verification")
+	}
+	if res.AdversariesDetected == 0 {
+		t.Error("no tamperer was distrusted")
+	}
+}
+
+func TestVerboseAdversaryIndicted(t *testing.T) {
+	sc := quickScenario()
+	sc.Adversaries = []Adversaries{{Kind: AdvVerbose, Count: 3}}
+	res, err := RunInspect(sc, func(protos []*core.Protocol) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveryRatio < 0.98 {
+		t.Errorf("delivery under verbose spam = %.3f", res.DeliveryRatio)
+	}
+	if res.AdversariesDetected == 0 {
+		t.Error("no verbose spammer was distrusted")
+	}
+}
+
+func TestSelectiveDropRecovered(t *testing.T) {
+	sc := quickScenario()
+	sc.Adversaries = []Adversaries{{Kind: AdvSelective, Count: 10}}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveryRatio < 0.98 {
+		t.Errorf("delivery under selective droppers = %.3f", res.DeliveryRatio)
+	}
+}
+
+func TestFPlusOneCostScalesWithF(t *testing.T) {
+	// §1: the f+1 approach pays (f+1)× even when failure-free.
+	var prev float64
+	for f := 0; f <= 2; f++ {
+		sc := quickScenario()
+		sc.Protocol = ProtoFPlusOne
+		sc.F = f
+		res, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perMsg := float64(res.TotalTx) / float64(res.Injected)
+		if f > 0 && perMsg <= prev {
+			t.Errorf("f=%d cost %.1f not above f=%d cost %.1f", f, perMsg, f-1, prev)
+		}
+		prev = perMsg
+	}
+}
+
+func TestMobilityMaintainsDelivery(t *testing.T) {
+	sc := quickScenario()
+	sc.Mobility = MobWaypoint
+	sc.Speed = 5
+	sc.Pause = 2 * time.Second
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveryRatio < 0.95 {
+		t.Errorf("delivery at 5 m/s waypoint = %.3f", res.DeliveryRatio)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	sc := quickScenario()
+	sc.N = 30
+	sc.Workload.End = 30 * time.Second
+	sc.Duration = 40 * time.Second
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalTx != b.TotalTx || a.DeliveryRatio != b.DeliveryRatio ||
+		a.LatMean != b.LatMean || a.Collisions != b.Collisions {
+		t.Errorf("same seed produced different results:\n a=%s\n b=%s", a.Results, b.Results)
+	}
+	sc.Seed = 2
+	c, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalTx == c.TotalTx && a.LatMean == c.LatMean {
+		t.Error("different seeds produced identical results (suspicious)")
+	}
+}
+
+func TestEd25519SchemeEndToEnd(t *testing.T) {
+	sc := quickScenario()
+	sc.N = 25
+	sc.UseEd25519 = true
+	sc.Workload.End = 30 * time.Second
+	sc.Duration = 40 * time.Second
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveryRatio < 0.90 {
+		t.Errorf("ed25519 delivery = %.3f", res.DeliveryRatio)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	sc := DefaultScenario()
+	sc.N = 0
+	if _, err := Run(sc); err == nil {
+		t.Error("N=0 accepted")
+	}
+	sc = DefaultScenario()
+	sc.Duration = 0
+	if _, err := Run(sc); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestProtocolStrings(t *testing.T) {
+	if ProtoByzCast.String() != "byzcast" || ProtoFlooding.String() != "flooding" ||
+		ProtoFPlusOne.String() != "f+1" || Protocol(99).String() != "proto(?)" {
+		t.Error("Protocol.String broken")
+	}
+}
+
+func TestCorrectnessUnderAllAdversaryMix(t *testing.T) {
+	// Validity under a mixed attack: every accepted payload must have been
+	// genuinely originated (checked implicitly by delivery accounting — a
+	// tampered payload would fail signature checks and never be counted).
+	sc := quickScenario()
+	sc.Adversaries = []Adversaries{
+		{Kind: AdvMute, Count: 4},
+		{Kind: AdvTamper, Count: 3},
+		{Kind: AdvVerbose, Count: 2},
+	}
+	sc.Workload.End = 60 * time.Second
+	sc.Duration = 85 * time.Second
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveryRatio < 0.97 {
+		t.Errorf("delivery under mixed adversaries = %.3f", res.DeliveryRatio)
+	}
+}
+
+func TestEventualDisseminationSparseNetwork(t *testing.T) {
+	// Sparse connectivity stresses the recovery path; the protocol should
+	// still beat flooding's delivery (flooding has no recovery).
+	byz := quickScenario()
+	byz.N = 25
+	byzRes, err := Run(byz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := byz
+	fl.Protocol = ProtoFlooding
+	flRes, err := Run(fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byzRes.DeliveryRatio < flRes.DeliveryRatio {
+		t.Errorf("sparse: byzcast %.3f below flooding %.3f", byzRes.DeliveryRatio, flRes.DeliveryRatio)
+	}
+}
+
+func TestInspectHookSeesProtocols(t *testing.T) {
+	sc := quickScenario()
+	sc.N = 10
+	sc.Workload.End = 20 * time.Second
+	sc.Duration = 25 * time.Second
+	var seen int
+	var trusted bool
+	_, err := RunInspect(sc, func(protos []*core.Protocol) {
+		seen = len(protos)
+		trusted = protos[0].Trust().Level(wire.NodeID(1)) == fd.Trusted
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 10 || !trusted {
+		t.Errorf("inspect hook saw %d protocols (trusted=%v)", seen, trusted)
+	}
+}

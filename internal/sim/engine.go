@@ -1,0 +1,206 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a virtual clock and an ordered queue of events.
+// Events scheduled for the same instant fire in scheduling order, which makes
+// runs fully reproducible for a fixed seed. The kernel is single-threaded:
+// all callbacks run on the goroutine that calls Run or Step.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Engine is a discrete-event scheduler with a virtual clock.
+// The zero value is not usable; construct with New.
+type Engine struct {
+	now       time.Duration
+	queue     eventQueue
+	seq       uint64
+	rng       *rand.Rand
+	seed      int64
+	processed uint64
+}
+
+// New returns an Engine whose clock starts at zero and whose random stream is
+// derived from seed. Two engines built with the same seed and fed the same
+// schedule of events produce identical runs.
+func New(seed int64) *Engine {
+	return &Engine{
+		rng:  rand.New(rand.NewSource(seed)),
+		seed: seed,
+	}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Seed reports the seed the engine was built with.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// Processed reports how many events have fired so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Rand returns the engine's random stream. Protocol code must draw all
+// randomness from here (or from SubRand) to keep runs reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// SubRand derives an independent, deterministic random stream for the given
+// identifier (typically a node ID). Streams for distinct ids are decorrelated
+// but fully determined by the engine seed.
+func (e *Engine) SubRand(id uint64) *rand.Rand {
+	// SplitMix64 finalizer decorrelates nearby ids.
+	z := uint64(e.seed) ^ (id + 0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return rand.New(rand.NewSource(int64(z)))
+}
+
+// Timer is a handle to a scheduled event. A Timer may be stopped before it
+// fires; stopping an already-fired or already-stopped timer is a no-op.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the event was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// Pending reports whether the timer has neither fired nor been stopped.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.cancelled && !t.ev.fired
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (or present) runs the event at the current time, after already-queued
+// events for that time.
+func (e *Engine) At(t time.Duration, fn func()) *Timer {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d from now. Negative d behaves like zero.
+func (e *Engine) After(d time.Duration, fn func()) *Timer {
+	return e.At(e.now+d, fn)
+}
+
+// Every schedules fn to run every period, starting one period from now,
+// until the returned Timer chain is stopped via the returned stop function.
+func (e *Engine) Every(period time.Duration, fn func()) (stop func()) {
+	stopped := false
+	var schedule func()
+	var cur *Timer
+	schedule = func() {
+		cur = e.After(period, func() {
+			if stopped {
+				return
+			}
+			fn()
+			if !stopped {
+				schedule()
+			}
+		})
+	}
+	schedule()
+	return func() {
+		stopped = true
+		cur.Stop()
+	}
+}
+
+// Step fires the earliest pending event. It reports false when the queue is
+// empty.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev, _ := heap.Pop(&e.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fired = true
+		e.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until the queue is exhausted or the clock would pass
+// until. The clock is left at min(until, time of last fired event); events
+// scheduled beyond until remain queued. It returns the number of events fired.
+func (e *Engine) Run(until time.Duration) uint64 {
+	var fired uint64
+	for e.queue.Len() > 0 {
+		next := e.queue[0]
+		if next.cancelled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > until {
+			break
+		}
+		e.Step()
+		fired++
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return fired
+}
+
+// RunAll processes events until the queue is exhausted. Use with care: a
+// self-rescheduling event makes this loop forever.
+func (e *Engine) RunAll() uint64 {
+	var fired uint64
+	for e.Step() {
+		fired++
+	}
+	return fired
+}
+
+type event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) {
+	ev, _ := x.(*event)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

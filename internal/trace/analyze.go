@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// MessageStats summarizes one message's propagation through a trace.
+type MessageStats struct {
+	Msg      string
+	Injected time.Duration
+	Accepts  int
+	// TimeTo50 and TimeTo95 are the delays until half / 95% of the final
+	// acceptance count was reached.
+	TimeTo50 time.Duration
+	TimeTo95 time.Duration
+	// Last is the delay of the final acceptance.
+	Last time.Duration
+}
+
+// Analysis is the digest of a whole trace.
+type Analysis struct {
+	Events   int
+	TxByKind map[string]int
+	Messages []MessageStats
+	// RoleChanges counts committed role transitions per node id.
+	RoleChanges map[string]int
+}
+
+// Analyze reads a JSONL trace and digests it. Unparseable lines are counted
+// but otherwise skipped.
+func Analyze(r io.Reader) (Analysis, error) {
+	a := Analysis{
+		TxByKind:    make(map[string]int),
+		RoleChanges: make(map[string]int),
+	}
+	injected := map[string]time.Duration{}
+	accepts := map[string][]time.Duration{}
+
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			continue
+		}
+		a.Events++
+		switch ev.Type {
+		case TypeTx:
+			a.TxByKind[ev.Kind]++
+		case TypeInject:
+			injected[ev.Msg] = time.Duration(ev.T)
+		case TypeAccept:
+			accepts[ev.Msg] = append(accepts[ev.Msg], time.Duration(ev.T))
+		case TypeRole:
+			a.RoleChanges[fmt.Sprintf("%d", ev.Node)]++
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return a, fmt.Errorf("trace: scan: %w", err)
+	}
+
+	msgs := make([]string, 0, len(injected))
+	for m := range injected {
+		msgs = append(msgs, m)
+	}
+	sort.Strings(msgs)
+	for _, m := range msgs {
+		at := injected[m]
+		times := accepts[m]
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		st := MessageStats{Msg: m, Injected: at, Accepts: len(times)}
+		if len(times) > 0 {
+			st.TimeTo50 = times[(len(times)-1)/2] - at
+			st.TimeTo95 = times[(len(times)-1)*95/100] - at
+			st.Last = times[len(times)-1] - at
+		}
+		a.Messages = append(a.Messages, st)
+	}
+	return a, nil
+}
+
+// Summary renders the analysis as text.
+func (a Analysis) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events: %d\n", a.Events)
+	kinds := make([]string, 0, len(a.TxByKind))
+	for k := range a.TxByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	b.WriteString("transmissions:")
+	for _, k := range kinds {
+		fmt.Fprintf(&b, " %s=%d", k, a.TxByKind[k])
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "messages: %d\n", len(a.Messages))
+	if len(a.Messages) > 0 {
+		fmt.Fprintf(&b, "%-10s %-10s %-8s %-12s %-12s %-12s\n",
+			"msg", "inject", "accepts", "t50", "t95", "last")
+		for _, m := range a.Messages {
+			fmt.Fprintf(&b, "%-10s %-10s %-8d %-12s %-12s %-12s\n",
+				m.Msg, m.Injected.Round(time.Millisecond), m.Accepts,
+				m.TimeTo50.Round(time.Millisecond), m.TimeTo95.Round(time.Millisecond),
+				m.Last.Round(time.Millisecond))
+		}
+	}
+	churn := 0
+	for _, c := range a.RoleChanges {
+		churn += c
+	}
+	fmt.Fprintf(&b, "role changes: %d across %d nodes\n", churn, len(a.RoleChanges))
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleTrace(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	w := NewWriter(&b)
+	w.Emit(Event{T: At(time.Second), Node: 0, Type: TypeInject, Msg: "0/1"})
+	w.Emit(Event{T: At(time.Second), Node: 0, Type: TypeTx, Kind: "data", Msg: "0/1"})
+	w.Emit(Event{T: At(1100 * time.Millisecond), Node: 1, Type: TypeAccept, Msg: "0/1"})
+	w.Emit(Event{T: At(1200 * time.Millisecond), Node: 2, Type: TypeAccept, Msg: "0/1"})
+	w.Emit(Event{T: At(1900 * time.Millisecond), Node: 3, Type: TypeAccept, Msg: "0/1"})
+	w.Emit(Event{T: At(2 * time.Second), Node: 5, Type: TypeRole, Detail: "dominator"})
+	w.Emit(Event{T: At(3 * time.Second), Node: 5, Type: TypeRole, Detail: "passive"})
+	w.Emit(Event{T: At(4 * time.Second), Node: 1, Type: TypeTx, Kind: "gossip"})
+	return b.String()
+}
+
+func TestAnalyzeCounts(t *testing.T) {
+	a, err := Analyze(strings.NewReader(sampleTrace(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != 8 {
+		t.Fatalf("events = %d", a.Events)
+	}
+	if a.TxByKind["data"] != 1 || a.TxByKind["gossip"] != 1 {
+		t.Fatalf("tx = %v", a.TxByKind)
+	}
+	if len(a.Messages) != 1 {
+		t.Fatalf("messages = %d", len(a.Messages))
+	}
+	m := a.Messages[0]
+	if m.Msg != "0/1" || m.Accepts != 3 {
+		t.Fatalf("message = %+v", m)
+	}
+	if m.TimeTo50 != 200*time.Millisecond {
+		t.Fatalf("t50 = %v", m.TimeTo50)
+	}
+	if m.Last != 900*time.Millisecond {
+		t.Fatalf("last = %v", m.Last)
+	}
+	if a.RoleChanges["5"] != 2 {
+		t.Fatalf("role changes = %v", a.RoleChanges)
+	}
+}
+
+func TestAnalyzeSkipsGarbageLines(t *testing.T) {
+	in := sampleTrace(t) + "not json\n{\"broken\n"
+	a, err := Analyze(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != 8 {
+		t.Fatalf("garbage lines counted as events: %d", a.Events)
+	}
+}
+
+func TestSummaryRenders(t *testing.T) {
+	a, err := Analyze(strings.NewReader(sampleTrace(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := a.Summary()
+	for _, want := range []string{"events: 8", "data=1", "messages: 1", "0/1", "role changes: 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a, err := Analyze(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != 0 || len(a.Messages) != 0 {
+		t.Fatalf("empty trace produced %+v", a)
+	}
+	if !strings.Contains(a.Summary(), "events: 0") {
+		t.Fatal("empty summary broken")
+	}
+}

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"bbcast/internal/wire"
+)
+
+func TestWriterEmitsJSONLines(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b)
+	w.Emit(Event{T: At(time.Second), Node: 3, Type: TypeTx, Kind: "data", Msg: "1/2"})
+	w.Emit(Event{T: At(2 * time.Second), Node: 4, Type: TypeAccept, Msg: "1/2"})
+	if w.Count() != 2 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	scanner := bufio.NewScanner(strings.NewReader(b.String()))
+	var events []Event
+	for scanner.Scan() {
+		var ev Event
+		if err := json.Unmarshal(scanner.Bytes(), &ev); err != nil {
+			t.Fatalf("line not JSON: %v", err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 2 {
+		t.Fatalf("parsed %d events", len(events))
+	}
+	if events[0].Type != TypeTx || events[0].Node != 3 || events[0].Kind != "data" {
+		t.Fatalf("event 0 = %+v", events[0])
+	}
+	if events[1].T != int64(2*time.Second) {
+		t.Fatalf("event 1 timestamp = %d", events[1].T)
+	}
+}
+
+func TestNilWriterSafe(t *testing.T) {
+	var w *Writer
+	w.Emit(Event{Node: wire.NodeID(1)}) // must not panic
+}
+
+func TestOmitEmptyFields(t *testing.T) {
+	var b strings.Builder
+	NewWriter(&b).Emit(Event{T: 1, Node: 2, Type: TypeRole, Detail: "dominator"})
+	line := b.String()
+	if strings.Contains(line, `"kind"`) || strings.Contains(line, `"msg"`) {
+		t.Fatalf("empty fields not omitted: %s", line)
+	}
+	if !strings.Contains(line, `"detail":"dominator"`) {
+		t.Fatalf("detail missing: %s", line)
+	}
+}

@@ -1,0 +1,197 @@
+// Package transport runs the broadcast protocol over real UDP datagrams.
+//
+// A UDPNode emulates the radio's one-hop broadcast by sending each frame to
+// every peer in its broadcast domain (for a real ad-hoc deployment this
+// would be the 802.11 broadcast address; a peer list keeps the package
+// portable and testable on loopback). The protocol engine itself is the same
+// code the simulator runs: only the Clock and Send dependencies differ.
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"bbcast/internal/core"
+	"bbcast/internal/env"
+	"bbcast/internal/sig"
+	"bbcast/internal/wire"
+)
+
+// maxDatagram bounds receive buffers.
+const maxDatagram = 64 * 1024
+
+// UDPNode hosts one protocol instance over a UDP socket.
+type UDPNode struct {
+	id    wire.NodeID
+	conn  *net.UDPConn
+	proto *core.Protocol
+
+	mu    sync.Mutex // serializes all protocol access
+	peers []*net.UDPAddr
+
+	deliver func(origin wire.NodeID, id wire.MsgID, payload []byte)
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	done      chan struct{}
+}
+
+// lockedClock wraps a Clock so timer callbacks run under the node mutex,
+// because core.Protocol is not safe for concurrent use.
+type lockedClock struct {
+	inner env.Clock
+	mu    *sync.Mutex
+	node  *UDPNode
+}
+
+var _ env.Clock = lockedClock{}
+
+func (c lockedClock) Now() time.Duration { return c.inner.Now() }
+
+func (c lockedClock) After(d time.Duration, fn func()) func() {
+	return c.inner.After(d, func() {
+		select {
+		case <-c.node.closed:
+			return
+		default:
+		}
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		fn()
+	})
+}
+
+// NewUDPNode binds listen (e.g. "127.0.0.1:0") and starts the protocol.
+// Deliver, if non-nil, receives accepted messages; it is invoked with the
+// node's internal lock held and must not call back into the node.
+func NewUDPNode(cfg core.Config, id wire.NodeID, scheme sig.Scheme, listen string,
+	deliver func(origin wire.NodeID, msgID wire.MsgID, payload []byte)) (*UDPNode, error) {
+	addr, err := net.ResolveUDPAddr("udp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", listen, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", listen, err)
+	}
+	n := &UDPNode{
+		id:      id,
+		conn:    conn,
+		deliver: deliver,
+		closed:  make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	clock := lockedClock{inner: &env.RealClock{}, mu: &n.mu, node: n}
+	n.proto = core.New(cfg, core.Deps{
+		ID:     id,
+		Clock:  clock,
+		Send:   n.send,
+		Scheme: scheme,
+		Rand:   rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(id)<<32)),
+		Deliver: func(origin wire.NodeID, msgID wire.MsgID, payload []byte) {
+			if n.deliver != nil {
+				n.deliver(origin, msgID, payload)
+			}
+		},
+	})
+	go n.readLoop()
+	return n, nil
+}
+
+// Addr returns the bound UDP address.
+func (n *UDPNode) Addr() *net.UDPAddr {
+	addr, _ := n.conn.LocalAddr().(*net.UDPAddr)
+	return addr
+}
+
+// ID returns the node id.
+func (n *UDPNode) ID() wire.NodeID { return n.id }
+
+// SetPeers replaces the broadcast domain.
+func (n *UDPNode) SetPeers(addrs []string) error {
+	resolved := make([]*net.UDPAddr, 0, len(addrs))
+	for _, a := range addrs {
+		ua, err := net.ResolveUDPAddr("udp", a)
+		if err != nil {
+			return fmt.Errorf("transport: resolve peer %q: %w", a, err)
+		}
+		resolved = append(resolved, ua)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers = resolved
+	return nil
+}
+
+// Broadcast originates an application message.
+func (n *UDPNode) Broadcast(payload []byte) wire.MsgID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.proto.Broadcast(payload)
+}
+
+// InOverlay reports the node's current overlay membership.
+func (n *UDPNode) InOverlay() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.proto.InOverlay()
+}
+
+// Stats returns a snapshot of the protocol counters.
+func (n *UDPNode) Stats() core.Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.proto.Stats()
+}
+
+// send transmits one frame to every peer (the one-hop broadcast). Called
+// with the node lock held (all protocol entry points hold it).
+func (n *UDPNode) send(pkt *wire.Packet) {
+	buf := pkt.Marshal()
+	for _, peer := range n.peers {
+		// Best-effort datagrams: losses are the protocol's problem by
+		// design, so write errors are intentionally dropped.
+		_, _ = n.conn.WriteToUDP(buf, peer)
+	}
+}
+
+func (n *UDPNode) readLoop() {
+	defer close(n.done)
+	buf := make([]byte, maxDatagram)
+	for {
+		sz, _, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-n.closed:
+				return
+			default:
+			}
+			// Transient read errors: keep serving until closed.
+			continue
+		}
+		pkt, err := wire.Unmarshal(buf[:sz])
+		if err != nil {
+			continue // garbage datagram
+		}
+		n.mu.Lock()
+		n.proto.HandlePacket(pkt)
+		n.mu.Unlock()
+	}
+}
+
+// Close stops the node and waits for its read loop to exit.
+func (n *UDPNode) Close() error {
+	var err error
+	n.closeOnce.Do(func() {
+		close(n.closed)
+		n.mu.Lock()
+		n.proto.Stop()
+		n.mu.Unlock()
+		err = n.conn.Close()
+		<-n.done
+	})
+	return err
+}

@@ -1,0 +1,114 @@
+// Package viz renders a network snapshot — node positions, overlay roles,
+// adversaries and radio links — as a standalone SVG, for inspecting what a
+// scenario's overlay actually looks like.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"bbcast/internal/geo"
+	"bbcast/internal/overlay"
+	"bbcast/internal/wire"
+)
+
+// Node is one device in a snapshot.
+type Node struct {
+	ID        wire.NodeID
+	Pos       geo.Point
+	Role      overlay.Role
+	Adversary bool
+}
+
+// Snapshot is a render input.
+type Snapshot struct {
+	Area  geo.Rect
+	Range float64
+	Nodes []Node
+	// Links are undirected radio links (pairs of node ids).
+	Links [][2]wire.NodeID
+}
+
+// svg canvas size (px) for the longer area edge.
+const canvas = 800.0
+
+// Render writes the snapshot as an SVG document.
+func Render(w io.Writer, s Snapshot) error {
+	scale := canvas / s.Area.W
+	if s.Area.H > s.Area.W {
+		scale = canvas / s.Area.H
+	}
+	width := s.Area.W * scale
+	height := s.Area.H * scale
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width+40, height+40, width+40, height+40)
+	b.WriteString(`<rect width="100%" height="100%" fill="#fafafa"/>` + "\n")
+
+	pos := make(map[wire.NodeID]geo.Point, len(s.Nodes))
+	active := make(map[wire.NodeID]bool, len(s.Nodes))
+	for _, n := range s.Nodes {
+		pos[n.ID] = geo.Point{X: n.Pos.X*scale + 20, Y: n.Pos.Y*scale + 20}
+		active[n.ID] = n.Role.Active()
+	}
+
+	// Links: overlay-to-overlay links drawn stronger.
+	for _, l := range s.Links {
+		a, okA := pos[l[0]]
+		z, okB := pos[l[1]]
+		if !okA || !okB {
+			continue
+		}
+		stroke, width := "#d0d0d0", 0.6
+		if active[l[0]] && active[l[1]] {
+			stroke, width = "#4a7bd0", 1.8
+		}
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`+"\n",
+			a.X, a.Y, z.X, z.Y, stroke, width)
+	}
+
+	// One sample radio-range disk on the first node, for scale.
+	if len(s.Nodes) > 0 && s.Range > 0 {
+		p := pos[s.Nodes[0].ID]
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="none" stroke="#bbb" stroke-dasharray="4 4"/>`+"\n",
+			p.X, p.Y, s.Range*scale)
+	}
+
+	for _, n := range s.Nodes {
+		p := pos[n.ID]
+		fill, r := "#999999", 4.0 // passive
+		switch n.Role {
+		case overlay.Dominator:
+			fill, r = "#d04a4a", 7.0
+		case overlay.Bridge:
+			fill, r = "#d0924a", 5.5
+		}
+		stroke := "none"
+		if n.Adversary {
+			stroke = "#000000"
+		}
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" stroke="%s" stroke-width="2"/>`+"\n",
+			p.X, p.Y, r, fill, stroke)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="9" fill="#333" text-anchor="middle">%d</text>`+"\n",
+			p.X, p.Y-9, n.ID)
+	}
+
+	// Legend.
+	legend := []struct {
+		label, fill string
+	}{
+		{"dominator", "#d04a4a"},
+		{"bridge", "#d0924a"},
+		{"passive", "#999999"},
+	}
+	for i, item := range legend {
+		y := 18 + float64(i)*16
+		fmt.Fprintf(&b, `<circle cx="14" cy="%.1f" r="5" fill="%s"/><text x="24" y="%.1f" font-size="11" fill="#333">%s</text>`+"\n",
+			y, item.fill, y+4, item.label)
+	}
+	fmt.Fprintf(&b, `<text x="24" y="%.1f" font-size="11" fill="#333">black ring = Byzantine</text>`+"\n", 18+3*16+4.0)
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,91 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"bbcast/internal/geo"
+	"bbcast/internal/overlay"
+	"bbcast/internal/wire"
+)
+
+func sampleSnapshot() Snapshot {
+	return Snapshot{
+		Area:  geo.Rect{W: 1000, H: 500},
+		Range: 250,
+		Nodes: []Node{
+			{ID: 0, Pos: geo.Point{X: 100, Y: 100}, Role: overlay.Dominator},
+			{ID: 1, Pos: geo.Point{X: 300, Y: 100}, Role: overlay.Bridge},
+			{ID: 2, Pos: geo.Point{X: 500, Y: 100}, Role: overlay.Passive, Adversary: true},
+		},
+		Links: [][2]wire.NodeID{{0, 1}, {1, 2}},
+	}
+}
+
+func TestRenderProducesSVG(t *testing.T) {
+	var b strings.Builder
+	if err := Render(&b, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not a complete SVG document")
+	}
+	for _, want := range []string{
+		"#d04a4a", // dominator colour
+		"#d0924a", // bridge colour
+		"#999999", // passive colour
+		"#4a7bd0", // overlay link colour
+		"Byzantine",
+		"<line",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// The adversary carries the black ring.
+	if !strings.Contains(out, `stroke="#000000"`) {
+		t.Error("adversary ring missing")
+	}
+}
+
+func TestRenderCountsElements(t *testing.T) {
+	var b strings.Builder
+	if err := Render(&b, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if got := strings.Count(out, "<line"); got != 2 {
+		t.Errorf("lines = %d, want 2", got)
+	}
+	// 3 node circles + 1 range disk + 3 legend dots.
+	if got := strings.Count(out, "<circle"); got != 7 {
+		t.Errorf("circles = %d, want 7", got)
+	}
+	// 3 id labels + 3 legend labels + 1 byzantine note.
+	if got := strings.Count(out, "<text"); got != 7 {
+		t.Errorf("texts = %d, want 7", got)
+	}
+}
+
+func TestRenderEmptySnapshot(t *testing.T) {
+	var b strings.Builder
+	if err := Render(&b, Snapshot{Area: geo.Rect{W: 100, H: 100}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "<svg") {
+		t.Fatal("empty snapshot did not render")
+	}
+}
+
+func TestRenderTallArea(t *testing.T) {
+	s := sampleSnapshot()
+	s.Area = geo.Rect{W: 500, H: 1000} // taller than wide: scale by height
+	var b strings.Builder
+	if err := Render(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "<svg") {
+		t.Fatal("tall area did not render")
+	}
+}

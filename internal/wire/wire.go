@@ -1,0 +1,417 @@
+// Package wire defines the on-air message format of the broadcast protocol
+// and a compact hand-rolled binary codec for it.
+//
+// Every transmission is a Packet. A packet has a fixed header (kind,
+// link-layer sender, TTL, optional addressed target, and the identifier of
+// the data message it concerns) plus kind-specific content:
+//
+//   - Data: the application payload and the originator's signature.
+//   - Gossip: a batch of GossipEntry records (aggregation of several
+//     message advertisements into one packet, per §1 of the paper).
+//   - Request / FindMissing: the advertised header and its originator
+//     signature, proving the requested message exists.
+//   - OverlayState: the overlay-maintenance record, signed by its sender.
+//
+// Any packet may piggyback an OverlayState record, which is how maintenance
+// traffic rides on gossip packets (§3 "most overlay maintenance messages can
+// be piggybacked on gossip messages").
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a device. IDs are unforgeable in the model (backed by
+// signature keys).
+type NodeID uint32
+
+// NoNode is the sentinel "no target" value.
+const NoNode NodeID = 0xFFFFFFFF
+
+// Seq is a per-originator message sequence number.
+type Seq uint32
+
+// MsgID uniquely identifies an application message by originator and
+// sequence number.
+type MsgID struct {
+	Origin NodeID
+	Seq    Seq
+}
+
+// Less orders MsgIDs lexicographically (origin, then seq).
+func (m MsgID) Less(o MsgID) bool {
+	if m.Origin != o.Origin {
+		return m.Origin < o.Origin
+	}
+	return m.Seq < o.Seq
+}
+
+// String renders the id as "origin/seq".
+func (m MsgID) String() string { return fmt.Sprintf("%d/%d", m.Origin, m.Seq) }
+
+// Kind discriminates packet types.
+type Kind uint8
+
+// Packet kinds. Values are part of the wire format; do not reorder.
+const (
+	KindData         Kind = iota + 1 // application data + originator signature
+	KindGossip                       // aggregated message advertisements
+	KindRequest                      // REQUEST_MSG: ask for a missing message
+	KindFindMissing                  // FIND_MISSING_MSG: overlay-level search
+	KindOverlayState                 // overlay maintenance record
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindGossip:
+		return "gossip"
+	case KindRequest:
+		return "request"
+	case KindFindMissing:
+		return "find-missing"
+	case KindOverlayState:
+		return "overlay-state"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// NumKinds is the number of defined packet kinds (for metrics arrays).
+const NumKinds = 5
+
+// GossipEntry advertises that the gossiper holds message ID, carrying the
+// originator's signature over the message header as proof of existence.
+type GossipEntry struct {
+	ID  MsgID
+	Sig []byte
+}
+
+// OverlayState is the record a node publishes for overlay maintenance:
+// whether it considers itself active (in the overlay), who its neighbours
+// are, which of them it believes active, and whom it suspects. The paper's
+// second-hand suspicion rule (§3.3) consumes Suspects.
+type OverlayState struct {
+	Active bool
+	// Dominator distinguishes independent-set members from bridge nodes in
+	// the MIS+B maintainer (suppression flows only from dominators). CDS
+	// overlay nodes are all dominators.
+	Dominator       bool
+	Neighbors       []NodeID
+	ActiveNeighbors []NodeID
+	// DominatorNeighbors is the subset of Neighbors the sender believes to
+	// be dominators; bridge election connects dominator pairs.
+	DominatorNeighbors []NodeID
+	Suspects           []NodeID
+}
+
+// Packet is one radio transmission.
+type Packet struct {
+	Kind   Kind
+	Sender NodeID // link-layer sender of this hop
+	TTL    uint8
+	Target NodeID // addressed node, or NoNode
+	Origin NodeID // originator of the data message concerned (Data/Request/FindMissing)
+	Seq    Seq
+
+	Payload []byte // Data only
+	Sig     []byte // originator signature (over data or header bytes)
+
+	Gossip []GossipEntry // Gossip only
+
+	State    *OverlayState // OverlayState, or piggybacked on any kind
+	StateSig []byte        // sender's signature over the state record
+}
+
+// ID returns the message identifier the packet concerns.
+func (p *Packet) ID() MsgID { return MsgID{Origin: p.Origin, Seq: p.Seq} }
+
+// DataSigBytes returns the byte string an originator signs for a data
+// message: msg_id ‖ node_id ‖ msg (§3.2 line 1).
+func DataSigBytes(id MsgID, payload []byte) []byte {
+	b := make([]byte, 0, 8+len(payload))
+	b = binary.LittleEndian.AppendUint32(b, uint32(id.Origin))
+	b = binary.LittleEndian.AppendUint32(b, uint32(id.Seq))
+	return append(b, payload...)
+}
+
+// HeaderSigBytes returns the byte string an originator signs for a gossip
+// advertisement: msg_id ‖ node_id (§3.2 line 2).
+func HeaderSigBytes(id MsgID) []byte {
+	b := make([]byte, 0, 9)
+	b = binary.LittleEndian.AppendUint32(b, uint32(id.Origin))
+	b = binary.LittleEndian.AppendUint32(b, uint32(id.Seq))
+	return append(b, 'h') // domain separation from DataSigBytes of empty payload
+}
+
+// StateSigBytes returns the byte string a sender signs over its overlay
+// maintenance record ("overlay maintenance messages are signed as well").
+func StateSigBytes(sender NodeID, s *OverlayState) []byte {
+	b := make([]byte, 0, 20+4*(len(s.Neighbors)+len(s.ActiveNeighbors)+len(s.DominatorNeighbors)+len(s.Suspects)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(sender))
+	if s.Active {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	if s.Dominator {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	for _, set := range [][]NodeID{s.Neighbors, s.ActiveNeighbors, s.DominatorNeighbors, s.Suspects} {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(set)))
+		for _, id := range set {
+			b = binary.LittleEndian.AppendUint32(b, uint32(id))
+		}
+	}
+	return b
+}
+
+// Codec errors.
+var (
+	ErrShortPacket = errors.New("wire: truncated packet")
+	ErrBadVersion  = errors.New("wire: unknown format version")
+	ErrBadKind     = errors.New("wire: unknown packet kind")
+)
+
+const wireVersion = 1
+
+// maxSliceLen bounds decoded slice lengths so a corrupted or hostile packet
+// cannot force a huge allocation.
+const maxSliceLen = 1 << 16
+
+// Marshal encodes the packet. The result is self-contained and versioned.
+func (p *Packet) Marshal() []byte {
+	b := make([]byte, 0, p.sizeHint())
+	b = append(b, wireVersion, byte(p.Kind), p.TTL)
+	b = binary.LittleEndian.AppendUint32(b, uint32(p.Sender))
+	b = binary.LittleEndian.AppendUint32(b, uint32(p.Target))
+	b = binary.LittleEndian.AppendUint32(b, uint32(p.Origin))
+	b = binary.LittleEndian.AppendUint32(b, uint32(p.Seq))
+	b = appendBytes(b, p.Payload)
+	b = appendBytes(b, p.Sig)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(p.Gossip)))
+	for _, g := range p.Gossip {
+		b = binary.LittleEndian.AppendUint32(b, uint32(g.ID.Origin))
+		b = binary.LittleEndian.AppendUint32(b, uint32(g.ID.Seq))
+		b = appendBytes(b, g.Sig)
+	}
+	if p.State == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		if p.State.Active {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		if p.State.Dominator {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = appendIDs(b, p.State.Neighbors)
+		b = appendIDs(b, p.State.ActiveNeighbors)
+		b = appendIDs(b, p.State.DominatorNeighbors)
+		b = appendIDs(b, p.State.Suspects)
+		b = appendBytes(b, p.StateSig)
+	}
+	return b
+}
+
+func (p *Packet) sizeHint() int {
+	n := 24 + len(p.Payload) + len(p.Sig) + 8
+	for _, g := range p.Gossip {
+		n += 12 + len(g.Sig)
+	}
+	if p.State != nil {
+		n += 28 + 4*(len(p.State.Neighbors)+len(p.State.ActiveNeighbors)+len(p.State.DominatorNeighbors)+len(p.State.Suspects)) + len(p.StateSig)
+	}
+	return n
+}
+
+// AirSize returns the packet's size in bytes as transmitted, used by the
+// radio layer to compute airtime.
+func (p *Packet) AirSize() int { return p.sizeHint() }
+
+// Unmarshal decodes a packet from b.
+func Unmarshal(b []byte) (*Packet, error) {
+	d := decoder{b: b}
+	ver := d.u8()
+	if d.err == nil && ver != wireVersion {
+		return nil, ErrBadVersion
+	}
+	p := &Packet{}
+	p.Kind = Kind(d.u8())
+	p.TTL = d.u8()
+	p.Sender = NodeID(d.u32())
+	p.Target = NodeID(d.u32())
+	p.Origin = NodeID(d.u32())
+	p.Seq = Seq(d.u32())
+	p.Payload = d.bytes()
+	p.Sig = d.bytes()
+	ng := d.u32()
+	if d.err == nil && ng > maxSliceLen {
+		return nil, ErrShortPacket
+	}
+	if d.err == nil && ng > 0 {
+		p.Gossip = make([]GossipEntry, 0, ng)
+		for i := uint32(0); i < ng && d.err == nil; i++ {
+			var g GossipEntry
+			g.ID.Origin = NodeID(d.u32())
+			g.ID.Seq = Seq(d.u32())
+			g.Sig = d.bytes()
+			p.Gossip = append(p.Gossip, g)
+		}
+	}
+	if d.u8() == 1 && d.err == nil {
+		st := &OverlayState{}
+		st.Active = d.u8() == 1
+		st.Dominator = d.u8() == 1
+		st.Neighbors = d.ids()
+		st.ActiveNeighbors = d.ids()
+		st.DominatorNeighbors = d.ids()
+		st.Suspects = d.ids()
+		p.State = st
+		p.StateSig = d.bytes()
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if p.Kind < KindData || p.Kind > KindOverlayState {
+		return nil, ErrBadKind
+	}
+	return p, nil
+}
+
+// Clone returns a deep copy of the packet. The radio layer hands each
+// receiver its own copy so receivers cannot corrupt one another.
+func (p *Packet) Clone() *Packet {
+	cp := *p
+	cp.Payload = cloneBytes(p.Payload)
+	cp.Sig = cloneBytes(p.Sig)
+	if p.Gossip != nil {
+		cp.Gossip = make([]GossipEntry, len(p.Gossip))
+		for i, g := range p.Gossip {
+			cp.Gossip[i] = GossipEntry{ID: g.ID, Sig: cloneBytes(g.Sig)}
+		}
+	}
+	if p.State != nil {
+		st := &OverlayState{
+			Active:             p.State.Active,
+			Dominator:          p.State.Dominator,
+			Neighbors:          cloneIDs(p.State.Neighbors),
+			ActiveNeighbors:    cloneIDs(p.State.ActiveNeighbors),
+			DominatorNeighbors: cloneIDs(p.State.DominatorNeighbors),
+			Suspects:           cloneIDs(p.State.Suspects),
+		}
+		cp.State = st
+		cp.StateSig = cloneBytes(p.StateSig)
+	}
+	return &cp
+}
+
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	return cp
+}
+
+func cloneIDs(ids []NodeID) []NodeID {
+	if ids == nil {
+		return nil
+	}
+	cp := make([]NodeID, len(ids))
+	copy(cp, ids)
+	return cp
+}
+
+func appendBytes(b, v []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(v)))
+	return append(b, v...)
+}
+
+func appendIDs(b []byte, ids []NodeID) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(ids)))
+	for _, id := range ids {
+		b = binary.LittleEndian.AppendUint32(b, uint32(id))
+	}
+	return b
+}
+
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 1 {
+		d.err = ErrShortPacket
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 4 {
+		d.err = ErrShortPacket
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	if n > maxSliceLen || int(n) > len(d.b) {
+		d.err = ErrShortPacket
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	v := make([]byte, n)
+	copy(v, d.b[:n])
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) ids() []NodeID {
+	n := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	if n > maxSliceLen || int(n)*4 > len(d.b) {
+		d.err = ErrShortPacket
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]NodeID, n)
+	for i := range out {
+		out[i] = NodeID(binary.LittleEndian.Uint32(d.b[i*4:]))
+	}
+	d.b = d.b[n*4:]
+	return out
+}

@@ -1,0 +1,25 @@
+package bbcast
+
+import (
+	"bbcast/internal/transport"
+	"bbcast/internal/wire"
+)
+
+// Node runs the broadcast protocol over real UDP datagrams. Construct with
+// NewNode, wire the broadcast domain with SetPeers, and originate messages
+// with Broadcast; accepted messages arrive on the deliver callback passed to
+// NewNode.
+type Node = transport.UDPNode
+
+// DeliverFunc receives accepted application messages. It is invoked on the
+// node's internal goroutines with its lock held: return quickly and do not
+// call back into the Node.
+type DeliverFunc = func(origin wire.NodeID, id wire.MsgID, payload []byte)
+
+// NewNode binds a UDP socket on listen (e.g. "0.0.0.0:9000" or
+// "127.0.0.1:0") and starts a protocol instance for the given node id. All
+// nodes of a deployment must share the keyring construction (same n, seed
+// for NewHMACKeyring, or a distributed Ed25519 PKI).
+func NewNode(cfg ProtocolConfig, id NodeID, keys Keyring, listen string, deliver DeliverFunc) (*Node, error) {
+	return transport.NewUDPNode(cfg, id, keys, listen, deliver)
+}
