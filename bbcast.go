@@ -39,7 +39,9 @@ package bbcast
 
 import (
 	"bbcast/internal/core"
+	"bbcast/internal/faultplan"
 	"bbcast/internal/geo"
+	"bbcast/internal/invariant"
 	"bbcast/internal/mac"
 	"bbcast/internal/metrics"
 	"bbcast/internal/overlay"
@@ -113,6 +115,9 @@ const (
 	AdvTamper = runner.AdvTamper
 	// AdvSelective drops a random half of its forwards (selfishness).
 	AdvSelective = runner.AdvSelective
+	// AdvEquivocate signs conflicting payloads for its own messages under
+	// one message id — the attack the agreement invariant catches.
+	AdvEquivocate = runner.AdvEquivocate
 )
 
 // AdversaryPlacement selects where adversaries are placed.
@@ -163,6 +168,57 @@ const (
 // Keyring signs and verifies on behalf of registered nodes (the PKI the
 // paper presumes, §2).
 type Keyring = sig.Scheme
+
+// FaultPlan is a declarative, deterministic fault schedule for a scenario:
+// timed crashes, recoveries, partitions, radio degradation and behaviour
+// swaps, plus an optional churn generator. Plans round-trip through JSON
+// (see ParseFaultPlan) for use with `bbsim -faults`.
+type FaultPlan = faultplan.Plan
+
+// FaultEvent is one scheduled fault in a FaultPlan.
+type FaultEvent = faultplan.Event
+
+// Churn generates Poisson crash/recover pairs inside a FaultPlan.
+type Churn = faultplan.Churn
+
+// Fault event kinds.
+const (
+	// FaultCrash takes a node's radio off the air.
+	FaultCrash = faultplan.Crash
+	// FaultRecover puts it back.
+	FaultRecover = faultplan.Recover
+	// FaultPartition splits the network into non-communicating groups.
+	FaultPartition = faultplan.Partition
+	// FaultHeal removes the partition.
+	FaultHeal = faultplan.Heal
+	// FaultDegradeRadio adds temporary per-reception loss.
+	FaultDegradeRadio = faultplan.DegradeRadio
+	// FaultSwapBehavior replaces a node's behaviour mid-run.
+	FaultSwapBehavior = faultplan.SwapBehavior
+)
+
+// InvariantConfig selects the runtime invariant checks (agreement, validity,
+// detector soundness, overlay recovery) a run performs. The zero value
+// disables them all.
+type InvariantConfig = invariant.Config
+
+// InvariantViolation is one detected invariant breach, reported in
+// Result.Violations alongside a reproducing command line in Result.Repro.
+type InvariantViolation = invariant.Violation
+
+// ParseFaultPlan decodes a JSON fault plan.
+func ParseFaultPlan(data []byte) (*FaultPlan, error) { return faultplan.Parse(data) }
+
+// LoadFaultPlan reads and decodes a JSON fault-plan file.
+func LoadFaultPlan(path string) (*FaultPlan, error) { return faultplan.Load(path) }
+
+// DefaultInvariantConfig enables the full invariant set with default
+// windows; DefaultScenario already includes it.
+func DefaultInvariantConfig() InvariantConfig { return invariant.DefaultConfig() }
+
+// ReproCommand renders a one-line bbsim invocation reproducing the scenario,
+// fault plan included.
+func ReproCommand(sc Scenario) string { return runner.ReproCommand(sc) }
 
 // DefaultScenario returns the base experiment configuration: 75 nodes on a
 // jittered grid in a 1000×1000 m area with 250 m radios, five senders

@@ -53,6 +53,8 @@ func BenchmarkA7FDClasses(b *testing.B)         { benchTable(b, experiments.A7FD
 func BenchmarkA8Poisson(b *testing.B)           { benchTable(b, experiments.A8Poisson) }
 func BenchmarkA9Capture(b *testing.B)           { benchTable(b, experiments.A9Capture) }
 func BenchmarkE11FastPathTimeline(b *testing.B) { benchTable(b, experiments.E11FastPathTimeline) }
+func BenchmarkE12Churn(b *testing.B)            { benchTable(b, experiments.E12Churn) }
+func BenchmarkE13PartitionHeal(b *testing.B)    { benchTable(b, experiments.E13PartitionHeal) }
 
 // BenchmarkSimulatedSecond measures how fast the simulator runs one virtual
 // second of the default 75-node scenario (the sims-per-wallclock figure of

@@ -7,12 +7,21 @@
 //	bbsim -proto flooding -n 50
 //	bbsim -mute 10 -placement dominators -no-fd
 //	bbsim -mobility waypoint -speed 10
+//	bbsim -faults plan.json
+//	bbsim -faults '{"events":[{"at":"30s","kind":"crash","node":7}]}'
+//
+// With -faults, the plan's events (crashes, recoveries, partitions, radio
+// degradation, behaviour swaps, churn) execute during the run and the
+// runtime invariant checker audits agreement, validity, detector soundness
+// and overlay recovery. Violations fail the run (exit 1) and print a
+// one-line command that reproduces them.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"bbcast"
@@ -45,11 +54,15 @@ func run(args []string) error {
 		noFD        = fs.Bool("no-fd", false, "disable the failure detectors")
 		ed25519     = fs.Bool("ed25519", false, "use real Ed25519 signatures")
 
-		mute      = fs.Int("mute", 0, "mute Byzantine nodes")
-		tamper    = fs.Int("tamper", 0, "payload-tampering Byzantine nodes")
-		verbose   = fs.Int("verbose", 0, "request-spamming Byzantine nodes")
-		selective = fs.Int("selective", 0, "selfish 50%-dropping nodes")
-		placement = fs.String("placement", "spread", "adversary placement: spread | dominators")
+		mute       = fs.Int("mute", 0, "mute Byzantine nodes")
+		tamper     = fs.Int("tamper", 0, "payload-tampering Byzantine nodes")
+		verbose    = fs.Int("verbose", 0, "request-spamming Byzantine nodes")
+		selective  = fs.Int("selective", 0, "selfish 50%-dropping nodes")
+		equivocate = fs.Int("equivocate", 0, "equivocating Byzantine sources (conflicting payloads, same id)")
+		placement  = fs.String("placement", "spread", "adversary placement: spread | dominators")
+
+		faults = fs.String("faults", "", "fault plan: a JSON file path, or inline JSON starting with '{'")
+		noInv  = fs.Bool("no-invariants", false, "disable the runtime invariant checker")
 
 		mobility = fs.String("mobility", "grid", "mobility: grid | uniform | waypoint | walk | gauss-markov | ferry")
 		speed    = fs.Float64("speed", 5, "node speed (m/s) for waypoint/walk")
@@ -78,6 +91,22 @@ func run(args []string) error {
 	sc.Duration = *duration
 	sc.Core.EnableFDs = !*noFD
 	sc.SnapshotSVG = *svg
+	if *noInv {
+		sc.Invariants = bbcast.InvariantConfig{}
+	}
+	if *faults != "" {
+		var plan *bbcast.FaultPlan
+		var err error
+		if strings.HasPrefix(strings.TrimSpace(*faults), "{") {
+			plan, err = bbcast.ParseFaultPlan([]byte(*faults))
+		} else {
+			plan, err = bbcast.LoadFaultPlan(*faults)
+		}
+		if err != nil {
+			return err
+		}
+		sc.FaultPlan = plan
+	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
@@ -142,6 +171,7 @@ func run(args []string) error {
 		{bbcast.AdvTamper, *tamper},
 		{bbcast.AdvVerbose, *verbose},
 		{bbcast.AdvSelective, *selective},
+		{bbcast.AdvEquivocate, *equivocate},
 	} {
 		if adv.count > 0 {
 			sc.Adversaries = append(sc.Adversaries, bbcast.Adversaries{Kind: adv.kind, Count: adv.count})
@@ -153,6 +183,20 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Println(res.Results.String())
+	if len(res.FaultEvents) > 0 {
+		fmt.Println("fault events:")
+		for _, fe := range res.FaultEvents {
+			fmt.Printf("  %-8s %s\n", fe.At, fe.Name)
+		}
+	}
+	if len(res.Violations) > 0 {
+		fmt.Fprintf(os.Stderr, "INVARIANT VIOLATIONS (%d):\n", len(res.Violations))
+		for _, v := range res.Violations {
+			fmt.Fprintf(os.Stderr, "  %s\n", v)
+		}
+		fmt.Fprintf(os.Stderr, "reproduce with:\n  %s\n", res.Repro)
+		return fmt.Errorf("%d invariant violation(s)", len(res.Violations))
+	}
 	if *breakdown {
 		fmt.Println(res.Results.KindBreakdown())
 		fmt.Printf("phys: collisions=%d fringe-losses=%d half-duplex-drops=%d bytes=%d\n",

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"strings"
+	"testing"
+)
 
 func TestRunDefaultsSmall(t *testing.T) {
 	if testing.Short() {
@@ -35,6 +39,61 @@ func TestRunAdversaries(t *testing.T) {
 		"-mute", "2", "-tamper", "1", "-verbose", "1", "-selective", "1",
 		"-placement", "dominators", "-proto", "byzcast", "-overlay", "cds"})
 	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInlineFaultPlan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	plan := `{"events":[{"at":"10s","kind":"crash","node":3},{"at":"18s","kind":"recover","node":3}]}`
+	if err := run([]string{"-n", "20", "-duration", "30s", "-faults", plan}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFaultPlanFromFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	path := t.TempDir() + "/plan.json"
+	plan := `{"churn":{"rate":0.3,"start":"5s","end":"20s"}}`
+	if err := os.WriteFile(path, []byte(plan), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "20", "-duration", "30s", "-faults", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFaultPlanRejected(t *testing.T) {
+	cases := [][]string{
+		{"-faults", `{"events":[{"kind":"crash","node":1}]}`}, // missing at
+		{"-faults", `{"events":[{"at":"5s","kind":"melt"}]}`}, // unknown kind
+		{"-faults", "/definitely/not/there.json"},
+		{"-n", "5", "-faults", `{"events":[{"at":"5s","kind":"crash","node":99}]}`}, // out of range
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunEquivocationExitsWithViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	err := run([]string{"-n", "50", "-duration", "55s", "-equivocate", "1"})
+	if err == nil {
+		t.Fatal("equivocation run reported success")
+	}
+	if !strings.Contains(err.Error(), "invariant") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// The same run with checks disabled succeeds.
+	if err := run([]string{"-n", "50", "-duration", "55s", "-equivocate", "1", "-no-invariants"}); err != nil {
 		t.Fatal(err)
 	}
 }

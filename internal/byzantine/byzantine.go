@@ -9,6 +9,7 @@
 package byzantine
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -223,6 +224,192 @@ func (s *SelectiveDrop) OnReceive(*wire.Packet) {}
 
 // Tick implements Behavior.
 func (s *SelectiveDrop) Tick(func(*wire.Packet)) {}
+
+// Equivocate is a Byzantine *source*: it signs conflicting payload variants
+// of its own messages under the same message id, so different correct nodes
+// accept different payloads (the classic equivocation attack). Signatures
+// cannot prevent it — the attacker holds its own key and both variants
+// verify — which is exactly why the agreement invariant has to watch for it.
+// The behaviour originates its own traffic: every OriginateEvery-th tick it
+// broadcasts variant A of a fresh message, then re-broadcasts the re-signed
+// variant B one tick later. Receivers accept the first valid copy they hear,
+// so any node that lost A to a collision or the fringe — or that first hears
+// the message from a B-holder's forward — delivers B while the rest of the
+// network delivers A.
+type Equivocate struct {
+	// Self is the adversary's id.
+	Self wire.NodeID
+	// Sign signs bytes with the node's own key (injected by the host; a
+	// behaviour may only ever sign as itself, per the model).
+	Sign func(data []byte) []byte
+	// OriginateEvery is the number of behaviour ticks between fresh
+	// messages (default 4, i.e. one equivocating message per 2 s).
+	OriginateEvery int
+
+	seq     wire.Seq
+	ticks   int
+	variant *wire.Packet // variant B awaiting re-broadcast
+	sends   map[wire.MsgID]int
+}
+
+var _ Behavior = (*Equivocate)(nil)
+
+// equivocateSeqBase keeps behaviour-originated sequence numbers clear of the
+// node's protocol-level sequence counter.
+const equivocateSeqBase wire.Seq = 1 << 20
+
+// Name implements Behavior.
+func (e *Equivocate) Name() string { return "equivocate" }
+
+// FilterSend implements Behavior: every other transmission of one of its own
+// protocol-originated data messages carries a mutated, re-signed payload, so
+// copies the node re-serves during recovery conflict with the original.
+func (e *Equivocate) FilterSend(pkt *wire.Packet) *wire.Packet {
+	if pkt.Kind != wire.KindData || pkt.Origin != e.Self || len(pkt.Payload) == 0 || e.Sign == nil {
+		return pkt
+	}
+	if e.sends == nil {
+		e.sends = make(map[wire.MsgID]int)
+	}
+	id := pkt.ID()
+	n := e.sends[id]
+	e.sends[id] = n + 1
+	if n%2 == 0 {
+		return pkt // even transmissions: the honest variant
+	}
+	cp := pkt.Clone()
+	cp.Payload[0] ^= 0x01
+	cp.Sig = e.Sign(wire.DataSigBytes(id, cp.Payload))
+	return cp
+}
+
+// OnReceive implements Behavior.
+func (e *Equivocate) OnReceive(*wire.Packet) {}
+
+// Tick implements Behavior: alternately broadcast a fresh variant-A message
+// and the conflicting variant B of the previous one.
+func (e *Equivocate) Tick(send func(*wire.Packet)) {
+	if e.Sign == nil {
+		return
+	}
+	if e.variant != nil {
+		send(e.variant)
+		e.variant = nil
+		return
+	}
+	every := e.OriginateEvery
+	if every <= 0 {
+		every = 4
+	}
+	e.ticks++
+	if e.ticks%every != 0 {
+		return
+	}
+	e.seq++
+	id := wire.MsgID{Origin: e.Self, Seq: equivocateSeqBase + e.seq}
+	payload := []byte(fmt.Sprintf("equivocation %d/%d", e.Self, e.seq))
+	a := &wire.Packet{
+		Kind:    wire.KindData,
+		Sender:  e.Self,
+		TTL:     1,
+		Target:  wire.NoNode,
+		Origin:  id.Origin,
+		Seq:     id.Seq,
+		Payload: payload,
+		Sig:     e.Sign(wire.DataSigBytes(id, payload)),
+	}
+	b := a.Clone()
+	b.Payload[0] ^= 0x01
+	b.Sig = e.Sign(wire.DataSigBytes(id, b.Payload))
+	send(a)
+	e.variant = b
+}
+
+// Switchable wraps a Behavior so the fault-injection layer can replace it
+// mid-run (a correct node turning mute, an adversary being "patched"). The
+// zero value delegates to Correct.
+type Switchable struct {
+	cur Behavior
+}
+
+// NewSwitchable wraps b (nil means Correct).
+func NewSwitchable(b Behavior) *Switchable {
+	if b == nil {
+		b = Correct{}
+	}
+	return &Switchable{cur: b}
+}
+
+var _ Behavior = (*Switchable)(nil)
+
+// Set replaces the current behaviour (nil means Correct). The swap takes
+// effect on the next packet.
+func (s *Switchable) Set(b Behavior) {
+	if b == nil {
+		b = Correct{}
+	}
+	s.cur = b
+}
+
+// Current returns the behaviour currently in effect.
+func (s *Switchable) Current() Behavior {
+	if s.cur == nil {
+		return Correct{}
+	}
+	return s.cur
+}
+
+// Name implements Behavior.
+func (s *Switchable) Name() string { return s.Current().Name() }
+
+// FilterSend implements Behavior.
+func (s *Switchable) FilterSend(pkt *wire.Packet) *wire.Packet {
+	return s.Current().FilterSend(pkt)
+}
+
+// OnReceive implements Behavior.
+func (s *Switchable) OnReceive(pkt *wire.Packet) { s.Current().OnReceive(pkt) }
+
+// Tick implements Behavior.
+func (s *Switchable) Tick(send func(*wire.Packet)) { s.Current().Tick(send) }
+
+// Make builds a behaviour by name — the vocabulary fault plans use for
+// behaviour swaps. rng and sign may be nil for behaviours that do not need
+// them. Known names: correct, mute, mute-silent, verbose, tamper,
+// selective-drop, equivocate.
+func Make(name string, self wire.NodeID, rng *rand.Rand, sign func([]byte) []byte) (Behavior, error) {
+	switch name {
+	case "correct", "":
+		return Correct{}, nil
+	case "mute":
+		return &Mute{Self: self}, nil
+	case "mute-silent":
+		return &Mute{Self: self, DropGossip: true}, nil
+	case "verbose":
+		if rng == nil {
+			return nil, fmt.Errorf("byzantine: %q needs a random stream", name)
+		}
+		return &Verbose{Self: self, Rng: rng, PerTick: 4}, nil
+	case "tamper":
+		return &Tamper{Self: self}, nil
+	case "selective-drop":
+		if rng == nil {
+			return nil, fmt.Errorf("byzantine: %q needs a random stream", name)
+		}
+		return &SelectiveDrop{Self: self, Rng: rng, DropProb: 0.5}, nil
+	case "equivocate":
+		if sign == nil {
+			return nil, fmt.Errorf("byzantine: %q needs a signing function", name)
+		}
+		return &Equivocate{Self: self, Sign: sign}, nil
+	default:
+		return nil, fmt.Errorf("byzantine: unknown behaviour %q", name)
+	}
+}
+
+// Faulty reports whether the named behaviour deviates from the protocol
+// (anything but "correct").
+func Faulty(name string) bool { return name != "correct" && name != "" }
 
 // TickInterval is the behaviour tick period used by the runner.
 const TickInterval = 500 * time.Millisecond

@@ -158,3 +158,146 @@ func TestNames(t *testing.T) {
 		}
 	}
 }
+
+func TestMakeVocabulary(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sign := func(d []byte) []byte { return []byte{1} }
+	wantName := map[string]string{
+		"":               "correct",
+		"correct":        "correct",
+		"mute":           "mute",
+		"mute-silent":    "mute",
+		"verbose":        "verbose",
+		"tamper":         "tamper",
+		"selective-drop": "selective-drop",
+		"equivocate":     "equivocate",
+	}
+	for in, want := range wantName {
+		b, err := Make(in, 3, rng, sign)
+		if err != nil {
+			t.Fatalf("Make(%q): %v", in, err)
+		}
+		if b.Name() != want {
+			t.Errorf("Make(%q).Name() = %q, want %q", in, b.Name(), want)
+		}
+	}
+	if m, _ := Make("mute-silent", 3, nil, nil); !m.(*Mute).DropGossip {
+		t.Error("mute-silent did not set DropGossip")
+	}
+	// Missing dependencies and unknown names fail.
+	for _, name := range []string{"verbose", "selective-drop"} {
+		if _, err := Make(name, 3, nil, sign); err == nil {
+			t.Errorf("Make(%q) without rng accepted", name)
+		}
+	}
+	if _, err := Make("equivocate", 3, rng, nil); err == nil {
+		t.Error("Make(equivocate) without signer accepted")
+	}
+	if _, err := Make("gremlin", 3, rng, sign); err == nil {
+		t.Error("unknown behaviour accepted")
+	}
+}
+
+func TestFaulty(t *testing.T) {
+	for name, want := range map[string]bool{
+		"": false, "correct": false, "mute": true, "equivocate": true,
+	} {
+		if Faulty(name) != want {
+			t.Errorf("Faulty(%q) = %v", name, !want)
+		}
+	}
+}
+
+func TestSwitchableDelegatesAndSwaps(t *testing.T) {
+	sw := NewSwitchable(nil)
+	if sw.Name() != "correct" {
+		t.Fatalf("zero switchable = %q", sw.Name())
+	}
+	pkt := &wire.Packet{Kind: wire.KindData, Sender: 1, Origin: 2, Payload: []byte("x")}
+	if sw.FilterSend(pkt) != pkt {
+		t.Fatal("correct switchable altered a packet")
+	}
+	sw.Set(&Mute{Self: 1})
+	if sw.Name() != "mute" {
+		t.Fatalf("after swap = %q", sw.Name())
+	}
+	if sw.FilterSend(pkt) != nil {
+		t.Fatal("mute switchable forwarded another node's data")
+	}
+	sw.Set(nil)
+	if sw.Name() != "correct" || sw.FilterSend(pkt) != pkt {
+		t.Fatal("Set(nil) did not restore correct")
+	}
+	var zero Switchable
+	if zero.Name() != "correct" || zero.FilterSend(pkt) != pkt {
+		t.Fatal("zero value does not behave as correct")
+	}
+}
+
+func TestEquivocateOriginatesConflictingVariants(t *testing.T) {
+	signed := map[string]bool{}
+	e := &Equivocate{
+		Self:           5,
+		OriginateEvery: 1,
+		Sign: func(d []byte) []byte {
+			signed[string(d)] = true
+			return append([]byte("sig:"), d...)
+		},
+	}
+	var sent []*wire.Packet
+	collect := func(p *wire.Packet) { sent = append(sent, p) }
+	e.Tick(collect) // fresh message, variant A
+	e.Tick(collect) // variant B of the same message
+	if len(sent) != 2 {
+		t.Fatalf("got %d packets, want 2", len(sent))
+	}
+	a, b := sent[0], sent[1]
+	if a.ID() != b.ID() {
+		t.Fatalf("variants have different ids: %v vs %v", a.ID(), b.ID())
+	}
+	if a.Origin != 5 || a.Seq < equivocateSeqBase {
+		t.Fatalf("bad origination: %+v", a)
+	}
+	if string(a.Payload) == string(b.Payload) {
+		t.Fatal("variants carry identical payloads")
+	}
+	if string(a.Sig) == string(b.Sig) {
+		t.Fatal("variant B was not re-signed")
+	}
+	// Both variants were signed over their own payload.
+	if !signed[string(wire.DataSigBytes(a.ID(), a.Payload))] ||
+		!signed[string(wire.DataSigBytes(b.ID(), b.Payload))] {
+		t.Fatal("signing input did not cover both payloads")
+	}
+	// The next cycle uses a fresh sequence number.
+	e.Tick(collect)
+	if sent[2].ID() == a.ID() {
+		t.Fatal("sequence number not advanced")
+	}
+}
+
+func TestEquivocateFilterSendAlternates(t *testing.T) {
+	e := &Equivocate{Self: 2, Sign: func(d []byte) []byte { return []byte("s") }}
+	own := &wire.Packet{Kind: wire.KindData, Sender: 2, Origin: 2, Seq: 9,
+		Payload: []byte("hello"), Sig: []byte("orig")}
+	first := e.FilterSend(own)
+	if first != own {
+		t.Fatal("first transmission must be honest")
+	}
+	second := e.FilterSend(own)
+	if second == own || string(second.Payload) == "hello" {
+		t.Fatal("second transmission not mutated")
+	}
+	if own.Payload[0] != 'h' {
+		t.Fatal("original packet mutated in place")
+	}
+	third := e.FilterSend(own)
+	if third != own {
+		t.Fatal("third transmission must be honest again")
+	}
+	// Other nodes' data passes untouched.
+	other := &wire.Packet{Kind: wire.KindData, Sender: 2, Origin: 7, Payload: []byte("x")}
+	if e.FilterSend(other) != other {
+		t.Fatal("forwarded data altered")
+	}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"time"
+
+	"bbcast/internal/faultplan"
+	"bbcast/internal/runner"
+	"bbcast/internal/wire"
+)
+
+// E12Churn sweeps the node churn rate: nodes crash at random and come back
+// ten seconds later, so the overlay must keep re-electing dominators while
+// the gossip layer backfills whatever the departed nodes missed. The
+// invariant checker runs on every arm; a violation count above zero means
+// the protocol broke one of its promises, not just that delivery dipped.
+func E12Churn(c Config) Table {
+	t := Table{
+		ID:     "E12",
+		Title:  "churn sweep: crash/recover pairs at increasing rate",
+		Params: "n=75, downtime 10s per crash, invariants on",
+		Header: []string{"churn(node/s)", "faults", "delivery", "lat-p95(ms)", "tx/msg", "violations"},
+	}
+	rates := []float64{0, 0.05, 0.1, 0.2, 0.4}
+	if c.Quick {
+		rates = []float64{0, 0.2}
+	}
+	for _, rate := range rates {
+		sc := c.base()
+		sc.N = 75
+		if rate > 0 {
+			sc.FaultPlan = &faultplan.Plan{Churn: &faultplan.Churn{
+				Rate:  rate,
+				Start: sc.Workload.Start,
+				End:   sc.Workload.End,
+				// Keep the senders alive so every arm injects the same load.
+				Exclude: senderIDs(sc),
+			}}
+		}
+		res := c.run(sc)
+		t.Rows = append(t.Rows, []string{
+			f2(rate), itoa(len(res.FaultEvents)), f3(res.DeliveryRatio),
+			ms(res.LatP95), f1(res.TxPerMessage), itoa(len(res.Violations)),
+		})
+	}
+	return t
+}
+
+// E13PartitionHeal splits the network in half mid-run and heals it later,
+// reporting delivery per time window so the dip and the post-heal backfill
+// are visible next to the fault timeline. Cross-partition messages are
+// exempt from the validity invariant while the split lasts; after the heal
+// the overlay must re-cover the whole network within the recovery window.
+func E13PartitionHeal(c Config) Table {
+	t := Table{
+		ID:     "E13",
+		Title:  "partition/heal timeline: delivery per window around the split",
+		Params: "n=75, halves split mid-run, invariants on",
+		Header: []string{"window", "samples", "lat-mean(ms)", "lat-p95(ms)", "faults-so-far"},
+	}
+	sc := c.base()
+	sc.N = 75
+	bucket := 20 * time.Second
+	partAt, healAt := 40*time.Second, 100*time.Second
+	sc.Workload.End = 140 * time.Second
+	sc.Duration = 155 * time.Second
+	if c.Quick {
+		bucket = 15 * time.Second
+		partAt, healAt = 20*time.Second, 45*time.Second
+		sc.Workload.End = 60 * time.Second
+		sc.Duration = 75 * time.Second
+	}
+	var left []wire.NodeID
+	for i := 0; i < sc.N/2; i++ {
+		left = append(left, wire.NodeID(i))
+	}
+	sc.FaultPlan = &faultplan.Plan{Events: []faultplan.Event{
+		{At: partAt, Kind: faultplan.Partition, Groups: [][]wire.NodeID{left}},
+		{At: healAt, Kind: faultplan.Heal},
+	}}
+	sc.LatencyBucket = bucket
+	res := c.run(sc)
+	for _, b := range res.Timeline {
+		faults := 0
+		for _, e := range res.FaultEvents {
+			if e.At < b.Start+bucket {
+				faults++
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			b.Start.String(), itoa(b.Count), ms(b.Mean), ms(b.P95), itoa(faults),
+		})
+	}
+	t.Rows = append(t.Rows, []string{
+		"overall", "delivery " + f3(res.DeliveryRatio), "-", "-",
+		"violations " + itoa(len(res.Violations)),
+	})
+	return t
+}
+
+// senderIDs lists the workload's sender nodes (the lowest ids, per the
+// runner's round-robin assignment).
+func senderIDs(sc runner.Scenario) []wire.NodeID {
+	out := make([]wire.NodeID, sc.Workload.Senders)
+	for i := range out {
+		out[i] = wire.NodeID(i)
+	}
+	return out
+}

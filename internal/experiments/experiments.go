@@ -196,6 +196,7 @@ func average(rs []runner.Result) runner.Result {
 }
 
 func f1(v float64) string       { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string       { return fmt.Sprintf("%.2f", v) }
 func f3(v float64) string       { return fmt.Sprintf("%.3f", v) }
 func ms(d time.Duration) string { return fmt.Sprintf("%d", d.Milliseconds()) }
 func itoa(v int) string         { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,219 @@
+package faultplan
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"bbcast/internal/wire"
+)
+
+func samplePlan() *Plan {
+	return &Plan{
+		Events: []Event{
+			{At: 10 * time.Second, Kind: Crash, Node: 3},
+			{At: 20 * time.Second, Kind: Recover, Node: 3},
+			{At: 30 * time.Second, Kind: Partition, Groups: [][]wire.NodeID{{0, 1, 2}, {3, 4}}},
+			{At: 40 * time.Second, Kind: Heal},
+			{At: 45 * time.Second, Kind: DegradeRadio, LossFactor: 0.3, Duration: 5 * time.Second},
+			{At: 50 * time.Second, Kind: SwapBehavior, Node: 2, Behavior: "mute"},
+		},
+		Churn: &Churn{Rate: 0.5, Start: 15 * time.Second, End: 60 * time.Second,
+			Downtime: 8 * time.Second, Exclude: []wire.NodeID{0}},
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := samplePlan()
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, back) {
+		t.Fatalf("round trip mismatch:\n  in  %+v\n  out %+v", p, back)
+	}
+	// Durations must encode as human-readable strings.
+	if !strings.Contains(string(data), `"at":"10s"`) {
+		t.Fatalf("expected duration strings in %s", data)
+	}
+}
+
+func TestParseHumanReadable(t *testing.T) {
+	p, err := Parse([]byte(`{
+		"events": [
+			{"at": "30s", "kind": "crash", "node": 7},
+			{"at": "1m10s", "kind": "recover", "node": 7},
+			{"at": "40s", "kind": "partition", "groups": [[0,1],[2,3]]},
+			{"at": "55s", "kind": "degrade-radio", "lossFactor": 0.4, "duration": "10s"}
+		],
+		"churn": {"rate": 0.25, "start": "10s", "end": "50s"}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 4 {
+		t.Fatalf("got %d events", len(p.Events))
+	}
+	if p.Events[1].At != 70*time.Second {
+		t.Fatalf("1m10s parsed as %s", p.Events[1].At)
+	}
+	if p.Churn == nil || p.Churn.Rate != 0.25 {
+		t.Fatalf("churn not parsed: %+v", p.Churn)
+	}
+	if err := p.Validate(8); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":   `{"events": [], "bogus": 1}`,
+		"missing at":      `{"events": [{"kind": "crash", "node": 1}]}`,
+		"missing node":    `{"events": [{"at": "5s", "kind": "crash"}]}`,
+		"negative at":     `{"events": [{"at": "-5s", "kind": "heal"}]}`,
+		"bad duration":    `{"events": [{"at": "five", "kind": "heal"}]}`,
+		"churn bad start": `{"churn": {"rate": 1, "start": "x", "end": "10s"}}`,
+	}
+	for name, in := range cases {
+		if _, err := Parse([]byte(in)); err == nil {
+			t.Errorf("%s: accepted %s", name, in)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]Plan{
+		"node out of range": {Events: []Event{{At: 1, Kind: Crash, Node: 10}}},
+		"empty partition":   {Events: []Event{{At: 1, Kind: Partition}}},
+		"node in two groups": {Events: []Event{{At: 1, Kind: Partition,
+			Groups: [][]wire.NodeID{{0, 1}, {1, 2}}}}},
+		"partition node range": {Events: []Event{{At: 1, Kind: Partition,
+			Groups: [][]wire.NodeID{{0, 12}}}}},
+		"loss factor too big": {Events: []Event{{At: 1, Kind: DegradeRadio,
+			LossFactor: 1.5, Duration: time.Second}}},
+		"degrade no duration": {Events: []Event{{At: 1, Kind: DegradeRadio,
+			LossFactor: 0.5}}},
+		"unknown behaviour": {Events: []Event{{At: 1, Kind: SwapBehavior,
+			Node: 1, Behavior: "weird"}}},
+		"unknown kind":     {Events: []Event{{At: 1, Kind: "melt"}}},
+		"churn zero rate":  {Churn: &Churn{Start: 0, End: time.Second}},
+		"churn empty":      {Churn: &Churn{Rate: 1, Start: 5 * time.Second, End: 5 * time.Second}},
+		"churn excl range": {Churn: &Churn{Rate: 1, End: time.Second, Exclude: []wire.NodeID{10}}},
+	}
+	for name, p := range cases {
+		p := p
+		if err := p.Validate(10); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	ok := samplePlan()
+	if err := ok.Validate(10); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+func TestChurnExpandDeterministic(t *testing.T) {
+	c := Churn{Rate: 0.5, Start: 10 * time.Second, End: 120 * time.Second,
+		Downtime: 12 * time.Second, Exclude: []wire.NodeID{0, 1}}
+	a := c.Expand(rand.New(rand.NewSource(7)), 40)
+	b := c.Expand(rand.New(rand.NewSource(7)), 40)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(a) == 0 || len(a)%2 != 0 {
+		t.Fatalf("expected crash/recover pairs, got %d events", len(a))
+	}
+	other := c.Expand(rand.New(rand.NewSource(8)), 40)
+	if reflect.DeepEqual(a, other) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestChurnExpandRespectsConstraints(t *testing.T) {
+	c := Churn{Rate: 1, Start: 0, End: 200 * time.Second,
+		Downtime: 10 * time.Second, Exclude: []wire.NodeID{2}}
+	events := c.Expand(rand.New(rand.NewSource(3)), 6)
+	down := map[wire.NodeID]time.Duration{}
+	for _, e := range events {
+		switch e.Kind {
+		case Crash:
+			if e.Node == 2 {
+				t.Fatal("excluded node crashed")
+			}
+			if until, ok := down[e.Node]; ok && e.At < until {
+				t.Fatalf("node %d crashed at %s while still down until %s", e.Node, e.At, until)
+			}
+			down[e.Node] = e.At + 10*time.Second
+		case Recover:
+			if e.At != down[e.Node] {
+				t.Fatalf("node %d recovers at %s, want %s", e.Node, e.At, down[e.Node])
+			}
+		default:
+			t.Fatalf("unexpected kind %s", e.Kind)
+		}
+	}
+}
+
+func TestExpandedSorted(t *testing.T) {
+	p := samplePlan()
+	events := p.Expanded(rand.New(rand.NewSource(1)), 10)
+	if len(events) <= len(p.Events) {
+		t.Fatalf("churn not expanded: %d events", len(events))
+	}
+	if !sort.SliceIsSorted(events, func(i, j int) bool { return events[i].At < events[j].At }) {
+		t.Fatal("expanded schedule not sorted by time")
+	}
+}
+
+func TestSwapTargets(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{At: 1, Kind: SwapBehavior, Node: 5, Behavior: "mute"},
+		{At: 2, Kind: SwapBehavior, Node: 3, Behavior: "tamper"},
+		{At: 3, Kind: SwapBehavior, Node: 5, Behavior: "correct"},
+		{At: 4, Kind: SwapBehavior, Node: 7, Behavior: "correct"},
+	}}
+	got := p.SwapTargets()
+	want := []wire.NodeID{3, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SwapTargets = %v, want %v", got, want)
+	}
+}
+
+func TestPlanStringIsCompactJSON(t *testing.T) {
+	p := samplePlan()
+	s := p.String()
+	if strings.ContainsAny(s, "\n\t") {
+		t.Fatalf("not compact: %q", s)
+	}
+	back, err := Parse([]byte(s))
+	if err != nil {
+		t.Fatalf("String output does not re-parse: %v", err)
+	}
+	if !reflect.DeepEqual(p, back) {
+		t.Fatal("String round trip mismatch")
+	}
+}
+
+func TestEventNames(t *testing.T) {
+	cases := map[string]Event{
+		"crash(3)":               {Kind: Crash, Node: 3},
+		"recover(3)":             {Kind: Recover, Node: 3},
+		"partition(2 groups)":    {Kind: Partition, Groups: [][]wire.NodeID{{0}, {1}}},
+		"heal":                   {Kind: Heal},
+		"degrade-radio(0.30,5s)": {Kind: DegradeRadio, LossFactor: 0.3, Duration: 5 * time.Second},
+		"swap(2→mute)":           {Kind: SwapBehavior, Node: 2, Behavior: "mute"},
+	}
+	for want, e := range cases {
+		if got := e.Name(); got != want {
+			t.Errorf("Name() = %q, want %q", got, want)
+		}
+	}
+}

@@ -409,3 +409,108 @@ func TestForeverSuspicionWithZeroTTL(t *testing.T) {
 		t.Fatal("◇P-style suspicion expired")
 	}
 }
+
+func TestMuteHealFiresOnChangeExactlyOnce(t *testing.T) {
+	c := &fakeClock{}
+	m := NewMute(c.NowFunc(), muteCfg())
+	type ev struct {
+		id wire.NodeID
+		s  bool
+	}
+	var events []ev
+	m.OnSuspect = func(id wire.NodeID, s bool) { events = append(events, ev{id, s}) }
+	m.Expect(key(1, 1), []wire.NodeID{5}, ExpectAny)
+	c.Advance(150 * time.Millisecond)
+	if !m.Suspected(5) {
+		t.Fatal("not suspected after miss")
+	}
+	// Past the TTL: the first query heals and notifies; repeated queries
+	// through every read path must not re-fire the heal notification.
+	c.Advance(2 * time.Second)
+	for i := 0; i < 3; i++ {
+		if m.Suspected(5) {
+			t.Fatal("suspicion did not expire")
+		}
+		if len(m.Suspects()) != 0 {
+			t.Fatal("Suspects still lists healed node")
+		}
+	}
+	want := []ev{{5, true}, {5, false}}
+	if len(events) != 2 || events[0] != want[0] || events[1] != want[1] {
+		t.Fatalf("onChange events = %v, want %v", events, want)
+	}
+}
+
+func TestMuteDecayAcrossMultipleAgeIntervals(t *testing.T) {
+	c := &fakeClock{}
+	cfg := muteCfg()
+	cfg.Threshold = 10 // never suspect; this test is about the counter
+	cfg.AgeInterval = 200 * time.Millisecond
+	m := NewMute(c.NowFunc(), cfg)
+	for i := 0; i < 5; i++ {
+		m.Expect(key(1, uint32(i)), []wire.NodeID{5}, ExpectAny)
+	}
+	c.Advance(150 * time.Millisecond)
+	if got := m.Misses(5); got != 5 {
+		t.Fatalf("Misses = %d, want 5", got)
+	}
+	// 3 full age intervals elapse at once: the counter must decay by 3,
+	// not by 1, and the residue must keep decaying on later reads.
+	c.Advance(600 * time.Millisecond)
+	if got := m.Misses(5); got != 2 {
+		t.Fatalf("Misses after 3 intervals = %d, want 2", got)
+	}
+	c.Advance(10 * cfg.AgeInterval)
+	if got := m.Misses(5); got != 0 {
+		t.Fatalf("counter did not drain to 0: %d", got)
+	}
+	// Draining past zero must not go negative (a fresh miss still counts).
+	m.Expect(key(1, 99), []wire.NodeID{5}, ExpectAny)
+	c.Advance(150 * time.Millisecond)
+	if got := m.Misses(5); got != 1 {
+		t.Fatalf("Misses after drain+miss = %d, want 1", got)
+	}
+}
+
+func TestMuteReSuspicionAfterHeal(t *testing.T) {
+	c := &fakeClock{}
+	cfg := muteCfg()
+	cfg.AgeInterval = 0 // isolate the TTL cycle from counter decay
+	m := NewMute(c.NowFunc(), cfg)
+	var events []bool
+	m.OnSuspect = func(id wire.NodeID, s bool) { events = append(events, s) }
+
+	m.Expect(key(1, 1), []wire.NodeID{5}, ExpectAny)
+	c.Advance(150 * time.Millisecond)
+	if !m.Suspected(5) {
+		t.Fatal("first suspicion missing")
+	}
+	c.Advance(2 * time.Second)
+	if m.Suspected(5) {
+		t.Fatal("first suspicion did not heal")
+	}
+	// The node misbehaves again after healing: a fresh suspicion must open
+	// with a fresh TTL and a fresh onChange(true).
+	m.Expect(key(1, 2), []wire.NodeID{5}, ExpectAny)
+	c.Advance(150 * time.Millisecond)
+	if !m.Suspected(5) {
+		t.Fatal("re-suspicion missing")
+	}
+	c.Advance(500 * time.Millisecond)
+	if !m.Suspected(5) {
+		t.Fatal("re-suspicion expired before its TTL")
+	}
+	c.Advance(time.Second)
+	if m.Suspected(5) {
+		t.Fatal("re-suspicion did not heal")
+	}
+	want := []bool{true, false, true, false}
+	if len(events) != len(want) {
+		t.Fatalf("onChange events = %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("onChange events = %v, want %v", events, want)
+		}
+	}
+}

@@ -97,6 +97,16 @@ type Medium struct {
 	stats   Stats
 	stopPos func()
 
+	// down marks nodes whose radio is off the air (crashed): they neither
+	// transmit nor receive. Installed by the fault-injection layer.
+	down []bool
+	// group is the partition group per node; nil means no partition. Frames
+	// cross only between nodes of the same group.
+	group []int
+	// extraLoss is an additional per-reception loss probability in [0,1),
+	// modelling a degraded radio environment (jamming, weather).
+	extraLoss float64
+
 	// OnTransmit, if non-nil, observes every frame put on the air.
 	OnTransmit func(from wire.NodeID, pkt *wire.Packet)
 
@@ -145,6 +155,75 @@ func (m *Medium) Attach(id wire.NodeID, fn func(*wire.Packet)) {
 	m.rx[id] = fn
 }
 
+// SetDown marks node id's radio as off the air (true) or restores it
+// (false). A down node neither transmits nor receives; frames still in
+// flight toward it when it goes down are lost.
+func (m *Medium) SetDown(id wire.NodeID, down bool) {
+	if m.down == nil {
+		m.down = make([]bool, m.n)
+	}
+	if int(id) < len(m.down) {
+		m.down[id] = down
+	}
+}
+
+// IsDown reports whether node id's radio is off the air.
+func (m *Medium) IsDown(id wire.NodeID) bool {
+	return m.down != nil && int(id) < len(m.down) && m.down[id]
+}
+
+// SetPartition installs a reachability mask: frames cross only between nodes
+// of the same group. Nodes not named in any group form one implicit extra
+// group of their own. A nil or empty groups argument heals the partition.
+func (m *Medium) SetPartition(groups [][]wire.NodeID) {
+	if len(groups) == 0 {
+		m.group = nil
+		return
+	}
+	m.group = make([]int, m.n)
+	for i := range m.group {
+		m.group[i] = 0 // implicit group for unlisted nodes
+	}
+	for gi, g := range groups {
+		for _, id := range g {
+			if int(id) < m.n {
+				m.group[id] = gi + 1
+			}
+		}
+	}
+}
+
+// Heal removes any installed partition mask.
+func (m *Medium) Heal() { m.group = nil }
+
+// SetExtraLoss sets the additional per-reception loss probability (clamped
+// to [0,1)), modelling a degraded radio environment. Zero restores the
+// nominal channel.
+func (m *Medium) SetExtraLoss(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p >= 1 {
+		p = 0.999
+	}
+	m.extraLoss = p
+}
+
+// ExtraLoss reports the current additional loss probability.
+func (m *Medium) ExtraLoss() float64 { return m.extraLoss }
+
+// linkUp reports whether frames can currently cross from a to b: both radios
+// on the air and, under a partition, in the same group.
+func (m *Medium) linkUp(a, b wire.NodeID) bool {
+	if m.IsDown(a) || m.IsDown(b) {
+		return false
+	}
+	if m.group != nil && int(a) < len(m.group) && int(b) < len(m.group) && m.group[a] != m.group[b] {
+		return false
+	}
+	return true
+}
+
 // Stats returns a snapshot of the physical-layer counters.
 func (m *Medium) Stats() Stats { return m.stats }
 
@@ -163,11 +242,38 @@ func (m *Medium) Pos(id wire.NodeID) geo.Point {
 // ground truth used by baselines and tests; the protocol itself discovers
 // neighbours from traffic.
 func (m *Medium) Neighbors(id wire.NodeID) []wire.NodeID {
+	if m.IsDown(id) {
+		return nil
+	}
 	p := m.Pos(id)
 	m.scratch = m.grid.Near(p, m.cfg.Range, m.scratch[:0])
 	out := make([]wire.NodeID, 0, len(m.scratch))
 	for _, raw := range m.scratch {
-		if wire.NodeID(raw) != id {
+		if wire.NodeID(raw) != id && m.linkUp(id, wire.NodeID(raw)) {
+			out = append(out, wire.NodeID(raw))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SolidNeighbors is Neighbors restricted to loss-free links: peers inside
+// the fringe-decay boundary (FringeStart*Range). Links beyond it exist but
+// drop receptions probabilistically, so they cannot carry any delivery
+// guarantee. With FringeStart >= 1 this equals Neighbors.
+func (m *Medium) SolidNeighbors(id wire.NodeID) []wire.NodeID {
+	if m.IsDown(id) {
+		return nil
+	}
+	solid := m.cfg.Range
+	if m.cfg.FringeStart < 1 {
+		solid = m.cfg.FringeStart * m.cfg.Range
+	}
+	p := m.Pos(id)
+	m.scratch = m.grid.Near(p, solid, m.scratch[:0])
+	out := make([]wire.NodeID, 0, len(m.scratch))
+	for _, raw := range m.scratch {
+		if wire.NodeID(raw) != id && m.linkUp(id, wire.NodeID(raw)) {
 			out = append(out, wire.NodeID(raw))
 		}
 	}
@@ -197,6 +303,9 @@ func (m *Medium) Busy(id wire.NodeID) bool {
 // fringe-loss, noise and half-duplex rules. The caller must have set
 // pkt.Sender; the medium does not alter the packet.
 func (m *Medium) Broadcast(from wire.NodeID, pkt *wire.Packet) {
+	if m.IsDown(from) {
+		return // radio is off the air; the frame vanishes
+	}
 	now := m.eng.Now()
 	size := pkt.AirSize()
 	dur := m.Airtime(size)
@@ -215,7 +324,7 @@ func (m *Medium) Broadcast(from wire.NodeID, pkt *wire.Packet) {
 
 	for _, raw := range m.scratch {
 		dst := wire.NodeID(raw)
-		if dst == from {
+		if dst == from || !m.linkUp(from, dst) {
 			continue
 		}
 		dist := src.Dist(m.Pos(dst))
@@ -267,6 +376,9 @@ func (m *Medium) finishReception(from, dst wire.NodeID, rec *reception, dist flo
 		m.stats.Collisions++
 		return
 	}
+	if !m.linkUp(from, dst) {
+		return // receiver crashed or a partition landed while the frame was in flight
+	}
 	if m.cfg.HalfDuplex && m.transmittedDuring(dst, rec.start, rec.end) {
 		m.stats.HalfDuplexDrop++
 		return
@@ -286,6 +398,9 @@ func (m *Medium) finishReception(from, dst wire.NodeID, rec *reception, dist flo
 // receives draws the distance-dependent reception outcome.
 func (m *Medium) receives(dist float64) bool {
 	rng := m.eng.Rand()
+	if m.extraLoss > 0 && rng.Float64() < m.extraLoss {
+		return false
+	}
 	if m.cfg.BaseLoss > 0 && rng.Float64() < m.cfg.BaseLoss {
 		return false
 	}

@@ -359,3 +359,116 @@ func TestCaptureDisabledByDefault(t *testing.T) {
 		t.Fatalf("capture disabled but %d frames survived an overlap", delivered)
 	}
 }
+
+func TestDownNodeNeitherSendsNorReceives(t *testing.T) {
+	eng, m := lineNetwork(t, 100, 3, idealConfig())
+	var got []wire.NodeID
+	for i := 0; i < 3; i++ {
+		id := wire.NodeID(i)
+		m.Attach(id, func(*wire.Packet) { got = append(got, id) })
+	}
+	m.SetDown(1, true)
+	if !m.IsDown(1) || m.IsDown(0) {
+		t.Fatal("IsDown wrong")
+	}
+	m.Broadcast(0, dataPkt(0))
+	eng.RunAll()
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("want only node 2 to receive, got %v", got)
+	}
+	got = nil
+	m.Broadcast(1, dataPkt(1))
+	eng.RunAll()
+	if len(got) != 0 {
+		t.Fatalf("down node transmitted: %v", got)
+	}
+	m.SetDown(1, false)
+	m.Broadcast(0, dataPkt(0))
+	eng.RunAll()
+	if len(got) != 2 {
+		t.Fatalf("recovered node silent, got %v", got)
+	}
+}
+
+func TestDownNodeExcludedFromNeighbors(t *testing.T) {
+	_, m := lineNetwork(t, 100, 3, idealConfig())
+	m.SetDown(1, true)
+	if nbs := m.Neighbors(1); nbs != nil {
+		t.Fatalf("down node has neighbours: %v", nbs)
+	}
+	for _, nb := range m.Neighbors(0) {
+		if nb == 1 {
+			t.Fatal("down node listed as a neighbour")
+		}
+	}
+}
+
+func TestPartitionBlocksCrossGroupFrames(t *testing.T) {
+	eng, m := lineNetwork(t, 100, 4, idealConfig())
+	var got []wire.NodeID
+	for i := 0; i < 4; i++ {
+		id := wire.NodeID(i)
+		m.Attach(id, func(*wire.Packet) { got = append(got, id) })
+	}
+	// Nodes 0,1 in a named group; 2,3 in the implicit remainder group.
+	m.SetPartition([][]wire.NodeID{{0, 1}})
+	m.Broadcast(1, dataPkt(1))
+	eng.RunAll()
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("partition leaked: %v", got)
+	}
+	for _, nb := range m.Neighbors(1) {
+		if nb == 2 {
+			t.Fatal("cross-partition neighbour listed")
+		}
+	}
+	got = nil
+	m.Heal()
+	m.Broadcast(1, dataPkt(1))
+	eng.RunAll()
+	if len(got) != 3 {
+		t.Fatalf("heal did not restore links: %v", got)
+	}
+}
+
+func TestCrashLosesInFlightFrames(t *testing.T) {
+	eng, m := lineNetwork(t, 100, 2, idealConfig())
+	var got int
+	m.Attach(1, func(*wire.Packet) { got++ })
+	m.Broadcast(0, dataPkt(0))
+	// Crash the receiver while the frame is on the air.
+	m.SetDown(1, true)
+	eng.RunAll()
+	if got != 0 {
+		t.Fatal("frame delivered to a node that crashed mid-flight")
+	}
+}
+
+func TestExtraLossDegradesDelivery(t *testing.T) {
+	cfg := idealConfig()
+	eng, m := lineNetwork(t, 100, 2, cfg)
+	var got int
+	m.Attach(1, func(*wire.Packet) { got++ })
+	m.SetExtraLoss(1.0) // clamped just below 1: almost everything drops
+	if m.ExtraLoss() <= 0 || m.ExtraLoss() >= 1 {
+		t.Fatalf("ExtraLoss = %v", m.ExtraLoss())
+	}
+	const rounds = 50
+	for i := 0; i < rounds; i++ {
+		m.Broadcast(0, dataPkt(0))
+		eng.RunAll()
+	}
+	degraded := got
+	if degraded > rounds/4 {
+		t.Fatalf("0.999 loss delivered %d/%d", degraded, rounds)
+	}
+	m.SetExtraLoss(0)
+	got = 0
+	for i := 0; i < rounds; i++ {
+		m.Broadcast(0, dataPkt(0))
+		eng.RunAll()
+	}
+	if got != rounds {
+		t.Fatalf("restored medium delivered %d/%d", got, rounds)
+	}
+}

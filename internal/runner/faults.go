@@ -1,0 +1,258 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"bbcast/internal/byzantine"
+	"bbcast/internal/core"
+	"bbcast/internal/faultplan"
+	"bbcast/internal/fd"
+	"bbcast/internal/invariant"
+	"bbcast/internal/radio"
+	"bbcast/internal/sig"
+	"bbcast/internal/sim"
+	"bbcast/internal/wire"
+)
+
+// buildChecker constructs the invariant checker for a run, gating off checks
+// that do not apply to the configured protocol: overlay recovery and
+// detector soundness are meaningless for the baselines, and validity is only
+// promised when the recovery machinery is on (flooding legitimately leaves a
+// tail of undelivered messages). Returns nil when nothing is enabled.
+func buildChecker(sc Scenario, eng *sim.Engine, medium *radio.Medium, protos []broadcaster, correct []bool) *invariant.Checker {
+	cfg := sc.Invariants
+	if sc.Protocol != ProtoByzCast {
+		cfg.Validity = false
+		cfg.Recovery = false
+		cfg.Detectors = false
+	} else {
+		if !sc.Core.EnableRecovery {
+			cfg.Validity = false
+		}
+		if !sc.Core.EnableFDs {
+			cfg.Detectors = false
+		}
+	}
+	if !cfg.Enabled() {
+		return nil
+	}
+	coreAt := func(id wire.NodeID) *core.Protocol {
+		cp, _ := protos[id].(*core.Protocol)
+		return cp
+	}
+	return invariant.New(cfg, eng.Now, invariant.Probes{
+		N: sc.N,
+		Correct: func(id wire.NodeID) bool {
+			return int(id) < len(correct) && correct[id]
+		},
+		Up: func(id wire.NodeID) bool { return !medium.IsDown(id) },
+		Neighbors: func(id wire.NodeID) []wire.NodeID {
+			return medium.Neighbors(id)
+		},
+		ReliableNeighbors: func(id wire.NodeID) []wire.NodeID {
+			return medium.SolidNeighbors(id)
+		},
+		OverlayActive: func(id wire.NodeID) bool {
+			cp := coreAt(id)
+			return cp != nil && cp.InOverlay()
+		},
+		Suspects: func(observer, subject wire.NodeID) bool {
+			cp := coreAt(observer)
+			return cp != nil && cp.Trust().Level(subject) == fd.Untrusted
+		},
+	})
+}
+
+// scheduleFaultPlan installs the expanded plan on the engine. Each event
+// fires as a named epoch ("fault:<name>"), so every observer registered via
+// OnEpoch — the result event log, the invariant checker, the tracer — sees
+// the same timeline. Behaviour construction happens here, at schedule time,
+// so a bad swap name fails the run before it starts.
+func scheduleFaultPlan(sc Scenario, eng *sim.Engine, medium *radio.Medium, switchables []*byzantine.Switchable, scheme sig.Scheme, chk *invariant.Checker, events []faultplan.Event) error {
+	recoveryChecked := make(map[time.Duration]bool)
+	for _, e := range events {
+		e := e
+		var apply func()
+		topology := false
+		switch e.Kind {
+		case faultplan.Crash:
+			topology = true
+			apply = func() {
+				medium.SetDown(e.Node, true)
+				if chk != nil {
+					chk.OnDown(e.Node, eng.Now())
+				}
+			}
+		case faultplan.Recover:
+			topology = true
+			apply = func() {
+				medium.SetDown(e.Node, false)
+				if chk != nil {
+					chk.OnUp(e.Node, eng.Now())
+				}
+			}
+		case faultplan.Partition:
+			topology = true
+			groups := groupVector(e.Groups, sc.N)
+			apply = func() {
+				medium.SetPartition(e.Groups)
+				if chk != nil {
+					chk.OnPartition(groups, eng.Now())
+				}
+			}
+		case faultplan.Heal:
+			topology = true
+			apply = func() {
+				medium.Heal()
+				if chk != nil {
+					chk.OnPartition(nil, eng.Now())
+				}
+			}
+		case faultplan.DegradeRadio:
+			end := e.At + e.Duration
+			apply = func() {
+				medium.SetExtraLoss(e.LossFactor)
+				eng.AtEpoch(end, "fault:radio-restored", func() {
+					medium.SetExtraLoss(0)
+				})
+			}
+		case faultplan.SwapBehavior:
+			b, err := byzantine.Make(e.Behavior, e.Node,
+				eng.SubRand(uint64(e.Node)+3<<32), signerFor(scheme, e.Node))
+			if err != nil {
+				return fmt.Errorf("runner: fault plan: %w", err)
+			}
+			sw := switchables[e.Node]
+			apply = func() { sw.Set(b) }
+		default:
+			return fmt.Errorf("runner: fault plan: unknown kind %q", e.Kind)
+		}
+		eng.AtEpoch(e.At, "fault:"+e.Name(), apply)
+		// After every topology change, the overlay must re-cover the network
+		// before the RecoveryWindow deadline. Roles legitimately flap while
+		// the detectors digest the change, so probe every couple of seconds
+		// and record a violation only if no probe comes back clean in time.
+		if topology && chk != nil && sc.Invariants.Recovery && !recoveryChecked[e.At] {
+			recoveryChecked[e.At] = true
+			deadline := e.At + sc.Invariants.RecoveryWindow
+			var probe func()
+			probe = func() {
+				vs := chk.ProbeRecovery()
+				if len(vs) == 0 {
+					return
+				}
+				if eng.Now() >= deadline {
+					chk.Report(vs...)
+					return
+				}
+				eng.After(2*time.Second, probe)
+			}
+			eng.At(e.At+2*time.Second, probe)
+		}
+	}
+	return nil
+}
+
+// groupVector flattens partition groups into a per-node group index, with
+// the same semantics as radio.Medium.SetPartition: nodes listed in group i
+// get index i+1, unlisted nodes share the implicit group 0.
+func groupVector(groups [][]wire.NodeID, n int) []int {
+	out := make([]int, n)
+	for gi, g := range groups {
+		for _, id := range g {
+			if int(id) < n {
+				out[id] = gi + 1
+			}
+		}
+	}
+	return out
+}
+
+// signerFor restricts a scheme to signing as one node — behaviours may only
+// ever sign with their own key, per the system model.
+func signerFor(scheme sig.Scheme, id wire.NodeID) func([]byte) []byte {
+	return func(data []byte) []byte {
+		return scheme.Sign(uint32(id), data)
+	}
+}
+
+// ReproCommand renders a one-line bbsim invocation that reproduces the
+// scenario, including the fault plan inline. Printed alongside invariant
+// violations so a failing chaos run can be replayed directly.
+func ReproCommand(sc Scenario) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bbsim -seed %d -n %d", sc.Seed, sc.N)
+	if sc.Protocol != ProtoByzCast {
+		fmt.Fprintf(&b, " -proto %s", sc.Protocol)
+	}
+	def := DefaultScenario()
+	if sc.Area.W != def.Area.W {
+		fmt.Fprintf(&b, " -area %g", sc.Area.W)
+	}
+	if sc.Radio.Range > 0 && sc.Radio.Range != def.Radio.Range {
+		fmt.Fprintf(&b, " -range %g", sc.Radio.Range)
+	}
+	w := sc.Workload
+	if w.Rate != def.Workload.Rate {
+		fmt.Fprintf(&b, " -rate %g", w.Rate)
+	}
+	if w.Senders != def.Workload.Senders {
+		fmt.Fprintf(&b, " -senders %d", w.Senders)
+	}
+	if w.PayloadSize != def.Workload.PayloadSize {
+		fmt.Fprintf(&b, " -size %d", w.PayloadSize)
+	}
+	fmt.Fprintf(&b, " -duration %s", sc.Duration)
+	if w.Start != def.Workload.Start {
+		fmt.Fprintf(&b, " -warmup %s", w.Start)
+	}
+	if drain := sc.Duration - w.End; drain != 10*time.Second {
+		fmt.Fprintf(&b, " -drain %s", drain)
+	}
+	for _, a := range sc.Adversaries {
+		switch a.Kind {
+		case AdvMute, AdvMuteSilent:
+			fmt.Fprintf(&b, " -mute %d", a.Count)
+		case AdvVerbose:
+			fmt.Fprintf(&b, " -verbose %d", a.Count)
+		case AdvTamper:
+			fmt.Fprintf(&b, " -tamper %d", a.Count)
+		case AdvSelective:
+			fmt.Fprintf(&b, " -selective %d", a.Count)
+		case AdvEquivocate:
+			fmt.Fprintf(&b, " -equivocate %d", a.Count)
+		}
+	}
+	if sc.Placement == PlaceDominators {
+		b.WriteString(" -placement dominators")
+	}
+	if name := mobilityFlag(sc.Mobility); name != "grid" {
+		fmt.Fprintf(&b, " -mobility %s -speed %g", name, sc.Speed)
+	}
+	if !sc.Core.EnableFDs {
+		b.WriteString(" -no-fd")
+	}
+	if sc.FaultPlan != nil {
+		fmt.Fprintf(&b, " -faults '%s'", sc.FaultPlan.String())
+	}
+	return b.String()
+}
+
+func mobilityFlag(m MobilityKind) string {
+	switch m {
+	case MobUniform:
+		return "uniform"
+	case MobWaypoint:
+		return "waypoint"
+	case MobWalk:
+		return "walk"
+	case MobGaussMarkov:
+		return "gauss-markov"
+	case MobFerry:
+		return "ferry"
+	default:
+		return "grid"
+	}
+}

@@ -1,0 +1,202 @@
+package runner
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"bbcast/internal/faultplan"
+	"bbcast/internal/wire"
+)
+
+func chaosScenario() Scenario {
+	sc := quickScenario()
+	sc.FaultPlan = &faultplan.Plan{
+		Events: []faultplan.Event{
+			{At: 20 * time.Second, Kind: faultplan.Crash, Node: 7},
+			{At: 35 * time.Second, Kind: faultplan.Recover, Node: 7},
+			{At: 25 * time.Second, Kind: faultplan.DegradeRadio,
+				LossFactor: 0.2, Duration: 5 * time.Second},
+		},
+	}
+	return sc
+}
+
+func TestFaultPlanDeterministic(t *testing.T) {
+	sc := chaosScenario()
+	sc.FaultPlan.Churn = &faultplan.Churn{
+		Rate: 0.3, Start: 15 * time.Second, End: 40 * time.Second}
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.FaultEvents, b.FaultEvents) {
+		t.Fatalf("same seed, different fault timelines:\n%v\n%v", a.FaultEvents, b.FaultEvents)
+	}
+	if a.DeliveryRatio != b.DeliveryRatio || a.TotalTx != b.TotalTx {
+		t.Fatalf("same seed, different outcomes: %.4f/%d vs %.4f/%d",
+			a.DeliveryRatio, a.TotalTx, b.DeliveryRatio, b.TotalTx)
+	}
+	sc.Seed = sc.Seed + 1
+	c, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.FaultEvents, c.FaultEvents) {
+		t.Fatal("different seeds produced identical churn timelines")
+	}
+}
+
+func TestFaultEventsRecordedAndTraced(t *testing.T) {
+	var buf bytes.Buffer
+	sc := chaosScenario()
+	sc.Trace = &buf
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 planned events + the scheduled radio restoration.
+	if len(res.FaultEvents) != 4 {
+		t.Fatalf("fault events = %v", res.FaultEvents)
+	}
+	if res.FaultEvents[0].Name != "crash(7)" || res.FaultEvents[0].At != 20*time.Second {
+		t.Fatalf("first event = %+v", res.FaultEvents[0])
+	}
+	names := make([]string, len(res.FaultEvents))
+	for i, e := range res.FaultEvents {
+		names[i] = e.Name
+	}
+	joined := strings.Join(names, " ")
+	for _, want := range []string{"crash(7)", "recover(7)", "degrade-radio", "radio-restored"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in %v", want, names)
+		}
+	}
+
+	var faults []string
+	scanner := bufio.NewScanner(&buf)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		var ev struct {
+			Type   string `json:"type"`
+			Detail string `json:"detail"`
+		}
+		if err := json.Unmarshal(scanner.Bytes(), &ev); err != nil {
+			t.Fatalf("trace line not JSON: %v", err)
+		}
+		if ev.Type == "fault" {
+			faults = append(faults, ev.Detail)
+		}
+	}
+	if len(faults) != 4 || faults[0] != "crash(7)" {
+		t.Fatalf("trace fault events = %v", faults)
+	}
+}
+
+func TestPartitionHealRunsClean(t *testing.T) {
+	sc := quickScenario()
+	sc.Duration = 90 * time.Second
+	sc.Workload.End = 75 * time.Second
+	var left []wire.NodeID
+	for i := 0; i < sc.N/2; i++ {
+		left = append(left, wire.NodeID(i))
+	}
+	sc.FaultPlan = &faultplan.Plan{Events: []faultplan.Event{
+		{At: 25 * time.Second, Kind: faultplan.Partition, Groups: [][]wire.NodeID{left}},
+		{At: 50 * time.Second, Kind: faultplan.Heal},
+	}}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("clean partition/heal run violated invariants: %v", res.Violations)
+	}
+	if res.DeliveryRatio < 0.5 {
+		t.Fatalf("delivery collapsed: %.3f", res.DeliveryRatio)
+	}
+}
+
+func TestSwapBehaviorExcludedFromCorrect(t *testing.T) {
+	sc := quickScenario()
+	sc.FaultPlan = &faultplan.Plan{Events: []faultplan.Event{
+		{At: 20 * time.Second, Kind: faultplan.SwapBehavior, Node: 4, Behavior: "mute"},
+		{At: 22 * time.Second, Kind: faultplan.SwapBehavior, Node: 9, Behavior: "tamper"},
+	}}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumCorrect != sc.N-2 {
+		t.Fatalf("NumCorrect = %d, want %d", res.NumCorrect, sc.N-2)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("swap run violated invariants: %v", res.Violations)
+	}
+}
+
+func TestEquivocationFiresAgreement(t *testing.T) {
+	sc := quickScenario()
+	sc.Adversaries = []Adversaries{{Kind: AdvEquivocate, Count: 1}}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agreement int
+	for _, v := range res.Violations {
+		if v.Invariant == "agreement" {
+			agreement++
+		}
+	}
+	if agreement == 0 {
+		t.Fatal("equivocating source produced no agreement violations")
+	}
+	if !strings.Contains(res.Repro, "-seed") || !strings.Contains(res.Repro, "-equivocate 1") {
+		t.Fatalf("repro line incomplete: %q", res.Repro)
+	}
+}
+
+func TestInvariantsCleanOnAdversarialRuns(t *testing.T) {
+	// Non-equivocating adversaries must not trip the checker: the protocol
+	// tolerates them, and the invariants are scoped to what it promises.
+	sc := quickScenario()
+	sc.Adversaries = []Adversaries{
+		{Kind: AdvMute, Count: 5},
+		{Kind: AdvTamper, Count: 2},
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("false positives: %v", res.Violations)
+	}
+}
+
+func TestReproCommandRendersScenario(t *testing.T) {
+	sc := DefaultScenario()
+	sc.Seed = 42
+	sc.N = 80
+	sc.Adversaries = []Adversaries{{Kind: AdvMute, Count: 3}}
+	sc.FaultPlan = &faultplan.Plan{Events: []faultplan.Event{
+		{At: 10 * time.Second, Kind: faultplan.Crash, Node: 1},
+	}}
+	cmd := ReproCommand(sc)
+	for _, want := range []string{"bbsim -seed 42", "-n 80", "-mute 3", `-faults '{"events"`} {
+		if !strings.Contains(cmd, want) {
+			t.Errorf("repro %q missing %q", cmd, want)
+		}
+	}
+	// Defaults stay off the line.
+	if strings.Contains(cmd, "-proto") || strings.Contains(cmd, "-no-fd") {
+		t.Errorf("repro includes default flags: %q", cmd)
+	}
+}

@@ -8,14 +8,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"bbcast/internal/baseline"
 	"bbcast/internal/byzantine"
 	"bbcast/internal/core"
 	"bbcast/internal/env"
+	"bbcast/internal/faultplan"
 	"bbcast/internal/fd"
 	"bbcast/internal/geo"
+	"bbcast/internal/invariant"
 	"bbcast/internal/mac"
 	"bbcast/internal/metrics"
 	"bbcast/internal/mobility"
@@ -93,6 +96,9 @@ const (
 	AdvVerbose
 	AdvTamper
 	AdvSelective
+	// AdvEquivocate signs conflicting payloads for its own messages — the
+	// attack the agreement invariant exists to catch.
+	AdvEquivocate
 )
 
 // Adversaries places Count nodes with the given behaviour. Adversaries are
@@ -156,10 +162,20 @@ type Scenario struct {
 	// topology and overlay to this path.
 	SnapshotSVG string
 	// Trace, when non-nil, receives a JSON line per simulation event
-	// (transmissions, injections, acceptances, role changes).
+	// (transmissions, injections, acceptances, role changes, fault events).
 	Trace io.Writer
 	// Duration is the total simulated time (allow drain past Workload.End).
 	Duration time.Duration
+
+	// FaultPlan, when non-nil, is the chaos schedule executed during the
+	// run: crashes, recoveries, partitions, radio degradation, behaviour
+	// swaps and churn, all deterministic per seed.
+	FaultPlan *faultplan.Plan
+	// Invariants selects the runtime invariant checks. The zero value
+	// disables them; DefaultScenario enables the full set. Checks that do
+	// not apply to the configured protocol (overlay recovery for flooding,
+	// validity without the recovery machinery) are gated off automatically.
+	Invariants invariant.Config
 }
 
 // DefaultScenario returns the base configuration the experiments perturb:
@@ -184,7 +200,8 @@ func DefaultScenario() Scenario {
 			Start:       15 * time.Second,
 			End:         75 * time.Second,
 		},
-		Duration: 85 * time.Second,
+		Duration:   85 * time.Second,
+		Invariants: invariant.DefaultConfig(),
 	}
 }
 
@@ -207,6 +224,25 @@ type Result struct {
 	AdversariesDetected int
 	// Timeline is filled when Scenario.LatencyBucket is set.
 	Timeline []metrics.Bucket
+	// NumCorrect is how many nodes count as correct for metrics and
+	// invariants: not adversarial at t=0 and never swapped to a faulty
+	// behaviour by the fault plan.
+	NumCorrect int
+	// FaultEvents is the timestamped log of fault-plan events that fired,
+	// in firing order — the timeline to correlate delivery dips against.
+	FaultEvents []FaultRecord
+	// Violations are the invariant breaches detected during the run. A
+	// violated run still returns metrics; callers decide whether to fail.
+	Violations []invariant.Violation
+	// Repro, set when Violations is non-empty, is a one-line bbsim command
+	// (seed, scenario and inline fault plan) that reproduces the failure.
+	Repro string
+}
+
+// FaultRecord is one fault-plan event that fired during the run.
+type FaultRecord struct {
+	At   time.Duration
+	Name string
 }
 
 // Run executes the scenario and returns its results.
@@ -252,11 +288,26 @@ func Run(sc Scenario) (Result, error) {
 		}
 	}
 
-	behaviors := assignAdversaries(sc, eng, medium)
+	behaviors := assignAdversaries(sc, eng, medium, scheme)
 	correct := make([]bool, sc.N)
 	for i := range correct {
 		_, isAdv := behaviors[wire.NodeID(i)]
 		correct[i] = !isAdv
+	}
+
+	var planEvents []faultplan.Event
+	if sc.FaultPlan != nil {
+		if err := sc.FaultPlan.Validate(sc.N); err != nil {
+			return Result{}, err
+		}
+		// Churn expansion draws from a dedicated substream so the schedule
+		// is deterministic per seed without touching the engine stream.
+		planEvents = sc.FaultPlan.Expanded(eng.SubRand(0xfa17), sc.N)
+		// A node the plan ever turns faulty is conservatively not "correct"
+		// for the whole run, for both metrics and invariants.
+		for _, id := range sc.FaultPlan.SwapTargets() {
+			correct[id] = false
+		}
 	}
 	numCorrect := 0
 	for _, c := range correct {
@@ -267,7 +318,23 @@ func Run(sc Scenario) (Result, error) {
 
 	protos := make([]broadcaster, sc.N)
 	macs := make([]*mac.MAC, sc.N)
+	switchables := make([]*byzantine.Switchable, sc.N)
 	clock := env.SimClock{Eng: eng}
+
+	chk := buildChecker(sc, eng, medium, protos, correct)
+
+	// Behaviour ticks run for t=0 adversaries and for any node a fault plan
+	// may swap to an active behaviour later. (Correct.Tick is a no-op, so the
+	// extra loops change nothing until the swap fires.)
+	needsTick := make(map[wire.NodeID]bool, len(behaviors))
+	for id := range behaviors {
+		needsTick[id] = true
+	}
+	for _, e := range planEvents {
+		if e.Kind == faultplan.SwapBehavior {
+			needsTick[e.Node] = true
+		}
+	}
 
 	var fpOverlays [][]int
 	if sc.Protocol == ProtoFPlusOne {
@@ -284,7 +351,8 @@ func Run(sc Scenario) (Result, error) {
 	for i := 0; i < sc.N; i++ {
 		id := wire.NodeID(i)
 		macs[i] = mac.New(eng, medium, id, eng.SubRand(uint64(i)), sc.MAC)
-		behavior := behaviorFor(behaviors, id)
+		behavior := byzantine.NewSwitchable(behaviorFor(behaviors, id))
+		switchables[i] = behavior
 		m := macs[i]
 		send := func(pkt *wire.Packet) {
 			if out := behavior.FilterSend(pkt); out != nil {
@@ -301,6 +369,9 @@ func Run(sc Scenario) (Result, error) {
 		if correct[i] {
 			deps.Deliver = func(origin wire.NodeID, mid wire.MsgID, payload []byte) {
 				collector.OnAccept(id, mid, eng.Now())
+				if chk != nil {
+					chk.OnDeliver(id, mid, payload)
+				}
 				if tracer != nil {
 					tracer.Emit(trace.Event{
 						T: trace.At(eng.Now()), Node: id, Type: trace.TypeAccept,
@@ -338,15 +409,38 @@ func Run(sc Scenario) (Result, error) {
 			behavior.OnReceive(pkt)
 			p.HandlePacket(pkt)
 		})
-		if _, isAdv := behaviors[id]; isAdv {
+		if needsTick[id] {
 			b := behavior
 			eng.Every(byzantine.TickInterval, func() { b.Tick(m.Send) })
 		}
 	}
 
-	scheduleWorkload(sc, eng, protos, correct, collector, tracer)
+	var faultEvents []FaultRecord
+	if len(planEvents) > 0 {
+		eng.OnEpoch(func(ep sim.Epoch) {
+			name := strings.TrimPrefix(ep.Name, "fault:")
+			faultEvents = append(faultEvents, FaultRecord{At: ep.At, Name: name})
+			if chk != nil {
+				chk.OnFault(name, ep.At)
+			}
+			if tracer != nil {
+				tracer.Emit(trace.Event{
+					T: trace.At(ep.At), Type: trace.TypeFault, Detail: name,
+				})
+			}
+		})
+		if err := scheduleFaultPlan(sc, eng, medium, switchables, scheme, chk, planEvents); err != nil {
+			return Result{}, err
+		}
+	}
+
+	scheduleWorkload(sc, eng, protos, correct, collector, tracer, chk)
 
 	eng.Run(sc.Duration)
+
+	if chk != nil {
+		chk.Finish(eng.Now())
+	}
 
 	if debugInspect != nil {
 		cores := make([]*core.Protocol, sc.N)
@@ -356,7 +450,13 @@ func Run(sc Scenario) (Result, error) {
 		debugInspect(cores)
 	}
 
-	res := Result{Phys: medium.Stats()}
+	res := Result{Phys: medium.Stats(), FaultEvents: faultEvents, NumCorrect: numCorrect}
+	if chk != nil {
+		res.Violations = chk.Violations()
+		if len(res.Violations) > 0 {
+			res.Repro = ReproCommand(sc)
+		}
+	}
 	res.Results = collector.Summarize(sc.Protocol.String(), sc.N, func(origin wire.NodeID) int {
 		if correct[origin] {
 			return numCorrect - 1
@@ -447,7 +547,7 @@ func buildScheme(sc Scenario) (sig.Scheme, error) {
 // assignAdversaries spreads the configured behaviours across the id space,
 // starting from the top id and stepping so adversaries land in distinct
 // regions of the (id-ordered) placement.
-func assignAdversaries(sc Scenario, eng *sim.Engine, medium *radio.Medium) map[wire.NodeID]byzantine.Behavior {
+func assignAdversaries(sc Scenario, eng *sim.Engine, medium *radio.Medium, scheme sig.Scheme) map[wire.NodeID]byzantine.Behavior {
 	out := make(map[wire.NodeID]byzantine.Behavior)
 	total := 0
 	for _, a := range sc.Adversaries {
@@ -505,6 +605,8 @@ func assignAdversaries(sc Scenario, eng *sim.Engine, medium *radio.Medium) map[w
 				out[id] = &byzantine.Tamper{Self: id}
 			case AdvSelective:
 				out[id] = &byzantine.SelectiveDrop{Self: id, Rng: eng.SubRand(uint64(id) + 2<<32), DropProb: 0.5}
+			case AdvEquivocate:
+				out[id] = &byzantine.Equivocate{Self: id, Sign: signerFor(scheme, id)}
 			default:
 				out[id] = &byzantine.Mute{Self: id}
 			}
@@ -593,7 +695,7 @@ func adjacency(medium *radio.Medium, n int, maxDist float64) [][]bool {
 }
 
 // scheduleWorkload injects messages per the scenario's workload description.
-func scheduleWorkload(sc Scenario, eng *sim.Engine, protos []broadcaster, correct []bool, collector *metrics.Collector, tracer *trace.Writer) {
+func scheduleWorkload(sc Scenario, eng *sim.Engine, protos []broadcaster, correct []bool, collector *metrics.Collector, tracer *trace.Writer, chk *invariant.Checker) {
 	w := sc.Workload
 	if w.Rate <= 0 || w.Senders <= 0 {
 		return
@@ -620,6 +722,9 @@ func scheduleWorkload(sc Scenario, eng *sim.Engine, protos []broadcaster, correc
 		eng.At(at, func() {
 			id := protos[sender].Broadcast(payload)
 			collector.OnInject(id, wire.NodeID(sender), eng.Now())
+			if chk != nil {
+				chk.OnInject(id, wire.NodeID(sender), eng.Now())
+			}
 			if tracer != nil {
 				tracer.Emit(trace.Event{
 					T: trace.At(eng.Now()), Node: wire.NodeID(sender),

@@ -21,6 +21,9 @@ type Engine struct {
 	rng       *rand.Rand
 	seed      int64
 	processed uint64
+
+	epochs     []Epoch
+	epochHooks []func(Epoch)
 }
 
 // New returns an Engine whose clock starts at zero and whose random stream is
@@ -118,6 +121,45 @@ func (e *Engine) Every(period time.Duration, fn func()) (stop func()) {
 		stopped = true
 		cur.Stop()
 	}
+}
+
+// Epoch is a named marker in virtual time. Epochs give a run a coarse,
+// inspectable timeline: the fault-injection layer schedules each fault event
+// as a named epoch, and observers (invariant checkers, tracers) subscribe to
+// the firings without coupling to the scheduler of those events.
+type Epoch struct {
+	Name string
+	At   time.Duration
+}
+
+// AtEpoch schedules fn at absolute virtual time t like At, and additionally
+// records a named epoch and notifies OnEpoch observers when it fires. The
+// epoch is recorded before fn runs, so fn (and anything it schedules at the
+// same instant) observes it.
+func (e *Engine) AtEpoch(t time.Duration, name string, fn func()) *Timer {
+	return e.At(t, func() {
+		ep := Epoch{Name: name, At: e.now}
+		e.epochs = append(e.epochs, ep)
+		for _, h := range e.epochHooks {
+			h(ep)
+		}
+		if fn != nil {
+			fn()
+		}
+	})
+}
+
+// OnEpoch registers an observer for epoch firings. Observers run in
+// registration order, synchronously, before the epoch's own callback.
+func (e *Engine) OnEpoch(h func(Epoch)) {
+	e.epochHooks = append(e.epochHooks, h)
+}
+
+// Epochs returns a copy of the epochs fired so far, in firing order.
+func (e *Engine) Epochs() []Epoch {
+	out := make([]Epoch, len(e.epochs))
+	copy(out, e.epochs)
+	return out
 }
 
 // Step fires the earliest pending event. It reports false when the queue is

@@ -276,3 +276,56 @@ func TestQuickTimerStopSubset(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEpochsRecordedAndObserved(t *testing.T) {
+	e := New(1)
+	var observed []string
+	var fired []string
+	e.OnEpoch(func(ep Epoch) {
+		observed = append(observed, ep.Name)
+		// The epoch must already be visible to observers.
+		eps := e.Epochs()
+		if len(eps) == 0 || eps[len(eps)-1].Name != ep.Name {
+			t.Errorf("epoch %q not recorded before observers ran", ep.Name)
+		}
+	})
+	e.AtEpoch(2*time.Second, "beta", func() { fired = append(fired, "beta") })
+	e.AtEpoch(1*time.Second, "alpha", func() { fired = append(fired, "alpha") })
+	e.AtEpoch(3*time.Second, "gamma", nil) // nil callback is allowed
+	e.RunAll()
+
+	wantNames := []string{"alpha", "beta", "gamma"}
+	eps := e.Epochs()
+	if len(eps) != 3 {
+		t.Fatalf("got %d epochs", len(eps))
+	}
+	for i, ep := range eps {
+		if ep.Name != wantNames[i] {
+			t.Fatalf("epoch %d = %q, want %q", i, ep.Name, wantNames[i])
+		}
+		if ep.At != time.Duration(i+1)*time.Second {
+			t.Fatalf("epoch %q at %s", ep.Name, ep.At)
+		}
+	}
+	if len(observed) != 3 || observed[0] != "alpha" {
+		t.Fatalf("observers saw %v", observed)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("callbacks fired %v", fired)
+	}
+	// Epochs() returns a copy.
+	eps[0].Name = "mutated"
+	if e.Epochs()[0].Name != "alpha" {
+		t.Fatal("Epochs() exposed internal state")
+	}
+}
+
+func TestEpochTimerStopPreventsRecording(t *testing.T) {
+	e := New(1)
+	tm := e.AtEpoch(time.Second, "cancelled", nil)
+	tm.Stop()
+	e.RunAll()
+	if len(e.Epochs()) != 0 {
+		t.Fatalf("stopped epoch recorded: %v", e.Epochs())
+	}
+}

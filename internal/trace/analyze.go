@@ -23,6 +23,20 @@ type MessageStats struct {
 	Last time.Duration
 }
 
+// FaultStat is one fault-plan event with the acceptance rate around it, so
+// a delivery dip can be read off next to the fault that caused it.
+type FaultStat struct {
+	At   time.Duration
+	Name string
+	// AcceptsBefore and AcceptsAfter count application-level acceptances in
+	// the faultWindow preceding and following the event.
+	AcceptsBefore int
+	AcceptsAfter  int
+}
+
+// faultWindow is the correlation window around each fault event.
+const faultWindow = 10 * time.Second
+
 // Analysis is the digest of a whole trace.
 type Analysis struct {
 	Events   int
@@ -30,6 +44,8 @@ type Analysis struct {
 	Messages []MessageStats
 	// RoleChanges counts committed role transitions per node id.
 	RoleChanges map[string]int
+	// Faults lists fault-plan events with accept counts around each.
+	Faults []FaultStat
 }
 
 // Analyze reads a JSONL trace and digests it. Unparseable lines are counted
@@ -41,6 +57,7 @@ func Analyze(r io.Reader) (Analysis, error) {
 	}
 	injected := map[string]time.Duration{}
 	accepts := map[string][]time.Duration{}
+	var acceptTimes []time.Duration
 
 	scanner := bufio.NewScanner(r)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
@@ -61,8 +78,13 @@ func Analyze(r io.Reader) (Analysis, error) {
 			injected[ev.Msg] = time.Duration(ev.T)
 		case TypeAccept:
 			accepts[ev.Msg] = append(accepts[ev.Msg], time.Duration(ev.T))
+			acceptTimes = append(acceptTimes, time.Duration(ev.T))
 		case TypeRole:
 			a.RoleChanges[fmt.Sprintf("%d", ev.Node)]++
+		case TypeFault:
+			a.Faults = append(a.Faults, FaultStat{
+				At: time.Duration(ev.T), Name: ev.Detail,
+			})
 		}
 	}
 	if err := scanner.Err(); err != nil {
@@ -85,6 +107,17 @@ func Analyze(r io.Reader) (Analysis, error) {
 			st.Last = times[len(times)-1] - at
 		}
 		a.Messages = append(a.Messages, st)
+	}
+	sort.Slice(acceptTimes, func(i, j int) bool { return acceptTimes[i] < acceptTimes[j] })
+	countBetween := func(from, to time.Duration) int {
+		lo := sort.Search(len(acceptTimes), func(i int) bool { return acceptTimes[i] >= from })
+		hi := sort.Search(len(acceptTimes), func(i int) bool { return acceptTimes[i] >= to })
+		return hi - lo
+	}
+	for i := range a.Faults {
+		f := &a.Faults[i]
+		f.AcceptsBefore = countBetween(f.At-faultWindow, f.At)
+		f.AcceptsAfter = countBetween(f.At, f.At+faultWindow)
 	}
 	return a, nil
 }
@@ -119,5 +152,12 @@ func (a Analysis) Summary() string {
 		churn += c
 	}
 	fmt.Fprintf(&b, "role changes: %d across %d nodes\n", churn, len(a.RoleChanges))
+	if len(a.Faults) > 0 {
+		fmt.Fprintf(&b, "faults: %d (accepts ±%s around each)\n", len(a.Faults), faultWindow)
+		for _, f := range a.Faults {
+			fmt.Fprintf(&b, "  %-10s %-24s before=%-6d after=%d\n",
+				f.At.Round(time.Millisecond), f.Name, f.AcceptsBefore, f.AcceptsAfter)
+		}
+	}
 	return b.String()
 }

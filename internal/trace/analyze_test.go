@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -84,5 +85,37 @@ func TestAnalyzeEmpty(t *testing.T) {
 	}
 	if !strings.Contains(a.Summary(), "events: 0") {
 		t.Fatal("empty summary broken")
+	}
+}
+
+func TestAnalyzeFaultCorrelation(t *testing.T) {
+	var lines strings.Builder
+	// 5 accepts in the 10s before the fault, 2 after.
+	sec := int64(time.Second)
+	for _, at := range []int64{22, 24, 25, 27, 29, 31, 33} {
+		fmt.Fprintf(&lines, `{"t":%d,"node":1,"type":"accept","msg":"0/1"}`+"\n", at*sec)
+	}
+	fmt.Fprintf(&lines, `{"t":%d,"type":"fault","detail":"crash(7)"}`+"\n", 30*sec)
+	fmt.Fprintf(&lines, `{"t":%d,"type":"fault","detail":"heal"}`+"\n", 60*sec)
+	a, err := Analyze(strings.NewReader(lines.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Faults) != 2 {
+		t.Fatalf("faults = %v", a.Faults)
+	}
+	f := a.Faults[0]
+	if f.Name != "crash(7)" || f.At != 30*time.Second {
+		t.Fatalf("fault[0] = %+v", f)
+	}
+	if f.AcceptsBefore != 5 || f.AcceptsAfter != 2 {
+		t.Fatalf("correlation = before %d after %d, want 5/2", f.AcceptsBefore, f.AcceptsAfter)
+	}
+	if h := a.Faults[1]; h.AcceptsBefore != 0 || h.AcceptsAfter != 0 {
+		t.Fatalf("quiet fault shows accepts: %+v", h)
+	}
+	out := a.Summary()
+	if !strings.Contains(out, "faults: 2") || !strings.Contains(out, "crash(7)") {
+		t.Fatalf("summary missing fault section:\n%s", out)
 	}
 }

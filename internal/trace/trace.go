@@ -24,6 +24,10 @@ const (
 	TypeRole Type = "role"
 	// TypeInject is a workload origination.
 	TypeInject Type = "inject"
+	// TypeFault is a fault-plan event firing (Detail carries the event
+	// name, e.g. "crash(12)"). Fault events are network-wide, so the
+	// Node field is meaningless for them.
+	TypeFault Type = "fault"
 )
 
 // Event is one trace record.

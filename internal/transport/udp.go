@@ -8,6 +8,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -169,6 +170,11 @@ func (n *UDPNode) readLoop() {
 				return
 			default:
 			}
+			if errors.Is(err, net.ErrClosed) {
+				// The socket is gone for good; without this the loop would
+				// spin hot on a permanently failing read.
+				return
+			}
 			// Transient read errors: keep serving until closed.
 			continue
 		}
@@ -182,11 +188,16 @@ func (n *UDPNode) readLoop() {
 	}
 }
 
-// Close stops the node and waits for its read loop to exit.
+// Close stops the node and waits for its read loop to exit. It returns
+// promptly even if the read loop is blocked in a kernel read: an immediate
+// read deadline forces the pending ReadFromUDP to fail before the socket is
+// torn down, so the loop observes the closed flag without waiting for
+// traffic.
 func (n *UDPNode) Close() error {
 	var err error
 	n.closeOnce.Do(func() {
 		close(n.closed)
+		_ = n.conn.SetReadDeadline(time.Now())
 		n.mu.Lock()
 		n.proto.Stop()
 		n.mu.Unlock()

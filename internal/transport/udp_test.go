@@ -2,6 +2,7 @@ package transport
 
 import (
 	"net"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -237,5 +238,52 @@ func TestUDPWithDeploymentKeystores(t *testing.T) {
 	id := nodes[0].Broadcast([]byte("keystore-signed"))
 	if !waitFor(t, 5*time.Second, func() bool { return sinks[1].has(id) }) {
 		t.Fatal("message never delivered under deployment keystores")
+	}
+}
+
+func TestUDPClosePromptAndLeakFree(t *testing.T) {
+	scheme := sig.NewHMAC(1, 4)
+	before := runtime.NumGoroutine()
+	// A batch of idle nodes: every read loop is blocked in the kernel with
+	// no traffic to wake it, the worst case for Close.
+	var nodes []*UDPNode
+	for i := 0; i < 4; i++ {
+		n, err := NewUDPNode(fastConfig(), wire.NodeID(i), scheme, "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	start := time.Now()
+	done := make(chan struct{})
+	go func() {
+		for _, n := range nodes {
+			if err := n.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return within 5s")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Close took %s on idle nodes", elapsed)
+	}
+	// The read loops must all be gone; poll briefly since goroutine exit
+	// is asynchronous with the done-channel close.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d -> %d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
