@@ -44,6 +44,7 @@ import (
 	"bbcast/internal/invariant"
 	"bbcast/internal/mac"
 	"bbcast/internal/metrics"
+	"bbcast/internal/obsv"
 	"bbcast/internal/overlay"
 	"bbcast/internal/radio"
 	"bbcast/internal/runner"
@@ -74,6 +75,28 @@ type Result = runner.Result
 // Results is the metrics summary (delivery ratio, latency percentiles,
 // per-kind transmission counts) embedded in Result.
 type Results = metrics.Results
+
+// Observer receives every protocol event (transmissions, receptions,
+// injections, acceptances, role changes, suspicions, signature
+// verifications, queue depths) exactly once at its source. Attach one to a
+// simulation via Scenario.Observer; live UDP nodes always feed a built-in
+// MetricsRegistry (see NewNode). Combine observers with
+// bbcast/internal/obsv semantics: implementations must not block.
+type Observer = obsv.Observer
+
+// MetricsRegistry is a per-run or per-node metrics store (counters, gauges,
+// bounded latency summaries) with Prometheus text and JSON exposition.
+type MetricsRegistry = obsv.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obsv.NewRegistry() }
+
+// NewMetricsObserver returns an Observer that maintains the standard bbcast
+// metric set (bbcast_tx_total, bbcast_rx_total, bbcast_accepts_total,
+// suspicion counters, signature-verify latency, queue-depth gauges, …) in r.
+// Attach it to Scenario.Observer and a simulation exports the same schema a
+// live node serves from /metrics.
+func NewMetricsObserver(r *MetricsRegistry) Observer { return obsv.NewRegistryObserver(r) }
 
 // ProtocolConfig holds every parameter of the paper's protocol.
 type ProtocolConfig = core.Config

@@ -68,9 +68,10 @@ func run(args []string) error {
 		speed    = fs.Float64("speed", 5, "node speed (m/s) for waypoint/walk")
 		pause    = fs.Duration("pause", 2*time.Second, "waypoint pause time")
 
-		breakdown = fs.Bool("breakdown", false, "print per-kind transmission counts")
-		svg       = fs.String("svg", "", "write an SVG of the final topology/overlay to this path")
-		traceFile = fs.String("trace", "", "write a JSONL event trace to this path")
+		breakdown  = fs.Bool("breakdown", false, "print per-kind transmission counts")
+		svg        = fs.String("svg", "", "write an SVG of the final topology/overlay to this path")
+		traceFile  = fs.String("trace", "", "write a JSONL event trace to this path")
+		metricsOut = fs.String("metrics-out", "", "write the run's metrics registry as JSON to this path ('-' for stdout); same schema a live node serves at /metrics.json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -114,6 +115,11 @@ func run(args []string) error {
 		}
 		defer f.Close()
 		sc.Trace = f
+	}
+	var registry *bbcast.MetricsRegistry
+	if *metricsOut != "" {
+		registry = bbcast.NewMetricsRegistry()
+		sc.Observer = bbcast.NewMetricsObserver(registry)
 	}
 
 	switch *proto {
@@ -182,6 +188,17 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if res.TraceErr != nil {
+		fmt.Fprintf(os.Stderr, "bbsim: warning: trace is incomplete (first write error: %v)\n", res.TraceErr)
+	}
+	if registry != nil {
+		// The ratio is only known once the run's eligible-receiver counts
+		// are; exported here so the JSON dump is self-contained.
+		registry.Gauge("bbcast_delivery_ratio").Set(res.Results.DeliveryRatio)
+		if err := writeMetrics(*metricsOut, registry); err != nil {
+			return err
+		}
+	}
 	fmt.Println(res.Results.String())
 	if len(res.FaultEvents) > 0 {
 		fmt.Println("fault events:")
@@ -209,4 +226,20 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// writeMetrics dumps the registry as JSON to path, or stdout for "-".
+func writeMetrics(path string, r *bbcast.MetricsRegistry) error {
+	if path == "-" {
+		return r.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -55,14 +55,18 @@ func (f *Flooding) Broadcast(payload []byte) wire.MsgID {
 	})
 	if f.deps.Deliver != nil {
 		f.stats.Accepted++
-		f.deps.Deliver(id.Origin, id, body)
+		f.deps.Accept(id, body)
 	}
 	return id
 }
 
 // HandlePacket processes a received frame: verify, deliver once, re-flood.
 func (f *Flooding) HandlePacket(pkt *wire.Packet) {
-	if pkt.Kind != wire.KindData || pkt.Sender == f.deps.ID {
+	if pkt.Sender == f.deps.ID {
+		return
+	}
+	f.deps.ObserveRx(pkt)
+	if pkt.Kind != wire.KindData {
 		return
 	}
 	id := pkt.ID()
@@ -76,9 +80,7 @@ func (f *Flooding) HandlePacket(pkt *wire.Packet) {
 	}
 	f.seen[id] = true
 	f.stats.Accepted++
-	if f.deps.Deliver != nil {
-		f.deps.Deliver(id.Origin, id, pkt.Payload)
-	}
+	f.deps.Accept(id, pkt.Payload)
 	f.stats.Forwarded++
 	fwd := pkt.Clone()
 	fwd.Sender = f.deps.ID

@@ -85,7 +85,7 @@ func (p *FPlusOne) Broadcast(payload []byte) wire.MsgID {
 	}
 	if p.deps.Deliver != nil {
 		p.stats.Accepted++
-		p.deps.Deliver(id.Origin, id, payload)
+		p.deps.Accept(id, payload)
 	}
 	return id
 }
@@ -93,7 +93,11 @@ func (p *FPlusOne) Broadcast(payload []byte) wire.MsgID {
 // HandlePacket verifies a copy, delivers the message once, and relays the
 // copy if this node serves its overlay.
 func (p *FPlusOne) HandlePacket(pkt *wire.Packet) {
-	if pkt.Kind != wire.KindData || pkt.Sender == p.deps.ID || len(pkt.Payload) < 1 {
+	if pkt.Sender == p.deps.ID {
+		return
+	}
+	p.deps.ObserveRx(pkt)
+	if pkt.Kind != wire.KindData || len(pkt.Payload) < 1 {
 		return
 	}
 	id := pkt.ID()
@@ -108,9 +112,7 @@ func (p *FPlusOne) HandlePacket(pkt *wire.Packet) {
 	if !p.seen[id] {
 		p.seen[id] = true
 		p.stats.Accepted++
-		if p.deps.Deliver != nil {
-			p.deps.Deliver(id.Origin, id, pkt.Payload[1:])
-		}
+		p.deps.Accept(id, pkt.Payload[1:])
 	} else {
 		p.stats.Duplicates++
 	}

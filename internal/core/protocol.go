@@ -6,6 +6,7 @@ import (
 
 	"bbcast/internal/env"
 	"bbcast/internal/fd"
+	"bbcast/internal/obsv"
 	"bbcast/internal/overlay"
 	"bbcast/internal/sig"
 	"bbcast/internal/wire"
@@ -27,8 +28,29 @@ type Deps struct {
 	// Deliver is the application accept() upcall: called exactly once per
 	// accepted message.
 	Deliver func(origin wire.NodeID, id wire.MsgID, payload []byte)
-	// OnRoleChange, if non-nil, observes committed overlay role changes.
-	OnRoleChange func(role overlay.Role)
+	// Obs, if non-nil, observes protocol events (rx, accept, role changes,
+	// suspicions, signature verifications, queue depths). Transmissions are
+	// observed by the host at the transport layer, not here.
+	Obs obsv.Observer
+}
+
+// Accept routes one application-level acceptance through the upcall and the
+// observer — the single choke point used by every protocol implementation
+// (the broadcast protocol and the comparison baselines).
+func (d *Deps) Accept(id wire.MsgID, payload []byte) {
+	if d.Deliver != nil {
+		d.Deliver(id.Origin, id, payload)
+	}
+	if d.Obs != nil {
+		d.Obs.OnAccept(d.Clock.Now(), d.ID, id, payload)
+	}
+}
+
+// ObserveRx reports one received frame to the observer.
+func (d *Deps) ObserveRx(pkt *wire.Packet) {
+	if d.Obs != nil {
+		d.Obs.OnPacketRx(d.Clock.Now(), d.ID, pkt.Kind, pkt.ID())
+	}
 }
 
 // msgState tracks one known message.
@@ -134,6 +156,18 @@ func New(cfg Config, deps Deps) *Protocol {
 	p.mute = fd.NewMute(now, cfg.Mute)
 	p.verbose = fd.NewVerbose(now, cfg.Verbose)
 	p.trust = fd.NewTrust(now, cfg.Trust, p.mute, p.verbose)
+	if obs := deps.Obs; obs != nil {
+		self := deps.ID
+		p.mute.OnSuspect = func(id wire.NodeID, suspected bool) {
+			obs.OnSuspicion(now(), self, id, obsv.DetectorMute, suspected)
+		}
+		p.verbose.OnSuspect = func(id wire.NodeID, suspected bool) {
+			obs.OnSuspicion(now(), self, id, obsv.DetectorVerbose, suspected)
+		}
+		p.trust.OnDirect = func(id wire.NodeID, _ fd.Reason) {
+			obs.OnSuspicion(now(), self, id, obsv.DetectorTrust, true)
+		}
+	}
 
 	p.schedulePeriodic(cfg.GossipInterval, cfg.GossipJitter, p.gossipTick)
 	p.schedulePeriodic(cfg.MaintenanceInterval, cfg.MaintenanceJitter, p.maintenanceTick)
@@ -246,9 +280,22 @@ func (p *Protocol) Broadcast(payload []byte) wire.MsgID {
 	})
 	if p.cfg.DeliverOwn && p.deps.Deliver != nil {
 		p.stats.Accepted++
-		p.deps.Deliver(id.Origin, id, body)
+		p.deps.Accept(id, body)
 	}
 	return id
+}
+
+// verify runs Scheme.Verify, reporting the outcome and the wall-clock cost
+// to the observer when one is attached (wall-clock, not virtual: under
+// simulation the duration still measures real CPU spent verifying).
+func (p *Protocol) verify(signer uint32, msg, tag []byte) bool {
+	if p.deps.Obs == nil {
+		return p.deps.Scheme.Verify(signer, msg, tag)
+	}
+	start := time.Now()
+	ok := p.deps.Scheme.Verify(signer, msg, tag)
+	p.deps.Obs.OnSigVerify(p.deps.Clock.Now(), p.deps.ID, ok, time.Since(start))
+	return ok
 }
 
 // send stamps the sender and hands the packet to the host.
@@ -263,6 +310,7 @@ func (p *Protocol) HandlePacket(pkt *wire.Packet) {
 	if p.stopped || pkt.Sender == p.deps.ID {
 		return
 	}
+	p.deps.ObserveRx(pkt)
 	p.touchNeighbor(pkt.Sender)
 	if pkt.State != nil {
 		p.handleState(pkt.Sender, pkt.State, pkt.StateSig)
@@ -292,12 +340,12 @@ func (p *Protocol) handleData(pkt *wire.Packet) {
 		// header: without this, expectations armed after the first copy
 		// arrived could never be fulfilled and correct overlay neighbours
 		// would accumulate false suspicions.
-		if p.cfg.EnableFDs && p.deps.Scheme.Verify(uint32(id.Origin), wire.DataSigBytes(id, pkt.Payload), pkt.Sig) {
+		if p.cfg.EnableFDs && p.verify(uint32(id.Origin), wire.DataSigBytes(id, pkt.Payload), pkt.Sig) {
 			p.mute.Fulfill(fd.ExpectKey{Kind: wire.KindData, ID: id}, pkt.Sender)
 		}
 		return
 	}
-	if !p.deps.Scheme.Verify(uint32(id.Origin), wire.DataSigBytes(id, pkt.Payload), pkt.Sig) {
+	if !p.verify(uint32(id.Origin), wire.DataSigBytes(id, pkt.Payload), pkt.Sig) {
 		p.stats.BadSignatures++
 		p.suspect(pkt.Sender, fd.ReasonBadSignature)
 		return
@@ -333,9 +381,7 @@ func (p *Protocol) handleData(pkt *wire.Packet) {
 	}
 	p.store[id] = st
 	p.stats.Accepted++
-	if p.deps.Deliver != nil {
-		p.deps.Deliver(id.Origin, id, pkt.Payload)
-	}
+	p.deps.Accept(id, pkt.Payload)
 
 	if p.cfg.EnableFDs {
 		// Any pending expectation for this data is satisfied by this sender.
@@ -403,7 +449,7 @@ func (p *Protocol) forwardData(id wire.MsgID, st *msgState, ttl uint8, target wi
 func (p *Protocol) handleGossip(pkt *wire.Packet) {
 	for i := range pkt.Gossip {
 		entry := pkt.Gossip[i]
-		if !p.deps.Scheme.Verify(uint32(entry.ID.Origin), wire.HeaderSigBytes(entry.ID), entry.Sig) {
+		if !p.verify(uint32(entry.ID.Origin), wire.HeaderSigBytes(entry.ID), entry.Sig) {
 			p.stats.BadSignatures++
 			p.suspect(pkt.Sender, fd.ReasonBadSignature)
 			continue
@@ -490,7 +536,7 @@ func (p *Protocol) scheduleRequest(id wire.MsgID, miss *pendingMiss, gossiper wi
 // handleRequest implements Figure 4 lines 42–61.
 func (p *Protocol) handleRequest(pkt *wire.Packet) {
 	id := pkt.ID()
-	if !p.deps.Scheme.Verify(uint32(id.Origin), wire.HeaderSigBytes(id), pkt.Sig) {
+	if !p.verify(uint32(id.Origin), wire.HeaderSigBytes(id), pkt.Sig) {
 		p.stats.BadSignatures++
 		p.suspect(pkt.Sender, fd.ReasonBadSignature)
 		return
@@ -547,7 +593,7 @@ func (p *Protocol) handleRequest(pkt *wire.Packet) {
 // handleFindMissing implements Figure 4 lines 62–81.
 func (p *Protocol) handleFindMissing(pkt *wire.Packet) {
 	id := pkt.ID()
-	if !p.deps.Scheme.Verify(uint32(id.Origin), wire.HeaderSigBytes(id), pkt.Sig) {
+	if !p.verify(uint32(id.Origin), wire.HeaderSigBytes(id), pkt.Sig) {
 		p.stats.BadSignatures++
 		p.suspect(pkt.Sender, fd.ReasonBadSignature)
 		return

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"bbcast/internal/fd"
+	"bbcast/internal/obsv"
 	"bbcast/internal/overlay"
 	"bbcast/internal/wire"
 )
@@ -158,6 +159,22 @@ func (p *Protocol) maintenanceTick() {
 			StateSig: p.deps.Scheme.Sign(uint32(p.deps.ID), wire.StateSigBytes(p.deps.ID, state)),
 		})
 	}
+	p.sampleQueues()
+}
+
+// sampleQueues reports the protocol-internal queue depths once per
+// maintenance tick (the paper's buffer-bound concern, §3.4.1, made visible).
+func (p *Protocol) sampleQueues() {
+	obs := p.deps.Obs
+	if obs == nil {
+		return
+	}
+	at, id := p.deps.Clock.Now(), p.deps.ID
+	held, _ := p.StoreSize()
+	obs.OnQueueDepth(at, id, obsv.QueueStore, held)
+	obs.OnQueueDepth(at, id, obsv.QueueMissing, len(p.missing))
+	obs.OnQueueDepth(at, id, obsv.QueueNeighbors, len(p.neighbors))
+	obs.OnQueueDepth(at, id, obsv.QueueExpectations, p.mute.PendingExpectations())
 }
 
 // purgeTick drops payloads past the retention window — or, with stability
@@ -242,7 +259,7 @@ func (p *Protocol) expireNeighbors() {
 // handleState processes a neighbour's (signed) overlay-state record and its
 // second-hand suspicion reports.
 func (p *Protocol) handleState(from wire.NodeID, state *wire.OverlayState, stateSig []byte) {
-	if !p.deps.Scheme.Verify(uint32(from), wire.StateSigBytes(from, state), stateSig) {
+	if !p.verify(uint32(from), wire.StateSigBytes(from, state), stateSig) {
 		p.stats.BadSignatures++
 		p.suspect(from, fd.ReasonBadSignature)
 		return
@@ -375,18 +392,11 @@ func (p *Protocol) applyRole(next overlay.Role) {
 	p.role = next
 	p.roleRun = 0
 	p.roleChanges++
-	if p.deps.OnRoleChange != nil {
-		p.deps.OnRoleChange(next)
-	}
-	if DebugRoleChange != nil {
-		DebugRoleChange(p.deps.ID, p.deps.Clock.Now())
+	if p.deps.Obs != nil {
+		p.deps.Obs.OnRoleChange(p.deps.Clock.Now(), p.deps.ID, next)
 	}
 }
 
 // RoleChanges reports how many times the node's role changed (a measure of
 // overlay churn).
 func (p *Protocol) RoleChanges() uint64 { return p.roleChanges }
-
-// DebugRoleChange, when non-nil, observes every applied role change
-// (diagnostic hook used by tools and tests).
-var DebugRoleChange func(id wire.NodeID, at time.Duration)

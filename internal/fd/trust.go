@@ -61,6 +61,10 @@ type Trust struct {
 	direct     map[wire.NodeID]time.Duration // untrusted until
 	reasons    map[wire.NodeID]Reason
 	secondHand map[wire.NodeID]time.Duration // unknown until
+
+	// OnDirect, if non-nil, observes every direct local suspicion
+	// (a raise; direct suspicions expire silently rather than clear).
+	OnDirect func(id wire.NodeID, reason Reason)
 }
 
 // NewTrust builds a TRUST detector over the given MUTE and VERBOSE
@@ -86,6 +90,9 @@ func (t *Trust) Suspect(id wire.NodeID, reason Reason) {
 	}
 	t.direct[id] = until
 	t.reasons[id] = reason
+	if t.OnDirect != nil {
+		t.OnDirect(id, reason)
+	}
 }
 
 // Report records that `reporter` told us it suspects `subject`. Per §3.3 the

@@ -1,0 +1,35 @@
+package invariant
+
+import (
+	"time"
+
+	"bbcast/internal/obsv"
+	"bbcast/internal/wire"
+)
+
+// observer feeds injections and acceptances from the observability layer
+// into a Checker. The checker's other hooks (faults, churn, partitions) stay
+// direct calls: they come from the fault plan, not from protocol events.
+type observer struct {
+	obsv.Nop
+	c *Checker
+}
+
+// AsObserver adapts c into an event observer; nil for a nil c, so the result
+// can be passed straight to obsv.Multi.
+func AsObserver(c *Checker) obsv.Observer {
+	if c == nil {
+		return nil
+	}
+	return observer{c: c}
+}
+
+// OnInject implements obsv.Observer.
+func (o observer) OnInject(at time.Duration, node wire.NodeID, id wire.MsgID) {
+	o.c.OnInject(id, node, at)
+}
+
+// OnAccept implements obsv.Observer.
+func (o observer) OnAccept(_ time.Duration, node wire.NodeID, id wire.MsgID, payload []byte) {
+	o.c.OnDeliver(node, id, payload)
+}

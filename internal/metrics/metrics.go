@@ -9,12 +9,16 @@ import (
 	"strings"
 	"time"
 
+	"bbcast/internal/obsv"
 	"bbcast/internal/wire"
 )
 
-// Collector accumulates raw events during a run. It is single-threaded
-// (simulation callbacks).
+// Collector accumulates raw events during a run. It implements
+// obsv.Observer for the events it cares about (tx, inject, accept) and is
+// single-threaded (simulation callbacks).
 type Collector struct {
+	obsv.Nop
+
 	txByKind  map[wire.Kind]uint64
 	injected  map[wire.MsgID]injection
 	delivered map[wire.MsgID]map[wire.NodeID]time.Duration
@@ -25,6 +29,8 @@ type injection struct {
 	origin wire.NodeID
 }
 
+var _ obsv.Observer = (*Collector)(nil)
+
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
 	return &Collector{
@@ -34,17 +40,19 @@ func NewCollector() *Collector {
 	}
 }
 
-// OnTransmit records a frame put on the air.
-func (c *Collector) OnTransmit(pkt *wire.Packet) { c.txByKind[pkt.Kind]++ }
+// OnPacketTx records a frame put on the air.
+func (c *Collector) OnPacketTx(_ time.Duration, _ wire.NodeID, kind wire.Kind, _ wire.MsgID) {
+	c.txByKind[kind]++
+}
 
-// OnInject records the origination of message id at the given time.
-func (c *Collector) OnInject(id wire.MsgID, origin wire.NodeID, at time.Duration) {
-	c.injected[id] = injection{at: at, origin: origin}
+// OnInject records the origination of message id at node.
+func (c *Collector) OnInject(at time.Duration, node wire.NodeID, id wire.MsgID) {
+	c.injected[id] = injection{at: at, origin: node}
 }
 
 // OnAccept records that node accepted message id at the given time. Repeat
 // accepts for the same (node, id) are ignored.
-func (c *Collector) OnAccept(node wire.NodeID, id wire.MsgID, at time.Duration) {
+func (c *Collector) OnAccept(at time.Duration, node wire.NodeID, id wire.MsgID, _ []byte) {
 	m := c.delivered[id]
 	if m == nil {
 		m = make(map[wire.NodeID]time.Duration)
@@ -157,7 +165,7 @@ type Bucket struct {
 // dissemination speed evolves over a run (e.g. the overlay fast path
 // degrading under attack and healing as failure detectors evict offenders).
 func (c *Collector) Timeline(bucket time.Duration) []Bucket {
-	if bucket <= 0 {
+	if bucket <= 0 || len(c.injected) == 0 {
 		return nil
 	}
 	byBucket := make(map[int][]time.Duration)

@@ -8,11 +8,15 @@ import (
 	"bbcast/internal/wire"
 )
 
+func tx(c *Collector, kind wire.Kind) {
+	c.OnPacketTx(0, 0, kind, wire.MsgID{})
+}
+
 func TestTransmissionCounting(t *testing.T) {
 	c := NewCollector()
-	c.OnTransmit(&wire.Packet{Kind: wire.KindData})
-	c.OnTransmit(&wire.Packet{Kind: wire.KindData})
-	c.OnTransmit(&wire.Packet{Kind: wire.KindGossip})
+	tx(c, wire.KindData)
+	tx(c, wire.KindData)
+	tx(c, wire.KindGossip)
 	r := c.Summarize("p", 3, func(wire.NodeID) int { return 2 })
 	if r.TotalTx != 3 || r.TxByKind[wire.KindData] != 2 || r.TxByKind[wire.KindGossip] != 1 {
 		t.Fatalf("tx counts wrong: %+v", r.TxByKind)
@@ -23,12 +27,12 @@ func TestDeliveryRatioPerMessage(t *testing.T) {
 	c := NewCollector()
 	id1 := wire.MsgID{Origin: 0, Seq: 1}
 	id2 := wire.MsgID{Origin: 0, Seq: 2}
-	c.OnInject(id1, 0, 0)
-	c.OnInject(id2, 0, 0)
+	c.OnInject(0, 0, id1)
+	c.OnInject(0, 0, id2)
 	// id1 reaches both receivers, id2 reaches one of two.
-	c.OnAccept(1, id1, time.Second)
-	c.OnAccept(2, id1, time.Second)
-	c.OnAccept(1, id2, time.Second)
+	c.OnAccept(time.Second, 1, id1, nil)
+	c.OnAccept(time.Second, 2, id1, nil)
+	c.OnAccept(time.Second, 1, id2, nil)
 	r := c.Summarize("p", 3, func(wire.NodeID) int { return 2 })
 	if r.DeliveryRatio != 0.75 {
 		t.Fatalf("delivery = %v, want 0.75", r.DeliveryRatio)
@@ -41,8 +45,8 @@ func TestDeliveryRatioPerMessage(t *testing.T) {
 func TestOriginatorAcceptExcluded(t *testing.T) {
 	c := NewCollector()
 	id := wire.MsgID{Origin: 0, Seq: 1}
-	c.OnInject(id, 0, 0)
-	c.OnAccept(0, id, 0) // own delivery must not count toward the ratio
+	c.OnInject(0, 0, id)
+	c.OnAccept(0, 0, id, nil) // own delivery must not count toward the ratio
 	r := c.Summarize("p", 2, func(wire.NodeID) int { return 1 })
 	if r.DeliveryRatio != 0 {
 		t.Fatalf("delivery = %v, want 0", r.DeliveryRatio)
@@ -52,9 +56,9 @@ func TestOriginatorAcceptExcluded(t *testing.T) {
 func TestRepeatAcceptIgnored(t *testing.T) {
 	c := NewCollector()
 	id := wire.MsgID{Origin: 0, Seq: 1}
-	c.OnInject(id, 0, 0)
-	c.OnAccept(1, id, time.Second)
-	c.OnAccept(1, id, 2*time.Second) // later duplicate: first timestamp wins
+	c.OnInject(0, 0, id)
+	c.OnAccept(time.Second, 1, id, nil)
+	c.OnAccept(2*time.Second, 1, id, nil) // later duplicate: first timestamp wins
 	r := c.Summarize("p", 2, func(wire.NodeID) int { return 1 })
 	if r.DeliveryRatio != 1 {
 		t.Fatalf("delivery = %v", r.DeliveryRatio)
@@ -67,9 +71,9 @@ func TestRepeatAcceptIgnored(t *testing.T) {
 func TestLatencyPercentiles(t *testing.T) {
 	c := NewCollector()
 	id := wire.MsgID{Origin: 0, Seq: 1}
-	c.OnInject(id, 0, 0)
+	c.OnInject(0, 0, id)
 	for i := 1; i <= 100; i++ {
-		c.OnAccept(wire.NodeID(i), id, time.Duration(i)*time.Millisecond)
+		c.OnAccept(time.Duration(i)*time.Millisecond, wire.NodeID(i), id, nil)
 	}
 	r := c.Summarize("p", 101, func(wire.NodeID) int { return 100 })
 	if r.LatP50 != 50*time.Millisecond {
@@ -96,10 +100,10 @@ func TestEmptyCollector(t *testing.T) {
 
 func TestTxPerMessage(t *testing.T) {
 	c := NewCollector()
-	c.OnInject(wire.MsgID{Origin: 0, Seq: 1}, 0, 0)
-	c.OnInject(wire.MsgID{Origin: 0, Seq: 2}, 0, 0)
+	c.OnInject(0, 0, wire.MsgID{Origin: 0, Seq: 1})
+	c.OnInject(0, 0, wire.MsgID{Origin: 0, Seq: 2})
 	for i := 0; i < 10; i++ {
-		c.OnTransmit(&wire.Packet{Kind: wire.KindData})
+		tx(c, wire.KindData)
 	}
 	r := c.Summarize("p", 2, func(wire.NodeID) int { return 1 })
 	if r.TxPerMessage != 5 {
@@ -109,8 +113,8 @@ func TestTxPerMessage(t *testing.T) {
 
 func TestStringAndBreakdown(t *testing.T) {
 	c := NewCollector()
-	c.OnTransmit(&wire.Packet{Kind: wire.KindData})
-	c.OnTransmit(&wire.Packet{Kind: wire.KindGossip})
+	tx(c, wire.KindData)
+	tx(c, wire.KindGossip)
 	r := c.Summarize("byzcast", 5, func(wire.NodeID) int { return 4 })
 	if !strings.Contains(r.String(), "byzcast") {
 		t.Fatalf("String() = %q", r.String())
@@ -126,8 +130,33 @@ func TestPercentileEdgeCases(t *testing.T) {
 		t.Fatal("empty percentile should be 0")
 	}
 	one := []time.Duration{7}
-	if percentile(one, 0.01) != 7 || percentile(one, 0.99) != 7 {
-		t.Fatal("single-sample percentile wrong")
+	for _, q := range []float64{0.01, 0.5, 0.95, 0.99} {
+		if got := percentile(one, q); got != 7 {
+			t.Fatalf("percentile(len 1, %v) = %v, want 7", q, got)
+		}
+	}
+}
+
+func TestPercentileNearestRankRounding(t *testing.T) {
+	// Nearest-rank with idx = round(q*n) - 1: for n=10 and q=0.95,
+	// round(9.5) = 10 → index 9 (the max), not index 8.
+	ten := make([]time.Duration, 10)
+	for i := range ten {
+		ten[i] = time.Duration(i+1) * time.Millisecond
+	}
+	if got := percentile(ten, 0.95); got != 10*time.Millisecond {
+		t.Fatalf("p95 of 1..10ms = %v, want 10ms", got)
+	}
+	if got := percentile(ten, 0.5); got != 5*time.Millisecond {
+		t.Fatalf("p50 of 1..10ms = %v, want 5ms", got)
+	}
+	// n=20, q=0.95: round(19) = 19 → index 18, the 19th value.
+	twenty := make([]time.Duration, 20)
+	for i := range twenty {
+		twenty[i] = time.Duration(i+1) * time.Millisecond
+	}
+	if got := percentile(twenty, 0.95); got != 19*time.Millisecond {
+		t.Fatalf("p95 of 1..20ms = %v, want 19ms", got)
 	}
 }
 
@@ -135,12 +164,12 @@ func TestTimelineBucketsLatencies(t *testing.T) {
 	c := NewCollector()
 	id1 := wire.MsgID{Origin: 0, Seq: 1} // injected in bucket 0
 	id2 := wire.MsgID{Origin: 0, Seq: 2} // injected in bucket 2
-	c.OnInject(id1, 0, 1*time.Second)
-	c.OnInject(id2, 0, 25*time.Second)
-	c.OnAccept(1, id1, 1500*time.Millisecond) // 500 ms
-	c.OnAccept(2, id1, 2*time.Second)         // 1 s
-	c.OnAccept(0, id1, 1100*time.Millisecond) // originator: excluded
-	c.OnAccept(1, id2, 26*time.Second)        // 1 s
+	c.OnInject(1*time.Second, 0, id1)
+	c.OnInject(25*time.Second, 0, id2)
+	c.OnAccept(1500*time.Millisecond, 1, id1, nil) // 500 ms
+	c.OnAccept(2*time.Second, 2, id1, nil)         // 1 s
+	c.OnAccept(1100*time.Millisecond, 0, id1, nil) // originator: excluded
+	c.OnAccept(26*time.Second, 1, id2, nil)        // 1 s
 	tl := c.Timeline(10 * time.Second)
 	if len(tl) != 3 {
 		t.Fatalf("buckets = %d, want 3", len(tl))
@@ -150,6 +179,9 @@ func TestTimelineBucketsLatencies(t *testing.T) {
 	}
 	if tl[1].Count != 0 {
 		t.Fatalf("bucket 1 should be empty: %+v", tl[1])
+	}
+	if tl[1].Start != 10*time.Second {
+		t.Fatalf("gap bucket start = %v", tl[1].Start)
 	}
 	if tl[2].Count != 1 || tl[2].Mean != time.Second {
 		t.Fatalf("bucket 2 = %+v", tl[2])
@@ -166,9 +198,18 @@ func TestTimelineZeroBucket(t *testing.T) {
 	}
 }
 
+func TestTimelineNoInjections(t *testing.T) {
+	// With nothing injected there is no timeline — not a single phantom
+	// zero bucket.
+	c := NewCollector()
+	if got := c.Timeline(10 * time.Second); got != nil {
+		t.Fatalf("empty-collector timeline = %v, want nil", got)
+	}
+}
+
 func TestInjectedCount(t *testing.T) {
 	c := NewCollector()
-	c.OnInject(wire.MsgID{Origin: 0, Seq: 1}, 0, 0)
+	c.OnInject(0, 0, wire.MsgID{Origin: 0, Seq: 1})
 	if c.Injected() != 1 {
 		t.Fatalf("Injected = %d", c.Injected())
 	}
@@ -178,7 +219,7 @@ func TestEligibleZeroCountsAsDelivered(t *testing.T) {
 	// A message with no eligible receivers (e.g. every other node is
 	// Byzantine) must not drag the ratio down.
 	c := NewCollector()
-	c.OnInject(wire.MsgID{Origin: 0, Seq: 1}, 0, 0)
+	c.OnInject(0, 0, wire.MsgID{Origin: 0, Seq: 1})
 	r := c.Summarize("p", 1, func(wire.NodeID) int { return 0 })
 	if r.DeliveryRatio != 1 {
 		t.Fatalf("delivery = %v, want 1 for zero eligible receivers", r.DeliveryRatio)

@@ -1,0 +1,206 @@
+// Package obsv defines the unified observability layer shared by the
+// simulator and live deployments: a pluggable Observer interface fed
+// exactly once per protocol event at the emitting layer, a composite for
+// fan-out to several consumers, and a dependency-free metrics registry
+// (counters, gauges, bounded summaries) with Prometheus-style text and JSON
+// exposition.
+//
+// Event sources:
+//
+//   - packet tx: the transport layer (the simulated radio medium or the UDP
+//     socket) emits one event per frame actually put on the air;
+//   - packet rx: the protocol emits one event per frame the host hands it;
+//   - inject: the workload source (the simulation scheduler or a live
+//     Broadcast call) emits one event per originated message;
+//   - accept: the protocol emits one event per application-level acceptance
+//     (the paper's accept() upcall), including the originator's own when
+//     DeliverOwn is set;
+//   - role change: the protocol emits one event per committed overlay role
+//     transition;
+//   - suspicion: the MUTE/VERBOSE detectors emit raise and clear
+//     transitions, TRUST emits raises for direct deviations;
+//   - sig verify: the protocol emits one event per signature verification,
+//     with outcome and wall-clock duration (virtual-time zero under
+//     simulation);
+//   - queue depth: the protocol samples its internal queues (message store,
+//     recovery backlog, neighbour table, armed expectations) once per
+//     maintenance tick.
+//
+// Consumers (the metrics collector, the trace writer, the invariant checker,
+// the metrics registry) implement Observer and are fanned out to with Multi;
+// none of them re-derives events from protocol internals.
+package obsv
+
+import (
+	"time"
+
+	"bbcast/internal/overlay"
+	"bbcast/internal/wire"
+)
+
+// Detector names the failure detector that raised or cleared a suspicion.
+type Detector string
+
+// Detectors.
+const (
+	DetectorMute    Detector = "mute"
+	DetectorVerbose Detector = "verbose"
+	DetectorTrust   Detector = "trust"
+)
+
+// Queue names a protocol-internal queue sampled for depth.
+type Queue string
+
+// Sampled queues.
+const (
+	// QueueStore is the number of held (unpurged) message payloads.
+	QueueStore Queue = "store"
+	// QueueMissing is the number of gossip-advertised messages still being
+	// recovered.
+	QueueMissing Queue = "missing"
+	// QueueNeighbors is the neighbour-table size.
+	QueueNeighbors Queue = "neighbors"
+	// QueueExpectations is the number of armed MUTE expectations.
+	QueueExpectations Queue = "expectations"
+)
+
+// Observer receives protocol and transport events. Implementations must be
+// cheap and must not call back into the protocol; hot-path methods (tx, rx,
+// sig verify) must not allocate. All methods are invoked synchronously from
+// the emitting goroutine: single-threaded under simulation, under the node
+// lock on a live transport.
+type Observer interface {
+	// OnPacketTx is one frame put on the air by node.
+	OnPacketTx(at time.Duration, node wire.NodeID, kind wire.Kind, id wire.MsgID)
+	// OnPacketRx is one frame the host delivered to node's protocol.
+	OnPacketRx(at time.Duration, node wire.NodeID, kind wire.Kind, id wire.MsgID)
+	// OnInject is one application message originated at node.
+	OnInject(at time.Duration, node wire.NodeID, id wire.MsgID)
+	// OnAccept is one application-level acceptance at node. The payload is
+	// only valid for the duration of the call.
+	OnAccept(at time.Duration, node wire.NodeID, id wire.MsgID, payload []byte)
+	// OnRoleChange is one committed overlay role transition at node.
+	OnRoleChange(at time.Duration, node wire.NodeID, role overlay.Role)
+	// OnSuspicion is a suspicion transition: node's detector started
+	// (raised=true) or stopped (raised=false) suspecting subject.
+	OnSuspicion(at time.Duration, node, subject wire.NodeID, detector Detector, raised bool)
+	// OnSigVerify is one signature verification at node with its outcome and
+	// duration (zero under virtual time).
+	OnSigVerify(at time.Duration, node wire.NodeID, ok bool, took time.Duration)
+	// OnQueueDepth is one periodic sample of a protocol-internal queue.
+	OnQueueDepth(at time.Duration, node wire.NodeID, queue Queue, depth int)
+}
+
+// Nop is a no-op Observer. Embed it to implement only the events a consumer
+// cares about.
+type Nop struct{}
+
+// OnPacketTx implements Observer.
+func (Nop) OnPacketTx(time.Duration, wire.NodeID, wire.Kind, wire.MsgID) {}
+
+// OnPacketRx implements Observer.
+func (Nop) OnPacketRx(time.Duration, wire.NodeID, wire.Kind, wire.MsgID) {}
+
+// OnInject implements Observer.
+func (Nop) OnInject(time.Duration, wire.NodeID, wire.MsgID) {}
+
+// OnAccept implements Observer.
+func (Nop) OnAccept(time.Duration, wire.NodeID, wire.MsgID, []byte) {}
+
+// OnRoleChange implements Observer.
+func (Nop) OnRoleChange(time.Duration, wire.NodeID, overlay.Role) {}
+
+// OnSuspicion implements Observer.
+func (Nop) OnSuspicion(time.Duration, wire.NodeID, wire.NodeID, Detector, bool) {}
+
+// OnSigVerify implements Observer.
+func (Nop) OnSigVerify(time.Duration, wire.NodeID, bool, time.Duration) {}
+
+// OnQueueDepth implements Observer.
+func (Nop) OnQueueDepth(time.Duration, wire.NodeID, Queue, int) {}
+
+// multi fans every event out to each member, in order.
+type multi []Observer
+
+// Multi composes observers into one. Nil members are dropped; Multi(nil...)
+// returns nil and a single member is returned unwrapped, so the caller can
+// always test the result against nil to skip emission entirely.
+func Multi(obs ...Observer) Observer {
+	kept := make(multi, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	default:
+		return kept
+	}
+}
+
+func (m multi) OnPacketTx(at time.Duration, node wire.NodeID, kind wire.Kind, id wire.MsgID) {
+	for _, o := range m {
+		o.OnPacketTx(at, node, kind, id)
+	}
+}
+
+func (m multi) OnPacketRx(at time.Duration, node wire.NodeID, kind wire.Kind, id wire.MsgID) {
+	for _, o := range m {
+		o.OnPacketRx(at, node, kind, id)
+	}
+}
+
+func (m multi) OnInject(at time.Duration, node wire.NodeID, id wire.MsgID) {
+	for _, o := range m {
+		o.OnInject(at, node, id)
+	}
+}
+
+func (m multi) OnAccept(at time.Duration, node wire.NodeID, id wire.MsgID, payload []byte) {
+	for _, o := range m {
+		o.OnAccept(at, node, id, payload)
+	}
+}
+
+func (m multi) OnRoleChange(at time.Duration, node wire.NodeID, role overlay.Role) {
+	for _, o := range m {
+		o.OnRoleChange(at, node, role)
+	}
+}
+
+func (m multi) OnSuspicion(at time.Duration, node, subject wire.NodeID, detector Detector, raised bool) {
+	for _, o := range m {
+		o.OnSuspicion(at, node, subject, detector, raised)
+	}
+}
+
+func (m multi) OnSigVerify(at time.Duration, node wire.NodeID, ok bool, took time.Duration) {
+	for _, o := range m {
+		o.OnSigVerify(at, node, ok, took)
+	}
+}
+
+func (m multi) OnQueueDepth(at time.Duration, node wire.NodeID, queue Queue, depth int) {
+	for _, o := range m {
+		o.OnQueueDepth(at, node, queue, depth)
+	}
+}
+
+// skipAccepts suppresses accept events (used for nodes whose deliveries must
+// not count, e.g. Byzantine nodes in a measured simulation).
+type skipAccepts struct{ Observer }
+
+func (skipAccepts) OnAccept(time.Duration, wire.NodeID, wire.MsgID, []byte) {}
+
+// SkipAccepts wraps o so accept events are dropped; every other event passes
+// through. Returns nil for a nil o.
+func SkipAccepts(o Observer) Observer {
+	if o == nil {
+		return nil
+	}
+	return skipAccepts{o}
+}

@@ -1,0 +1,111 @@
+package obsv
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bbcast/internal/overlay"
+	"bbcast/internal/wire"
+)
+
+// recorder captures every event as a rendered line, preserving order.
+type recorder struct {
+	events []string
+}
+
+func (r *recorder) add(format string, args ...any) {
+	r.events = append(r.events, fmt.Sprintf(format, args...))
+}
+
+func (r *recorder) OnPacketTx(at time.Duration, node wire.NodeID, kind wire.Kind, id wire.MsgID) {
+	r.add("tx %s %d %s %v", at, node, kind, id)
+}
+
+func (r *recorder) OnPacketRx(at time.Duration, node wire.NodeID, kind wire.Kind, id wire.MsgID) {
+	r.add("rx %s %d %s %v", at, node, kind, id)
+}
+
+func (r *recorder) OnInject(at time.Duration, node wire.NodeID, id wire.MsgID) {
+	r.add("inject %s %d %v", at, node, id)
+}
+
+func (r *recorder) OnAccept(at time.Duration, node wire.NodeID, id wire.MsgID, payload []byte) {
+	r.add("accept %s %d %v %q", at, node, id, payload)
+}
+
+func (r *recorder) OnRoleChange(at time.Duration, node wire.NodeID, role overlay.Role) {
+	r.add("role %s %d %s", at, node, role)
+}
+
+func (r *recorder) OnSuspicion(at time.Duration, node, subject wire.NodeID, detector Detector, raised bool) {
+	r.add("susp %s %d %d %s %v", at, node, subject, detector, raised)
+}
+
+func (r *recorder) OnSigVerify(at time.Duration, node wire.NodeID, ok bool, took time.Duration) {
+	r.add("sig %s %d %v %s", at, node, ok, took)
+}
+
+func (r *recorder) OnQueueDepth(at time.Duration, node wire.NodeID, queue Queue, depth int) {
+	r.add("queue %s %d %s %d", at, node, queue, depth)
+}
+
+// emitAll fires one of each event at o.
+func emitAll(o Observer) {
+	o.OnPacketTx(1, 2, wire.KindData, wire.MsgID{Origin: 3, Seq: 4})
+	o.OnPacketRx(1, 2, wire.KindGossip, wire.MsgID{})
+	o.OnInject(2, 3, wire.MsgID{Origin: 3, Seq: 1})
+	o.OnAccept(3, 4, wire.MsgID{Origin: 3, Seq: 1}, []byte("p"))
+	o.OnRoleChange(4, 5, overlay.Dominator)
+	o.OnSuspicion(5, 6, 7, DetectorMute, true)
+	o.OnSigVerify(6, 8, false, time.Microsecond)
+	o.OnQueueDepth(7, 9, QueueStore, 11)
+}
+
+func TestMultiFansOutEveryEvent(t *testing.T) {
+	a, b := &recorder{}, &recorder{}
+	m := Multi(a, nil, b)
+	emitAll(m)
+	if len(a.events) != 8 || len(b.events) != 8 {
+		t.Fatalf("fan-out counts = %d, %d, want 8 each", len(a.events), len(b.events))
+	}
+	for i := range a.events {
+		if a.events[i] != b.events[i] {
+			t.Fatalf("members diverged at %d: %q vs %q", i, a.events[i], b.events[i])
+		}
+	}
+}
+
+func TestMultiNilHandling(t *testing.T) {
+	if Multi() != nil {
+		t.Fatal("Multi() should be nil")
+	}
+	if Multi(nil, nil) != nil {
+		t.Fatal("Multi(nil, nil) should be nil")
+	}
+	r := &recorder{}
+	if got := Multi(nil, r, nil); got != Observer(r) {
+		t.Fatalf("single member should be returned unwrapped, got %T", got)
+	}
+}
+
+func TestSkipAccepts(t *testing.T) {
+	if SkipAccepts(nil) != nil {
+		t.Fatal("SkipAccepts(nil) should be nil")
+	}
+	r := &recorder{}
+	emitAll(SkipAccepts(r))
+	if len(r.events) != 7 {
+		t.Fatalf("events = %d, want 7 (accept dropped)", len(r.events))
+	}
+	for _, e := range r.events {
+		if e[:6] == "accept" {
+			t.Fatalf("accept leaked through: %q", e)
+		}
+	}
+}
+
+func TestNopImplementsObserver(t *testing.T) {
+	var o Observer = Nop{}
+	emitAll(o) // must not panic
+}

@@ -1,0 +1,217 @@
+package obsv
+
+import (
+	"sync"
+	"time"
+
+	"bbcast/internal/overlay"
+	"bbcast/internal/wire"
+)
+
+// Metric names exposed by RegistryObserver. Kind- and detector-specific
+// series carry a label, e.g. `bbcast_tx_total{kind="data"}`.
+const (
+	MetricTxTotal         = "bbcast_tx_total"
+	MetricRxTotal         = "bbcast_rx_total"
+	MetricAcceptsTotal    = "bbcast_accepts_total"
+	MetricInjectsTotal    = "bbcast_injects_total"
+	MetricRoleChanges     = "bbcast_role_changes_total"
+	MetricOverlayActive   = "bbcast_overlay_active"
+	MetricSuspicionsTotal = "bbcast_suspicions_total"
+	MetricSuspectedNodes  = "bbcast_suspected_nodes"
+	MetricSigVerifyFails  = "bbcast_sigverify_fail_total"
+	MetricSigVerifySecs   = "bbcast_sigverify_seconds"
+	MetricQueueDepth      = "bbcast_queue_depth"
+	MetricDeliveryLatency = "bbcast_delivery_latency_seconds"
+)
+
+// maxTrackedInjects bounds the inject-time map used to derive delivery
+// latency; injects beyond the bound still count but stop feeding the latency
+// summary.
+const maxTrackedInjects = 65536
+
+type suspicionKey struct {
+	node, subject wire.NodeID
+	detector      Detector
+}
+
+// RegistryObserver folds protocol events into a Registry: tx/rx counters by
+// kind, accept/inject/role-change counters, suspicion counters and a live
+// suspected-nodes gauge, a signature-verify duration summary, per-queue depth
+// gauges, and an end-to-end delivery-latency summary (inject-to-accept,
+// excluding the originator's own delivery, mirroring the simulation metrics).
+// Per-kind and per-outcome handles are resolved once at construction so the
+// hot-path methods only touch atomics.
+type RegistryObserver struct {
+	tx [wire.NumKinds + 1]*Counter
+	rx [wire.NumKinds + 1]*Counter
+
+	accepts     *Counter
+	injects     *Counter
+	roleChanges *Counter
+
+	suspRaised  map[Detector]*Counter
+	suspCleared map[Detector]*Counter
+
+	sigFails *Counter
+	sigSecs  *Summary
+
+	activeGauge    *Gauge
+	suspectedGauge *Gauge
+	queueGauges    map[Queue]*Gauge
+
+	latency *Summary
+
+	mu        sync.Mutex
+	active    map[wire.NodeID]bool
+	suspected map[suspicionKey]struct{}
+	queues    map[Queue]map[wire.NodeID]int
+	injectAt  map[wire.MsgID]time.Duration
+}
+
+var _ Observer = (*RegistryObserver)(nil)
+
+// NewRegistryObserver binds an observer to r, registering every metric it
+// maintains (so an idle node still exposes the full schema at zero).
+func NewRegistryObserver(r *Registry) *RegistryObserver {
+	o := &RegistryObserver{
+		accepts:        r.Counter(MetricAcceptsTotal),
+		injects:        r.Counter(MetricInjectsTotal),
+		roleChanges:    r.Counter(MetricRoleChanges),
+		suspRaised:     make(map[Detector]*Counter, 3),
+		suspCleared:    make(map[Detector]*Counter, 3),
+		sigFails:       r.Counter(MetricSigVerifyFails),
+		sigSecs:        r.Summary(MetricSigVerifySecs, 0),
+		activeGauge:    r.Gauge(MetricOverlayActive),
+		suspectedGauge: r.Gauge(MetricSuspectedNodes),
+		queueGauges:    make(map[Queue]*Gauge, 4),
+		latency:        r.Summary(MetricDeliveryLatency, 0),
+		active:         make(map[wire.NodeID]bool),
+		suspected:      make(map[suspicionKey]struct{}),
+		queues:         make(map[Queue]map[wire.NodeID]int, 4),
+		injectAt:       make(map[wire.MsgID]time.Duration),
+	}
+	for k := wire.KindData; k <= wire.KindOverlayState; k++ {
+		o.tx[k] = r.Counter(labelled(MetricTxTotal, "kind", k.String()))
+		o.rx[k] = r.Counter(labelled(MetricRxTotal, "kind", k.String()))
+	}
+	// Slot 0 absorbs out-of-range kinds rather than panicking.
+	o.tx[0] = r.Counter(labelled(MetricTxTotal, "kind", "unknown"))
+	o.rx[0] = r.Counter(labelled(MetricRxTotal, "kind", "unknown"))
+	for _, d := range []Detector{DetectorMute, DetectorVerbose, DetectorTrust} {
+		base := labelled(MetricSuspicionsTotal, "detector", string(d))
+		o.suspRaised[d] = r.Counter(labelled(base, "event", "raised"))
+		o.suspCleared[d] = r.Counter(labelled(base, "event", "cleared"))
+	}
+	for _, q := range []Queue{QueueStore, QueueMissing, QueueNeighbors, QueueExpectations} {
+		o.queueGauges[q] = r.Gauge(labelled(MetricQueueDepth, "queue", string(q)))
+		o.queues[q] = make(map[wire.NodeID]int)
+	}
+	return o
+}
+
+func (o *RegistryObserver) kindCounter(set *[wire.NumKinds + 1]*Counter, kind wire.Kind) *Counter {
+	if kind >= 1 && int(kind) <= wire.NumKinds {
+		return set[kind]
+	}
+	return set[0]
+}
+
+// OnPacketTx implements Observer.
+func (o *RegistryObserver) OnPacketTx(_ time.Duration, _ wire.NodeID, kind wire.Kind, _ wire.MsgID) {
+	o.kindCounter(&o.tx, kind).Inc()
+}
+
+// OnPacketRx implements Observer.
+func (o *RegistryObserver) OnPacketRx(_ time.Duration, _ wire.NodeID, kind wire.Kind, _ wire.MsgID) {
+	o.kindCounter(&o.rx, kind).Inc()
+}
+
+// OnInject implements Observer.
+func (o *RegistryObserver) OnInject(at time.Duration, _ wire.NodeID, id wire.MsgID) {
+	o.injects.Inc()
+	o.mu.Lock()
+	if len(o.injectAt) < maxTrackedInjects {
+		o.injectAt[id] = at
+	}
+	o.mu.Unlock()
+}
+
+// OnAccept implements Observer.
+func (o *RegistryObserver) OnAccept(at time.Duration, node wire.NodeID, id wire.MsgID, _ []byte) {
+	o.accepts.Inc()
+	if node == id.Origin {
+		return // own delivery: zero latency by construction, excluded like in metrics.Summarize
+	}
+	o.mu.Lock()
+	t0, ok := o.injectAt[id]
+	o.mu.Unlock()
+	if ok {
+		o.latency.Observe((at - t0).Seconds())
+	}
+}
+
+// OnRoleChange implements Observer.
+func (o *RegistryObserver) OnRoleChange(_ time.Duration, node wire.NodeID, role overlay.Role) {
+	o.roleChanges.Inc()
+	o.mu.Lock()
+	was := o.active[node]
+	now := role.Active()
+	if was != now {
+		o.active[node] = now
+		if now {
+			o.activeGauge.Add(1)
+		} else {
+			o.activeGauge.Add(-1)
+		}
+	}
+	o.mu.Unlock()
+}
+
+// OnSuspicion implements Observer.
+func (o *RegistryObserver) OnSuspicion(_ time.Duration, node, subject wire.NodeID, detector Detector, raised bool) {
+	key := suspicionKey{node, subject, detector}
+	o.mu.Lock()
+	if raised {
+		if c := o.suspRaised[detector]; c != nil {
+			c.Inc()
+		}
+		if _, dup := o.suspected[key]; !dup {
+			o.suspected[key] = struct{}{}
+			o.suspectedGauge.Add(1)
+		}
+	} else {
+		if c := o.suspCleared[detector]; c != nil {
+			c.Inc()
+		}
+		if _, ok := o.suspected[key]; ok {
+			delete(o.suspected, key)
+			o.suspectedGauge.Add(-1)
+		}
+	}
+	o.mu.Unlock()
+}
+
+// OnSigVerify implements Observer.
+func (o *RegistryObserver) OnSigVerify(_ time.Duration, _ wire.NodeID, ok bool, took time.Duration) {
+	if !ok {
+		o.sigFails.Inc()
+	}
+	o.sigSecs.Observe(took.Seconds())
+}
+
+// OnQueueDepth implements Observer.
+func (o *RegistryObserver) OnQueueDepth(_ time.Duration, node wire.NodeID, queue Queue, depth int) {
+	g := o.queueGauges[queue]
+	if g == nil {
+		return
+	}
+	o.mu.Lock()
+	perNode := o.queues[queue]
+	delta := depth - perNode[node]
+	perNode[node] = depth
+	o.mu.Unlock()
+	if delta != 0 {
+		g.Add(float64(delta))
+	}
+}

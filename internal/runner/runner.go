@@ -22,6 +22,7 @@ import (
 	"bbcast/internal/mac"
 	"bbcast/internal/metrics"
 	"bbcast/internal/mobility"
+	"bbcast/internal/obsv"
 	"bbcast/internal/overlay"
 	"bbcast/internal/radio"
 	"bbcast/internal/sig"
@@ -162,8 +163,13 @@ type Scenario struct {
 	// topology and overlay to this path.
 	SnapshotSVG string
 	// Trace, when non-nil, receives a JSON line per simulation event
-	// (transmissions, injections, acceptances, role changes, fault events).
+	// (transmissions, receptions, injections, acceptances, role changes,
+	// suspicions, fault events).
 	Trace io.Writer
+	// Observer, when non-nil, receives every protocol and transport event of
+	// the run alongside the built-in consumers (e.g. an obsv.RegistryObserver
+	// so a simulation exports the same metrics schema as a live node).
+	Observer obsv.Observer
 	// Duration is the total simulated time (allow drain past Workload.End).
 	Duration time.Duration
 
@@ -237,6 +243,9 @@ type Result struct {
 	// Repro, set when Violations is non-empty, is a one-line bbsim command
 	// (seed, scenario and inline fault plan) that reproduces the failure.
 	Repro string
+	// TraceErr is the first trace-encoding error, if the run's trace was
+	// lossy (only set when Scenario.Trace was configured).
+	TraceErr error
 }
 
 // FaultRecord is one fault-plan event that fired during the run.
@@ -275,17 +284,10 @@ func Run(sc Scenario) (Result, error) {
 
 	collector := metrics.NewCollector()
 	var tracer *trace.Writer
+	var traceObs obsv.Observer
 	if sc.Trace != nil {
 		tracer = trace.NewWriter(sc.Trace)
-	}
-	medium.OnTransmit = func(from wire.NodeID, pkt *wire.Packet) {
-		collector.OnTransmit(pkt)
-		if tracer != nil {
-			tracer.Emit(trace.Event{
-				T: trace.At(eng.Now()), Node: from, Type: trace.TypeTx,
-				Kind: pkt.Kind.String(), Msg: pkt.ID().String(),
-			})
-		}
+		traceObs = trace.NewObserver(tracer)
 	}
 
 	behaviors := assignAdversaries(sc, eng, medium, scheme)
@@ -322,6 +324,15 @@ func Run(sc Scenario) (Result, error) {
 	clock := env.SimClock{Eng: eng}
 
 	chk := buildChecker(sc, eng, medium, protos, correct)
+
+	// One composite observer receives every event exactly once from the
+	// emitting layer; accepts at non-correct nodes are filtered out so they
+	// never count towards delivery (mirroring the old per-node wiring).
+	obs := obsv.Multi(collector, traceObs, invariant.AsObserver(chk), sc.Observer)
+	advObs := obsv.SkipAccepts(obs)
+	medium.OnTransmit = func(from wire.NodeID, pkt *wire.Packet) {
+		obs.OnPacketTx(eng.Now(), from, pkt.Kind, pkt.ID())
+	}
 
 	// Behaviour ticks run for t=0 adversaries and for any node a fault plan
 	// may swap to an active behaviour later. (Correct.Tick is a no-op, so the
@@ -365,28 +376,14 @@ func Run(sc Scenario) (Result, error) {
 			Send:   send,
 			Scheme: scheme,
 			Rand:   eng.SubRand(uint64(i) + 1<<32),
+			Obs:    advObs,
 		}
 		if correct[i] {
-			deps.Deliver = func(origin wire.NodeID, mid wire.MsgID, payload []byte) {
-				collector.OnAccept(id, mid, eng.Now())
-				if chk != nil {
-					chk.OnDeliver(id, mid, payload)
-				}
-				if tracer != nil {
-					tracer.Emit(trace.Event{
-						T: trace.At(eng.Now()), Node: id, Type: trace.TypeAccept,
-						Msg: mid.String(),
-					})
-				}
-			}
-		}
-		if tracer != nil {
-			deps.OnRoleChange = func(role overlay.Role) {
-				tracer.Emit(trace.Event{
-					T: trace.At(eng.Now()), Node: id, Type: trace.TypeRole,
-					Detail: role.String(),
-				})
-			}
+			deps.Obs = obs
+			// The no-op upcall marks an application as attached, so
+			// originators still count their own deliveries (DeliverOwn);
+			// measurement itself rides on the observer.
+			deps.Deliver = func(wire.NodeID, wire.MsgID, []byte) {}
 		}
 		switch sc.Protocol {
 		case ProtoFlooding:
@@ -434,7 +431,7 @@ func Run(sc Scenario) (Result, error) {
 		}
 	}
 
-	scheduleWorkload(sc, eng, protos, correct, collector, tracer, chk)
+	scheduleWorkload(sc, eng, protos, correct, obs)
 
 	eng.Run(sc.Duration)
 
@@ -450,7 +447,7 @@ func Run(sc Scenario) (Result, error) {
 		debugInspect(cores)
 	}
 
-	res := Result{Phys: medium.Stats(), FaultEvents: faultEvents, NumCorrect: numCorrect}
+	res := Result{Phys: medium.Stats(), FaultEvents: faultEvents, NumCorrect: numCorrect, TraceErr: tracer.Err()}
 	if chk != nil {
 		res.Violations = chk.Violations()
 		if len(res.Violations) > 0 {
@@ -695,7 +692,7 @@ func adjacency(medium *radio.Medium, n int, maxDist float64) [][]bool {
 }
 
 // scheduleWorkload injects messages per the scenario's workload description.
-func scheduleWorkload(sc Scenario, eng *sim.Engine, protos []broadcaster, correct []bool, collector *metrics.Collector, tracer *trace.Writer, chk *invariant.Checker) {
+func scheduleWorkload(sc Scenario, eng *sim.Engine, protos []broadcaster, correct []bool, obs obsv.Observer) {
 	w := sc.Workload
 	if w.Rate <= 0 || w.Senders <= 0 {
 		return
@@ -721,15 +718,8 @@ func scheduleWorkload(sc Scenario, eng *sim.Engine, protos []broadcaster, correc
 		k++
 		eng.At(at, func() {
 			id := protos[sender].Broadcast(payload)
-			collector.OnInject(id, wire.NodeID(sender), eng.Now())
-			if chk != nil {
-				chk.OnInject(id, wire.NodeID(sender), eng.Now())
-			}
-			if tracer != nil {
-				tracer.Emit(trace.Event{
-					T: trace.At(eng.Now()), Node: wire.NodeID(sender),
-					Type: trace.TypeInject, Msg: id.String(),
-				})
+			if obs != nil {
+				obs.OnInject(eng.Now(), wire.NodeID(sender), id)
 			}
 		})
 		if w.Poisson {

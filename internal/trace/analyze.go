@@ -37,13 +37,37 @@ type FaultStat struct {
 // faultWindow is the correlation window around each fault event.
 const faultWindow = 10 * time.Second
 
+// SuspicionStats aggregates one detector's suspicion lifecycles.
+type SuspicionStats struct {
+	// Raised and Cleared count transitions; Active is how many suspicions
+	// were still standing when the trace ended.
+	Raised  int
+	Cleared int
+	Active  int
+	// MeanDuration is the mean raise-to-clear time over completed
+	// lifecycles (zero when none completed).
+	MeanDuration time.Duration
+}
+
 // Analysis is the digest of a whole trace.
 type Analysis struct {
 	Events   int
 	TxByKind map[string]int
+	// RxByKind counts frames delivered to protocols, per kind. One
+	// transmission reaches many receivers, so RxByKind[k]/TxByKind[k] is the
+	// mean receivers-per-transmission; see Reach.
+	RxByKind map[string]int
+	// Reach is RxByKind/TxByKind per kind. All kinds share one radio, so a
+	// kind reaching fewer receivers per transmission than its peers is being
+	// lost preferentially (larger frames collide and fade more) — the
+	// per-kind asymmetry is a loss estimator without ground truth.
+	Reach    map[string]float64
 	Messages []MessageStats
 	// RoleChanges counts committed role transitions per node id.
 	RoleChanges map[string]int
+	// Suspicions aggregates suspicion lifecycles per detector
+	// ("mute", "verbose", "trust").
+	Suspicions map[string]SuspicionStats
 	// Faults lists fault-plan events with accept counts around each.
 	Faults []FaultStat
 }
@@ -53,11 +77,21 @@ type Analysis struct {
 func Analyze(r io.Reader) (Analysis, error) {
 	a := Analysis{
 		TxByKind:    make(map[string]int),
+		RxByKind:    make(map[string]int),
+		Reach:       make(map[string]float64),
 		RoleChanges: make(map[string]int),
+		Suspicions:  make(map[string]SuspicionStats),
 	}
 	injected := map[string]time.Duration{}
 	accepts := map[string][]time.Duration{}
 	var acceptTimes []time.Duration
+	type suspKey struct {
+		node, peer uint32
+		detector   string
+	}
+	suspStart := map[suspKey]time.Duration{}
+	suspSum := map[string]time.Duration{}
+	suspDone := map[string]int{}
 
 	scanner := bufio.NewScanner(r)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
@@ -74,6 +108,29 @@ func Analyze(r io.Reader) (Analysis, error) {
 		switch ev.Type {
 		case TypeTx:
 			a.TxByKind[ev.Kind]++
+		case TypeRx:
+			a.RxByKind[ev.Kind]++
+		case TypeSuspect:
+			detector, raised, ok := parseSuspectDetail(ev.Detail)
+			if !ok {
+				break
+			}
+			st := a.Suspicions[detector]
+			key := suspKey{node: uint32(ev.Node), peer: uint32(ev.Peer), detector: detector}
+			if raised {
+				st.Raised++
+				if _, dup := suspStart[key]; !dup {
+					suspStart[key] = time.Duration(ev.T)
+				}
+			} else {
+				st.Cleared++
+				if start, active := suspStart[key]; active {
+					suspSum[detector] += time.Duration(ev.T) - start
+					suspDone[detector]++
+					delete(suspStart, key)
+				}
+			}
+			a.Suspicions[detector] = st
 		case TypeInject:
 			injected[ev.Msg] = time.Duration(ev.T)
 		case TypeAccept:
@@ -119,7 +176,41 @@ func Analyze(r io.Reader) (Analysis, error) {
 		f.AcceptsBefore = countBetween(f.At-faultWindow, f.At)
 		f.AcceptsAfter = countBetween(f.At, f.At+faultWindow)
 	}
+	for kind, rx := range a.RxByKind {
+		if tx := a.TxByKind[kind]; tx > 0 {
+			a.Reach[kind] = float64(rx) / float64(tx)
+		}
+	}
+	for key := range suspStart {
+		st := a.Suspicions[key.detector]
+		st.Active++
+		a.Suspicions[key.detector] = st
+	}
+	for detector, done := range suspDone {
+		if done > 0 {
+			st := a.Suspicions[detector]
+			st.MeanDuration = suspSum[detector] / time.Duration(done)
+			a.Suspicions[detector] = st
+		}
+	}
 	return a, nil
+}
+
+// parseSuspectDetail splits a suspect event's "<detector>:raised" /
+// "<detector>:cleared" detail.
+func parseSuspectDetail(detail string) (detector string, raised, ok bool) {
+	detector, event, found := strings.Cut(detail, ":")
+	if !found || detector == "" {
+		return "", false, false
+	}
+	switch event {
+	case "raised":
+		return detector, true, true
+	case "cleared":
+		return detector, false, true
+	default:
+		return "", false, false
+	}
 }
 
 // Summary renders the analysis as text.
@@ -136,6 +227,40 @@ func (a Analysis) Summary() string {
 		fmt.Fprintf(&b, " %s=%d", k, a.TxByKind[k])
 	}
 	b.WriteByte('\n')
+	if len(a.RxByKind) > 0 {
+		rxKinds := make([]string, 0, len(a.RxByKind))
+		for k := range a.RxByKind {
+			rxKinds = append(rxKinds, k)
+		}
+		sort.Strings(rxKinds)
+		b.WriteString("receptions:")
+		for _, k := range rxKinds {
+			fmt.Fprintf(&b, " %s=%d", k, a.RxByKind[k])
+		}
+		b.WriteByte('\n')
+		// Reach is mean receivers per transmission; the kind with the best
+		// reach is the baseline, shortfalls estimate preferential loss.
+		best := 0.0
+		for _, r := range a.Reach {
+			if r > best {
+				best = r
+			}
+		}
+		if best > 0 {
+			b.WriteString("reach (rx/tx):")
+			for _, k := range rxKinds {
+				r, ok := a.Reach[k]
+				if !ok {
+					continue
+				}
+				fmt.Fprintf(&b, " %s=%.2f", k, r)
+				if loss := 1 - r/best; loss > 0.005 {
+					fmt.Fprintf(&b, " (-%.0f%%)", 100*loss)
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
 	fmt.Fprintf(&b, "messages: %d\n", len(a.Messages))
 	if len(a.Messages) > 0 {
 		fmt.Fprintf(&b, "%-10s %-10s %-8s %-12s %-12s %-12s\n",
@@ -152,6 +277,19 @@ func (a Analysis) Summary() string {
 		churn += c
 	}
 	fmt.Fprintf(&b, "role changes: %d across %d nodes\n", churn, len(a.RoleChanges))
+	if len(a.Suspicions) > 0 {
+		detectors := make([]string, 0, len(a.Suspicions))
+		for d := range a.Suspicions {
+			detectors = append(detectors, d)
+		}
+		sort.Strings(detectors)
+		b.WriteString("suspicions:\n")
+		for _, d := range detectors {
+			s := a.Suspicions[d]
+			fmt.Fprintf(&b, "  %-8s raised=%-5d cleared=%-5d active=%-5d mean-held=%s\n",
+				d, s.Raised, s.Cleared, s.Active, s.MeanDuration.Round(time.Millisecond))
+		}
+	}
 	if len(a.Faults) > 0 {
 		fmt.Fprintf(&b, "faults: %d (accepts ±%s around each)\n", len(a.Faults), faultWindow)
 		for _, f := range a.Faults {

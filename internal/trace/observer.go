@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"time"
+
+	"bbcast/internal/obsv"
+	"bbcast/internal/overlay"
+	"bbcast/internal/wire"
+)
+
+// Observer writes protocol events to a Writer as trace records. Signature
+// verifications and queue-depth samples are deliberately not traced: they
+// are high-volume distribution data, which the metrics registry summarizes.
+type Observer struct {
+	obsv.Nop
+	w *Writer
+}
+
+var _ obsv.Observer = (*Observer)(nil)
+
+// NewObserver adapts w into an event observer. w must be non-nil.
+func NewObserver(w *Writer) *Observer {
+	return &Observer{w: w}
+}
+
+// OnPacketTx implements obsv.Observer.
+func (o *Observer) OnPacketTx(at time.Duration, node wire.NodeID, kind wire.Kind, id wire.MsgID) {
+	o.w.Emit(Event{T: At(at), Node: node, Type: TypeTx, Kind: kind.String(), Msg: id.String()})
+}
+
+// OnPacketRx implements obsv.Observer.
+func (o *Observer) OnPacketRx(at time.Duration, node wire.NodeID, kind wire.Kind, id wire.MsgID) {
+	o.w.Emit(Event{T: At(at), Node: node, Type: TypeRx, Kind: kind.String(), Msg: id.String()})
+}
+
+// OnInject implements obsv.Observer.
+func (o *Observer) OnInject(at time.Duration, node wire.NodeID, id wire.MsgID) {
+	o.w.Emit(Event{T: At(at), Node: node, Type: TypeInject, Msg: id.String()})
+}
+
+// OnAccept implements obsv.Observer.
+func (o *Observer) OnAccept(at time.Duration, node wire.NodeID, id wire.MsgID, _ []byte) {
+	o.w.Emit(Event{T: At(at), Node: node, Type: TypeAccept, Msg: id.String()})
+}
+
+// OnRoleChange implements obsv.Observer.
+func (o *Observer) OnRoleChange(at time.Duration, node wire.NodeID, role overlay.Role) {
+	o.w.Emit(Event{T: At(at), Node: node, Type: TypeRole, Detail: role.String()})
+}
+
+// OnSuspicion implements obsv.Observer.
+func (o *Observer) OnSuspicion(at time.Duration, node, subject wire.NodeID, detector obsv.Detector, raised bool) {
+	detail := string(detector) + ":raised"
+	if !raised {
+		detail = string(detector) + ":cleared"
+	}
+	o.w.Emit(Event{T: At(at), Node: node, Type: TypeSuspect, Peer: subject, Detail: detail})
+}

@@ -18,12 +18,18 @@ type Type string
 const (
 	// TypeTx is a frame put on the air.
 	TypeTx Type = "tx"
+	// TypeRx is a frame delivered to a node's protocol.
+	TypeRx Type = "rx"
 	// TypeAccept is an application-level message acceptance.
 	TypeAccept Type = "accept"
 	// TypeRole is an overlay role change.
 	TypeRole Type = "role"
 	// TypeInject is a workload origination.
 	TypeInject Type = "inject"
+	// TypeSuspect is a suspicion transition: Node's detector started or
+	// stopped suspecting Peer (Detail is "<detector>:raised" or
+	// "<detector>:cleared").
+	TypeSuspect Type = "suspect"
 	// TypeFault is a fault-plan event firing (Detail carries the event
 	// name, e.g. "crash(12)"). Fault events are network-wide, so the
 	// Node field is meaningless for them.
@@ -38,10 +44,12 @@ type Event struct {
 	Node wire.NodeID `json:"node"`
 	// Type classifies the event.
 	Type Type `json:"type"`
-	// Kind is the packet kind for tx events.
+	// Kind is the packet kind for tx/rx events.
 	Kind string `json:"kind,omitempty"`
 	// Msg is the message id ("origin/seq") where applicable.
 	Msg string `json:"msg,omitempty"`
+	// Peer is the other node involved (the subject of a suspect event).
+	Peer wire.NodeID `json:"peer,omitempty"`
 	// Detail carries event-specific text (e.g. the new role).
 	Detail string `json:"detail,omitempty"`
 }
@@ -51,6 +59,7 @@ type Event struct {
 type Writer struct {
 	enc *json.Encoder
 	n   int
+	err error
 }
 
 // NewWriter wraps w.
@@ -58,20 +67,32 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{enc: json.NewEncoder(w)}
 }
 
-// Emit writes one event. Encoding errors are swallowed after the first (a
-// trace must never abort a run); Err-free operation can be checked by
-// comparing Count against expectations.
+// Emit writes one event. Encoding errors never abort a run: the event is
+// dropped and the first error is retained for Err.
 func (t *Writer) Emit(ev Event) {
 	if t == nil {
 		return
 	}
-	if err := t.enc.Encode(ev); err == nil {
-		t.n++
+	if err := t.enc.Encode(ev); err != nil {
+		if t.err == nil {
+			t.err = err
+		}
+		return
 	}
+	t.n++
 }
 
 // Count reports how many events were written successfully.
 func (t *Writer) Count() int { return t.n }
+
+// Err returns the first encoding error, if any — a non-nil Err means the
+// trace is lossy and downstream analysis may be incomplete.
+func (t *Writer) Err() error {
+	if t == nil {
+		return nil
+	}
+	return t.err
+}
 
 // At converts a virtual time to the event timestamp field.
 func At(d time.Duration) int64 { return int64(d) }

@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -52,5 +53,39 @@ func TestOmitEmptyFields(t *testing.T) {
 	}
 	if !strings.Contains(line, `"detail":"dominator"`) {
 		t.Fatalf("detail missing: %s", line)
+	}
+}
+
+// failAfter errors every write past the first n.
+type failAfter struct {
+	n     int
+	wrote int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.wrote >= f.n {
+		return 0, errors.New("disk full")
+	}
+	f.wrote++
+	return len(p), nil
+}
+
+func TestWriterRetainsFirstError(t *testing.T) {
+	w := NewWriter(&failAfter{n: 1})
+	w.Emit(Event{Type: TypeTx})
+	if w.Err() != nil {
+		t.Fatalf("premature error: %v", w.Err())
+	}
+	w.Emit(Event{Type: TypeTx}) // fails
+	w.Emit(Event{Type: TypeTx}) // fails too; first error sticks
+	if w.Err() == nil || !strings.Contains(w.Err().Error(), "disk full") {
+		t.Fatalf("Err = %v, want the first write error", w.Err())
+	}
+	if w.Count() != 1 {
+		t.Fatalf("Count = %d, want 1 (failed emits are dropped)", w.Count())
+	}
+	var nilW *Writer
+	if nilW.Err() != nil {
+		t.Fatal("nil writer Err should be nil")
 	}
 }

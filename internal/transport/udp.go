@@ -9,14 +9,18 @@ package transport
 
 import (
 	"errors"
+	"expvar"
 	"fmt"
 	"math/rand"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
 	"bbcast/internal/core"
 	"bbcast/internal/env"
+	"bbcast/internal/obsv"
 	"bbcast/internal/sig"
 	"bbcast/internal/wire"
 )
@@ -30,10 +34,17 @@ type UDPNode struct {
 	conn  *net.UDPConn
 	proto *core.Protocol
 
+	registry *obsv.Registry
+	obs      obsv.Observer
+	clock    env.Clock
+
 	mu    sync.Mutex // serializes all protocol access
 	peers []*net.UDPAddr
 
 	deliver func(origin wire.NodeID, id wire.MsgID, payload []byte)
+
+	debugMu  sync.Mutex
+	debugSrv *http.Server
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -79,19 +90,23 @@ func NewUDPNode(cfg core.Config, id wire.NodeID, scheme sig.Scheme, listen strin
 		return nil, fmt.Errorf("transport: listen %q: %w", listen, err)
 	}
 	n := &UDPNode{
-		id:      id,
-		conn:    conn,
-		deliver: deliver,
-		closed:  make(chan struct{}),
-		done:    make(chan struct{}),
+		id:       id,
+		conn:     conn,
+		registry: obsv.NewRegistry(),
+		deliver:  deliver,
+		closed:   make(chan struct{}),
+		done:     make(chan struct{}),
 	}
+	n.obs = obsv.NewRegistryObserver(n.registry)
 	clock := lockedClock{inner: &env.RealClock{}, mu: &n.mu, node: n}
+	n.clock = clock
 	n.proto = core.New(cfg, core.Deps{
 		ID:     id,
 		Clock:  clock,
 		Send:   n.send,
 		Scheme: scheme,
 		Rand:   rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(id)<<32)),
+		Obs:    n.obs,
 		Deliver: func(origin wire.NodeID, msgID wire.MsgID, payload []byte) {
 			if n.deliver != nil {
 				n.deliver(origin, msgID, payload)
@@ -131,7 +146,9 @@ func (n *UDPNode) SetPeers(addrs []string) error {
 func (n *UDPNode) Broadcast(payload []byte) wire.MsgID {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.proto.Broadcast(payload)
+	id := n.proto.Broadcast(payload)
+	n.obs.OnInject(n.clock.Now(), n.id, id)
+	return id
 }
 
 // InOverlay reports the node's current overlay membership.
@@ -148,10 +165,72 @@ func (n *UDPNode) Stats() core.Stats {
 	return n.proto.Stats()
 }
 
+// Metrics exposes the node's metrics registry (tx/rx by kind, accepts,
+// suspicions, signature-verify latency, queue depths). Scraping it is safe
+// from any goroutine.
+func (n *UDPNode) Metrics() *obsv.Registry { return n.registry }
+
+// ServeDebug starts an HTTP server on addr exposing the node's internals:
+//
+//	/metrics      Prometheus text exposition of the metrics registry
+//	/metrics.json the same registry as JSON (the bbsim -metrics-out schema)
+//	/status       one-line JSON snapshot (id, role, store/neighbour sizes)
+//	/debug/vars   expvar
+//	/debug/pprof/ CPU, heap and the other standard profiles
+//
+// It returns the listener's address (useful with ":0") and stops the server
+// when the node is closed. One debug server per node; calling ServeDebug
+// again replaces the previous server.
+func (n *UDPNode) ServeDebug(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: debug listen %q: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = n.registry.WriteProm(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = n.registry.WriteJSON(w)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		n.mu.Lock()
+		role := n.proto.Role().String()
+		held, tombstones := n.proto.StoreSize()
+		neighbors := n.proto.NeighborCount()
+		missing := n.proto.MissingCount()
+		n.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"id":%d,"role":%q,"store":%d,"tombstones":%d,"neighbors":%d,"missing":%d}`+"\n",
+			n.id, role, held, tombstones, neighbors, missing)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Handler: mux}
+	n.debugMu.Lock()
+	if prev := n.debugSrv; prev != nil {
+		_ = prev.Close()
+	}
+	n.debugSrv = srv
+	n.debugMu.Unlock()
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr(), nil
+}
+
 // send transmits one frame to every peer (the one-hop broadcast). Called
 // with the node lock held (all protocol entry points hold it).
 func (n *UDPNode) send(pkt *wire.Packet) {
 	buf := pkt.Marshal()
+	// One tx event per frame put on the air, not per peer: the peer loop
+	// emulates a single radio broadcast.
+	n.obs.OnPacketTx(n.clock.Now(), n.id, pkt.Kind, pkt.ID())
 	for _, peer := range n.peers {
 		// Best-effort datagrams: losses are the protocol's problem by
 		// design, so write errors are intentionally dropped.
@@ -197,6 +276,12 @@ func (n *UDPNode) Close() error {
 	var err error
 	n.closeOnce.Do(func() {
 		close(n.closed)
+		n.debugMu.Lock()
+		if n.debugSrv != nil {
+			_ = n.debugSrv.Close()
+			n.debugSrv = nil
+		}
+		n.debugMu.Unlock()
 		_ = n.conn.SetReadDeadline(time.Now())
 		n.mu.Lock()
 		n.proto.Stop()
