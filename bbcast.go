@@ -262,6 +262,25 @@ func DefaultMACConfig() MACConfig { return mac.DefaultConfig() }
 // deterministic in Scenario.Seed.
 func Run(sc Scenario) (Result, error) { return runner.Run(sc) }
 
+// ReplicateSeed derives the seed for replicate k of a base seed (SplitMix64;
+// replicate 0 keeps the base). Replicate streams are decorrelated and depend
+// only on (base, k), never on how many workers execute them.
+func ReplicateSeed(base int64, k int) int64 { return runner.ReplicateSeed(base, k) }
+
+// RunReplicates executes count independent replicates of the scenario (seeds
+// derived by ReplicateSeed) across a pool of workers — GOMAXPROCS when
+// workers <= 0 — and returns per-replicate results in replicate order. Each
+// simulation stays single-threaded; per-replicate results are bit-identical
+// at any worker count.
+func RunReplicates(sc Scenario, count, workers int) ([]Result, error) {
+	return runner.Pool{Workers: workers}.RunReplicates(sc, count)
+}
+
+// AverageResults reduces per-replicate results to their mean (ratios and
+// latencies become per-replicate means, counters mean counts). Violations
+// and fault events are concatenated, not averaged.
+func AverageResults(rs []Result) Result { return runner.Average(rs) }
+
 // NewHMACKeyring returns the fast symmetric simulation keyring: node keys
 // are derived deterministically from seed and verification consults an
 // omniscient registry standing in for the PKI. Use it for simulations and

@@ -11,12 +11,17 @@ package bbcast_test
 // those results).
 
 import (
+	"bytes"
+	"math/rand"
 	"strconv"
 	"testing"
 	"time"
 
 	"bbcast"
 	"bbcast/internal/experiments"
+	"bbcast/internal/geo"
+	"bbcast/internal/mobility"
+	"bbcast/internal/radio"
 	"bbcast/internal/sim"
 	"bbcast/internal/wire"
 )
@@ -175,6 +180,87 @@ func BenchmarkEd25519Verify(b *testing.B) {
 		if !keys.Verify(1, msg, tag) {
 			b.Fatal("verify failed")
 		}
+	}
+}
+
+// BenchmarkWireRoundTrip measures a full encode+decode cycle and asserts the
+// decoded packet re-encodes to identical bytes every iteration, so the
+// benchmark doubles as a codec-correctness test.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	pkt := samplePacket()
+	want := pkt.Marshal()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := pkt.Marshal()
+		got, err := wire.Unmarshal(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got.Payload) != len(pkt.Payload) || got.Seq != pkt.Seq {
+			b.Fatal("round trip lost fields")
+		}
+		if i == 0 && !bytes.Equal(buf, want) {
+			b.Fatal("marshal not stable")
+		}
+	}
+}
+
+// BenchmarkRadioReception measures the physical layer end to end: one
+// broadcast per iteration over a 25-node in-range cluster, running the
+// engine until the reception batch resolves. The delivery count doubles as a
+// correctness assertion.
+func BenchmarkRadioReception(b *testing.B) {
+	const n = 25
+	eng := sim.New(1)
+	area := geo.Rect{W: 500, H: 500}
+	pts := make([]geo.Point, n)
+	rng := rand.New(rand.NewSource(2))
+	for i := range pts {
+		pts[i] = geo.Point{X: 200 + rng.Float64()*100, Y: 200 + rng.Float64()*100}
+	}
+	model := mobility.NewStatic(area, pts)
+	cfg := radio.DefaultConfig()
+	cfg.PosUpdate = 0 // static placement; skip refresh timers
+	m := radio.New(eng, model, n, cfg)
+	defer m.Close()
+	for i := 0; i < n; i++ {
+		m.Attach(wire.NodeID(i), func(*wire.Packet) {})
+	}
+	pkt := samplePacket()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Broadcast(0, pkt)
+		eng.RunAll()
+	}
+	b.StopTimer()
+	st := m.Stats()
+	if st.Transmissions != uint64(b.N) {
+		b.Fatalf("transmissions = %d, want %d", st.Transmissions, b.N)
+	}
+	if st.Deliveries == 0 {
+		b.Fatal("no deliveries — cluster not in range")
+	}
+	b.ReportMetric(float64(st.Deliveries)/float64(b.N), "deliveries/op")
+}
+
+// BenchmarkSimStep measures the heap pop + dispatch cost in isolation: all
+// b.N events are pre-scheduled, then stepped through.
+func BenchmarkSimStep(b *testing.B) {
+	eng := sim.New(1)
+	fired := 0
+	fn := func() { fired++ }
+	for i := 0; i < b.N; i++ {
+		eng.At(time.Duration(i)*time.Microsecond, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for eng.Step() {
+	}
+	b.StopTimer()
+	if fired != b.N {
+		b.Fatalf("fired %d of %d events", fired, b.N)
 	}
 }
 

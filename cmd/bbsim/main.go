@@ -37,8 +37,10 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bbsim", flag.ContinueOnError)
 	var (
-		n        = fs.Int("n", 75, "number of nodes")
-		seed     = fs.Int64("seed", 1, "random seed (runs are deterministic per seed)")
+		n          = fs.Int("n", 75, "number of nodes")
+		seed       = fs.Int64("seed", 1, "random seed (runs are deterministic per seed)")
+		replicates = fs.Int("replicates", 1, "independent replicates to run (seeds derived from -seed via SplitMix64); results are averaged")
+		parallel   = fs.Int("parallel", 0, "concurrent replicate simulations (0 = GOMAXPROCS); per-replicate results are identical at any setting")
 		proto    = fs.String("proto", "byzcast", "protocol: byzcast | flooding | f+1")
 		f        = fs.Int("f", 2, "tolerated failures for the f+1 baseline")
 		area     = fs.Float64("area", 1000, "square area side in metres")
@@ -184,17 +186,33 @@ func run(args []string) error {
 		}
 	}
 
-	res, err := bbcast.Run(sc)
+	if *replicates < 1 {
+		return fmt.Errorf("-replicates must be >= 1, got %d", *replicates)
+	}
+	// With several replicates, single-writer sinks (-trace, -svg, the
+	// metrics registry) are kept on replicate 0 only; replicate 0 runs the
+	// base seed, so its outputs match a plain single run.
+	all, err := bbcast.RunReplicates(sc, *replicates, *parallel)
 	if err != nil {
 		return err
 	}
-	if res.TraceErr != nil {
-		fmt.Fprintf(os.Stderr, "bbsim: warning: trace is incomplete (first write error: %v)\n", res.TraceErr)
+	res := all[0]
+	if *replicates > 1 {
+		for k, r := range all {
+			fmt.Printf("replicate %-3d seed=%-20d delivery=%.3f tx/msg=%.1f lat-mean=%s violations=%d\n",
+				k, bbcast.ReplicateSeed(*seed, k), r.DeliveryRatio, r.TxPerMessage, r.LatMean.Round(time.Millisecond), len(r.Violations))
+		}
+		res = bbcast.AverageResults(all)
+		fmt.Printf("aggregate over %d replicates:\n", *replicates)
+	}
+	if all[0].TraceErr != nil {
+		fmt.Fprintf(os.Stderr, "bbsim: warning: trace is incomplete (first write error: %v)\n", all[0].TraceErr)
 	}
 	if registry != nil {
 		// The ratio is only known once the run's eligible-receiver counts
-		// are; exported here so the JSON dump is self-contained.
-		registry.Gauge("bbcast_delivery_ratio").Set(res.Results.DeliveryRatio)
+		// are; exported here so the JSON dump is self-contained. The
+		// registry observes replicate 0 only, so its gauge uses that run.
+		registry.Gauge("bbcast_delivery_ratio").Set(all[0].Results.DeliveryRatio)
 		if err := writeMetrics(*metricsOut, registry); err != nil {
 			return err
 		}

@@ -8,10 +8,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
-	"sync"
 	"time"
 
-	"bbcast/internal/core"
 	"bbcast/internal/overlay"
 	"bbcast/internal/runner"
 	"bbcast/internal/wire"
@@ -65,11 +63,17 @@ func (t Table) String() string {
 type Config struct {
 	// Quick shrinks sweeps and durations for CI-speed smoke runs.
 	Quick bool
-	// Seed is the base seed; repeats derive consecutive seeds from it.
+	// Seed is the base seed; repeats derive replicate seeds from it via
+	// runner.ReplicateSeed (SplitMix64), so per-replicate RNG streams are
+	// decorrelated and independent of worker scheduling.
 	Seed int64
 	// Repeats is how many seeds each scenario is averaged over
 	// (default: 3, or 1 in Quick mode).
 	Repeats int
+	// Parallel is how many simulations may run concurrently (the runner
+	// pool's worker count); <= 0 means GOMAXPROCS. Parallelism never changes
+	// results: each replicate is bit-identical at any worker count.
+	Parallel int
 }
 
 // base returns the canonical scenario every experiment perturbs.
@@ -93,9 +97,10 @@ func (c Config) nSweep() []int {
 	return []int{25, 50, 75, 100}
 }
 
-// run executes the scenario across the configured repeats (consecutive
-// seeds) and returns the seed-averaged result. Counter-like fields are
-// averaged too, so every reported number is a per-seed mean.
+// run executes the scenario across the configured repeats (replicate seeds
+// derived via runner.ReplicateSeed) on the runner's worker pool and returns
+// the seed-averaged result. Counter-like fields are averaged too, so every
+// reported number is a per-seed mean.
 func (c Config) run(sc runner.Scenario) runner.Result {
 	repeats := c.Repeats
 	if repeats <= 0 {
@@ -104,95 +109,13 @@ func (c Config) run(sc runner.Scenario) runner.Result {
 			repeats = 1
 		}
 	}
-	// Seeds run concurrently: simulations are fully independent.
-	results := make([]runner.Result, repeats)
-	errs := make([]error, repeats)
-	var wg sync.WaitGroup
-	for i := 0; i < repeats; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			run := sc
-			run.Seed = sc.Seed + int64(i)*1000
-			results[i], errs[i] = runner.Run(run)
-		}(i)
+	results, err := runner.Pool{Workers: c.Parallel}.RunReplicates(sc, repeats)
+	if err != nil {
+		// Experiment scenarios are constructed by this package; a failure
+		// is a programming error, surfaced loudly.
+		panic(fmt.Sprintf("experiment scenario failed: %v", err))
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			// Experiment scenarios are constructed by this package; a
-			// failure is a programming error, surfaced loudly.
-			panic(fmt.Sprintf("experiment scenario failed: %v", err))
-		}
-	}
-	return average(results)
-}
-
-// average reduces per-seed results to their mean.
-func average(rs []runner.Result) runner.Result {
-	if len(rs) == 1 {
-		return rs[0]
-	}
-	out := rs[0]
-	n := float64(len(rs))
-	var delivery, txPerMsg float64
-	var latMean, latP50, latP95, latMax time.Duration
-	var totalTx, bytes, collisions uint64
-	var overlay, detected, injected int
-	byKind := make(map[wire.Kind]uint64)
-	var node core.Stats
-	for _, r := range rs {
-		delivery += r.DeliveryRatio
-		txPerMsg += r.TxPerMessage
-		latMean += r.LatMean
-		latP50 += r.LatP50
-		latP95 += r.LatP95
-		latMax += r.LatMax
-		totalTx += r.TotalTx
-		bytes += r.BytesOnAir
-		collisions += r.Collisions
-		overlay += r.OverlaySize
-		detected += r.AdversariesDetected
-		injected += r.Injected
-		for k, v := range r.TxByKind {
-			byKind[k] += v
-		}
-		node.Accepted += r.Node.Accepted
-		node.Duplicates += r.Node.Duplicates
-		node.BadSignatures += r.Node.BadSignatures
-		node.Forwarded += r.Node.Forwarded
-		node.GossipsSent += r.Node.GossipsSent
-		node.RequestsSent += r.Node.RequestsSent
-		node.FindsSent += r.Node.FindsSent
-		node.RecoveredByData += r.Node.RecoveredByData
-	}
-	out.DeliveryRatio = delivery / n
-	out.TxPerMessage = txPerMsg / n
-	out.LatMean = latMean / time.Duration(len(rs))
-	out.LatP50 = latP50 / time.Duration(len(rs))
-	out.LatP95 = latP95 / time.Duration(len(rs))
-	out.LatMax = latMax / time.Duration(len(rs))
-	out.TotalTx = totalTx / uint64(len(rs))
-	out.BytesOnAir = bytes / uint64(len(rs))
-	out.Collisions = collisions / uint64(len(rs))
-	out.OverlaySize = overlay / len(rs)
-	out.AdversariesDetected = detected / len(rs)
-	out.Injected = injected / len(rs)
-	out.TxByKind = make(map[wire.Kind]uint64, len(byKind))
-	for k, v := range byKind {
-		out.TxByKind[k] = v / uint64(len(rs))
-	}
-	out.Node = core.Stats{
-		Accepted:        node.Accepted / uint64(len(rs)),
-		Duplicates:      node.Duplicates / uint64(len(rs)),
-		BadSignatures:   node.BadSignatures / uint64(len(rs)),
-		Forwarded:       node.Forwarded / uint64(len(rs)),
-		GossipsSent:     node.GossipsSent / uint64(len(rs)),
-		RequestsSent:    node.RequestsSent / uint64(len(rs)),
-		FindsSent:       node.FindsSent / uint64(len(rs)),
-		RecoveredByData: node.RecoveredByData / uint64(len(rs)),
-	}
-	return out
+	return runner.Average(results)
 }
 
 func f1(v float64) string       { return fmt.Sprintf("%.1f", v) }

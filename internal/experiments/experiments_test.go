@@ -104,7 +104,7 @@ func TestAverageReducesResults(t *testing.T) {
 	b.LatMean = 200 * time.Millisecond
 	b.TotalTx = 200
 	b.OverlaySize = 20
-	avg := average([]runner.Result{a, b})
+	avg := runner.Average([]runner.Result{a, b})
 	if avg.DeliveryRatio != 0.75 {
 		t.Fatalf("delivery = %v", avg.DeliveryRatio)
 	}
@@ -119,7 +119,7 @@ func TestAverageReducesResults(t *testing.T) {
 func TestAverageSingleIsIdentity(t *testing.T) {
 	r := runner.Result{}
 	r.DeliveryRatio = 0.9
-	if got := average([]runner.Result{r}); got.DeliveryRatio != 0.9 {
+	if got := runner.Average([]runner.Result{r}); got.DeliveryRatio != 0.9 {
 		t.Fatal("single-element average altered the result")
 	}
 }

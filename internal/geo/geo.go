@@ -53,14 +53,20 @@ func (r Rect) Contains(p Point) bool {
 // item ids to positions and answers range queries in time proportional to the
 // number of cells intersecting the query disk.
 //
+// Cells and positions are dense slices (item ids are expected to be small and
+// dense, as node ids are), so queries and moves touch no hash buckets on the
+// simulator's hot path.
+//
 // The zero value is not usable; construct with NewGrid. Grid is not safe for
 // concurrent use.
 type Grid struct {
-	cell  float64
-	cols  int
-	rows  int
-	cells map[int][]uint32
-	pos   map[uint32]Point
+	cell    float64
+	cols    int
+	rows    int
+	cells   [][]uint32 // bucket of ids per cell, indexed cy*cols+cx
+	pos     []Point    // position per id; valid iff present[id]
+	present []bool
+	count   int
 }
 
 // NewGrid returns a grid over area with the given cell size. Cell size should
@@ -82,9 +88,22 @@ func NewGrid(area Rect, cellSize float64) *Grid {
 		cell:  cellSize,
 		cols:  cols,
 		rows:  rows,
-		cells: make(map[int][]uint32),
-		pos:   make(map[uint32]Point),
+		cells: make([][]uint32, cols*rows),
 	}
+}
+
+// grow ensures the per-id slices cover id.
+func (g *Grid) grow(id uint32) {
+	if int(id) < len(g.pos) {
+		return
+	}
+	n := int(id) + 1
+	pos := make([]Point, n)
+	copy(pos, g.pos)
+	g.pos = pos
+	present := make([]bool, n)
+	copy(present, g.present)
+	g.present = present
 }
 
 func (g *Grid) cellIndex(p Point) int {
@@ -107,21 +126,23 @@ func (g *Grid) cellIndex(p Point) int {
 
 // Insert places id at p, replacing any previous position for id.
 func (g *Grid) Insert(id uint32, p Point) {
-	if _, ok := g.pos[id]; ok {
+	g.grow(id)
+	if g.present[id] {
 		g.Remove(id)
 	}
 	g.pos[id] = p
+	g.present[id] = true
+	g.count++
 	ci := g.cellIndex(p)
 	g.cells[ci] = append(g.cells[ci], id)
 }
 
 // Remove deletes id from the grid. Removing an absent id is a no-op.
 func (g *Grid) Remove(id uint32) {
-	p, ok := g.pos[id]
-	if !ok {
+	if int(id) >= len(g.present) || !g.present[id] {
 		return
 	}
-	ci := g.cellIndex(p)
+	ci := g.cellIndex(g.pos[id])
 	bucket := g.cells[ci]
 	for i, v := range bucket {
 		if v == id {
@@ -130,17 +151,18 @@ func (g *Grid) Remove(id uint32) {
 			break
 		}
 	}
-	delete(g.pos, id)
+	g.present[id] = false
+	g.count--
 }
 
 // Move updates id's position. It is equivalent to Remove+Insert but cheaper
 // when the item stays in the same cell.
 func (g *Grid) Move(id uint32, p Point) {
-	old, ok := g.pos[id]
-	if !ok {
+	if int(id) >= len(g.present) || !g.present[id] {
 		g.Insert(id, p)
 		return
 	}
+	old := g.pos[id]
 	if g.cellIndex(old) == g.cellIndex(p) {
 		g.pos[id] = p
 		return
@@ -151,12 +173,14 @@ func (g *Grid) Move(id uint32, p Point) {
 
 // Pos returns the position of id and whether it is present.
 func (g *Grid) Pos(id uint32) (Point, bool) {
-	p, ok := g.pos[id]
-	return p, ok
+	if int(id) >= len(g.present) || !g.present[id] {
+		return Point{}, false
+	}
+	return g.pos[id], true
 }
 
 // Len reports the number of items in the grid.
-func (g *Grid) Len() int { return len(g.pos) }
+func (g *Grid) Len() int { return g.count }
 
 // Near appends to dst the ids of all items within radius r of p (excluding
 // none; callers filter self). The result order is deterministic only up to
@@ -191,9 +215,11 @@ func (g *Grid) Near(p Point, r float64, dst []uint32) []uint32 {
 	return dst
 }
 
-// Each calls fn for every (id, position) pair in unspecified order.
+// Each calls fn for every (id, position) pair, in ascending id order.
 func (g *Grid) Each(fn func(id uint32, p Point)) {
-	for id, p := range g.pos {
-		fn(id, p)
+	for id, ok := range g.present {
+		if ok {
+			fn(uint32(id), g.pos[id])
+		}
 	}
 }

@@ -56,6 +56,11 @@ type Stats struct {
 
 // MAC serializes one node's transmissions onto the shared medium. It is
 // single-threaded (simulation callbacks only).
+//
+// The transmit queue is a head-indexed ring (pops do not shift the slice) and
+// the backoff state machine runs through two closures allocated once at
+// construction, so steady-state operation schedules timers without
+// allocating.
 type MAC struct {
 	eng    *sim.Engine
 	medium *radio.Medium
@@ -64,26 +69,43 @@ type MAC struct {
 	cfg    Config
 
 	queue   []*wire.Packet
+	head    int
 	busy    bool
 	stats   Stats
 	stopped bool
+
+	// Pending-attempt state, consumed by attemptFn when its timer fires.
+	cw        int
+	defers    int
+	attemptFn func()
+	idleFn    func()
 }
 
 // New builds a MAC for node id. rng must be the node's deterministic stream.
 func New(eng *sim.Engine, medium *radio.Medium, id wire.NodeID, rng *rand.Rand, cfg Config) *MAC {
-	return &MAC{eng: eng, medium: medium, id: id, rng: rng, cfg: cfg}
+	m := &MAC{eng: eng, medium: medium, id: id, rng: rng, cfg: cfg}
+	m.attemptFn = m.attempt
+	m.idleFn = func() {
+		if m.QueueLen() > 0 {
+			m.attempt()
+		} else {
+			m.busy = false
+		}
+	}
+	return m
 }
 
 // Stats returns a snapshot of the MAC counters.
 func (m *MAC) Stats() Stats { return m.stats }
 
 // QueueLen reports the number of frames waiting (excluding any in flight).
-func (m *MAC) QueueLen() int { return len(m.queue) }
+func (m *MAC) QueueLen() int { return len(m.queue) - m.head }
 
 // Stop discards queued frames and refuses new ones.
 func (m *MAC) Stop() {
 	m.stopped = true
 	m.queue = nil
+	m.head = 0
 }
 
 // Send enqueues pkt for transmission. The packet must not be modified by the
@@ -92,7 +114,7 @@ func (m *MAC) Send(pkt *wire.Packet) {
 	if m.stopped {
 		return
 	}
-	if len(m.queue) >= m.cfg.QueueCap {
+	if m.QueueLen() >= m.cfg.QueueCap {
 		m.stats.Dropped++
 		return
 	}
@@ -103,6 +125,27 @@ func (m *MAC) Send(pkt *wire.Packet) {
 	}
 }
 
+// pop removes and returns the head frame, compacting the ring lazily so the
+// backing array does not grow with dead slots.
+func (m *MAC) pop() *wire.Packet {
+	pkt := m.queue[m.head]
+	m.queue[m.head] = nil
+	m.head++
+	switch {
+	case m.head == len(m.queue):
+		m.queue = m.queue[:0]
+		m.head = 0
+	case m.head >= 32 && m.head*2 >= len(m.queue):
+		n := copy(m.queue, m.queue[m.head:])
+		for i := n; i < len(m.queue); i++ {
+			m.queue[i] = nil
+		}
+		m.queue = m.queue[:n]
+		m.head = 0
+	}
+	return pkt
+}
+
 func (m *MAC) jitter() time.Duration {
 	if m.cfg.JitterMax <= 0 {
 		return 0
@@ -111,40 +154,35 @@ func (m *MAC) jitter() time.Duration {
 }
 
 func (m *MAC) scheduleAttempt(delay time.Duration, cw, defers int) {
-	m.eng.After(delay, func() { m.attempt(cw, defers) })
+	m.cw = cw
+	m.defers = defers
+	m.eng.After(delay, m.attemptFn)
 }
 
-func (m *MAC) attempt(cw, defers int) {
-	if m.stopped || len(m.queue) == 0 {
+func (m *MAC) attempt() {
+	if m.stopped || m.QueueLen() == 0 {
 		m.busy = false
 		return
 	}
-	if m.medium.Busy(m.id) && defers < m.cfg.MaxDefer {
+	if m.medium.Busy(m.id) && m.defers < m.cfg.MaxDefer {
 		m.stats.Deferrals++
-		backoff := m.cfg.Slot * time.Duration(1+m.rng.Intn(cw))
-		next := cw * 2
+		backoff := m.cfg.Slot * time.Duration(1+m.rng.Intn(m.cw))
+		next := m.cw * 2
 		if next > m.cfg.CWMax {
 			next = m.cfg.CWMax
 		}
-		m.scheduleAttempt(backoff, next, defers+1)
+		m.scheduleAttempt(backoff, next, m.defers+1)
 		return
 	}
-	pkt := m.queue[0]
-	copy(m.queue, m.queue[1:])
-	m.queue = m.queue[:len(m.queue)-1]
+	pkt := m.pop()
 	m.stats.Sent++
 	m.medium.Broadcast(m.id, pkt)
 	// Wait out our own airtime plus fresh jitter before the next frame.
 	wait := m.medium.Airtime(pkt.AirSize()) + m.jitter()
-	if len(m.queue) > 0 {
+	if m.QueueLen() > 0 {
 		m.scheduleAttempt(wait, m.cfg.CWMin, 0)
 	} else {
-		m.eng.After(wait, func() {
-			if len(m.queue) > 0 {
-				m.attempt(m.cfg.CWMin, 0)
-			} else {
-				m.busy = false
-			}
-		})
+		m.cw, m.defers = m.cfg.CWMin, 0
+		m.eng.After(wait, m.idleFn)
 	}
 }

@@ -1,0 +1,246 @@
+package overlay
+
+import (
+	"flag"
+	"math/rand"
+	"testing"
+
+	"bbcast/internal/fd"
+	"bbcast/internal/geo"
+)
+
+// Repro flags: a failing property prints a command line naming the exact
+// geometry; these flags replay it.
+var (
+	reproSeed = flag.Int64("overlay-seed", 0, "replay the overlay property suite on exactly this geometry seed")
+	reproN    = flag.Int("overlay-n", 0, "node count to pair with -overlay-seed")
+)
+
+// tryUnitDisk is unitDisk without the testing.T coupling: it returns nil when
+// no connected placement is found, so the shrinker can probe sizes freely.
+func tryUnitDisk(n int, area, radius float64, seed int64) *graph {
+	rng := rand.New(rand.NewSource(seed))
+	for attempt := 0; attempt < 50; attempt++ {
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = geo.Point{X: rng.Float64() * area, Y: rng.Float64() * area}
+		}
+		g := newGraph(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if pts[i].Dist(pts[j]) <= radius {
+					g.connect(i, j)
+				}
+			}
+		}
+		if graphConnected(g) {
+			return g
+		}
+	}
+	return nil
+}
+
+// stabilizeQuiet iterates Decide sweeps to a fixpoint, reporting failure
+// instead of aborting the test (the shrinker treats non-convergence as a
+// property violation too).
+func stabilizeQuiet(g *graph, m Maintainer) bool {
+	for sweep := 1; sweep <= 60; sweep++ {
+		changed := false
+		for i := g.n - 1; i >= 0; i-- {
+			next := m.Decide(g.view(i))
+			if next != g.roles[i] {
+				g.roles[i] = next
+				changed = true
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+	return false
+}
+
+// misIndependent checks no two adjacent dominators exist (rule 1 of MIS+B).
+func misIndependent(g *graph) bool {
+	for i := 0; i < g.n; i++ {
+		for j := i + 1; j < g.n; j++ {
+			if g.adj[i][j] && g.roles[i] == Dominator && g.roles[j] == Dominator {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// misMaximal checks the dominator set is a maximal independent set: every
+// non-dominator has a trusted dominator neighbour (otherwise it could join
+// the set without breaking independence).
+func misMaximal(g *graph) bool {
+	for i := 0; i < g.n; i++ {
+		if g.roles[i] == Dominator {
+			continue
+		}
+		ok := false
+		for j := 0; j < g.n; j++ {
+			if g.adj[i][j] && g.roles[j] == Dominator && g.levelOf(i, j) == fd.Trusted {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// checkOverlayProps runs both maintainers on the (seed, n) geometry and
+// returns the names of violated properties (nil if the geometry could not be
+// generated — the caller skips it).
+func checkOverlayProps(seed int64, n int) (violated []string, generated bool) {
+	const area, radius = 800, 300
+	for _, kind := range []Kind{CDS, MISB} {
+		m := New(kind)
+		g := tryUnitDisk(n, area, radius, seed)
+		if g == nil {
+			return nil, false
+		}
+		if !stabilizeQuiet(g, m) {
+			violated = append(violated, m.Name()+"/converges")
+			continue
+		}
+		if !g.dominated() {
+			violated = append(violated, m.Name()+"/dominating")
+		}
+		if !g.activeConnected() {
+			violated = append(violated, m.Name()+"/connected")
+		}
+		if kind == MISB {
+			if !misIndependent(g) {
+				violated = append(violated, "mis+b/independent")
+			}
+			if !misMaximal(g) {
+				violated = append(violated, "mis+b/maximal")
+			}
+		}
+	}
+	return violated, true
+}
+
+// shrink looks for the smallest node count that still violates a property on
+// the failing seed, so the printed repro is as small as possible.
+func shrink(seed int64, fromN int) (int, []string) {
+	bestN, bestViolated := fromN, []string(nil)
+	for n := 5; n < fromN; n++ {
+		violated, ok := checkOverlayProps(seed, n)
+		if ok && len(violated) > 0 {
+			bestN, bestViolated = n, violated
+			break
+		}
+	}
+	if bestViolated == nil {
+		bestViolated, _ = checkOverlayProps(seed, fromN)
+	}
+	return bestN, bestViolated
+}
+
+// TestOverlayProperties fuzzes both maintainers over seeded random
+// unit-disk geometries of varying size and checks the paper's structural
+// guarantees: the active set dominates the graph and is connected, and the
+// MIS+B dominators form a maximal independent set. On failure it shrinks to
+// the smallest failing size and prints a one-line repro:
+//
+//	go test ./internal/overlay/ -run TestOverlayProperties -overlay-seed <s> -overlay-n <n>
+func TestOverlayProperties(t *testing.T) {
+	type job struct {
+		seed int64
+		n    int
+	}
+	var jobs []job
+	if *reproSeed != 0 {
+		n := *reproN
+		if n == 0 {
+			n = 25
+		}
+		jobs = []job{{seed: *reproSeed, n: n}}
+	} else {
+		// Deterministic sweep: a fixed family of seeds across sizes, so CI
+		// failures always replay.
+		for seed := int64(1); seed <= 12; seed++ {
+			for _, n := range []int{10, 20, 35} {
+				jobs = append(jobs, job{seed: seed*7919 + int64(n), n: n})
+			}
+		}
+	}
+	skipped := 0
+	for _, j := range jobs {
+		violated, ok := checkOverlayProps(j.seed, j.n)
+		if !ok {
+			skipped++
+			continue
+		}
+		if len(violated) == 0 {
+			continue
+		}
+		minN, minViolated := shrink(j.seed, j.n)
+		t.Errorf("properties %v violated at seed=%d n=%d (shrunk to n=%d, %v)\nreproduce with:\n  go test ./internal/overlay/ -run TestOverlayProperties -overlay-seed %d -overlay-n %d",
+			violated, j.seed, j.n, minN, minViolated, j.seed, minN)
+	}
+	if skipped == len(jobs) && len(jobs) > 0 {
+		t.Fatal("no geometry could be generated — generator parameters are off")
+	}
+	if skipped > 0 {
+		t.Logf("skipped %d/%d disconnected geometries", skipped, len(jobs))
+	}
+}
+
+// TestOverlayPropertiesUnderDistrust repeats the structural checks with a
+// random minority of nodes globally distrusted (as a working failure detector
+// would mark Byzantine nodes). The paper's guarantee covers correct nodes
+// only — a node every peer has marked Byzantine is promised nothing — so
+// domination is asserted for the non-distrusted nodes: each must be active or
+// have a trusted active neighbour.
+func TestOverlayPropertiesUnderDistrust(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		const n = 25
+		for _, kind := range []Kind{CDS, MISB} {
+			m := New(kind)
+			g := tryUnitDisk(n, 800, 300, seed)
+			if g == nil {
+				continue
+			}
+			// Distrust a deterministic minority, everywhere.
+			rng := rand.New(rand.NewSource(seed * 31))
+			bad := make([]bool, n)
+			for k := 0; k < n/6; k++ {
+				b := rng.Intn(n)
+				bad[b] = true
+				for i := 0; i < n; i++ {
+					if i != b {
+						g.trust(i, b, fd.Untrusted)
+					}
+				}
+			}
+			if !stabilizeQuiet(g, m) {
+				t.Errorf("%s seed %d: no fixpoint under distrust", m.Name(), seed)
+				continue
+			}
+			for i := 0; i < n; i++ {
+				if bad[i] || g.active(i) {
+					continue
+				}
+				covered := false
+				for j := 0; j < n; j++ {
+					if g.adj[i][j] && g.active(j) && g.levelOf(i, j) == fd.Trusted {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					t.Errorf("%s seed %d: correct node %d uncovered under distrust\nreproduce with:\n  go test ./internal/overlay/ -run TestOverlayPropertiesUnderDistrust",
+						m.Name(), seed, i)
+				}
+			}
+		}
+	}
+}

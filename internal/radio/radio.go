@@ -10,7 +10,7 @@
 package radio
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"bbcast/internal/geo"
@@ -70,11 +70,25 @@ type Stats struct {
 	HalfDuplexDrop uint64 // receptions lost because receiver was transmitting
 }
 
-// reception is one in-flight frame at one receiver.
+// reception is one in-flight frame at one receiver. Records are pooled on
+// the medium and recycled when the frame's airtime ends.
 type reception struct {
+	dst        wire.NodeID
 	start, end time.Duration
 	dist       float64
 	corrupted  bool
+}
+
+// txBatch groups every reception of one transmission. All receivers of a
+// frame share the same arrival instant (PropDelay + airtime), so the batch
+// completes in a single engine event instead of one per receiver; receptions
+// resolve in ascending destination order, which is exactly the order the
+// per-receiver events fired in before batching (they were scheduled with
+// contiguous sequence numbers at an identical timestamp).
+type txBatch struct {
+	from wire.NodeID
+	pkt  *wire.Packet
+	recs []*reception
 }
 
 // interval is a closed transmit window, for half-duplex accounting.
@@ -90,10 +104,11 @@ type Medium struct {
 	cfg   Config
 	n     int
 
-	grid    *geo.Grid
-	rx      map[wire.NodeID]func(*wire.Packet)
-	ongoing map[wire.NodeID][]*reception
-	txBusy  map[wire.NodeID][]interval
+	grid *geo.Grid
+	// Per-node state, indexed by NodeID (ids are dense 0..n-1).
+	rx      []func(*wire.Packet)
+	ongoing [][]*reception
+	txBusy  [][]interval
 	stats   Stats
 	stopPos func()
 
@@ -110,7 +125,9 @@ type Medium struct {
 	// OnTransmit, if non-nil, observes every frame put on the air.
 	OnTransmit func(from wire.NodeID, pkt *wire.Packet)
 
-	scratch []uint32
+	scratch     []uint32
+	freeRecs    []*reception
+	freeBatches []*txBatch
 }
 
 // New builds a medium for n nodes moving per model.
@@ -121,9 +138,9 @@ func New(eng *sim.Engine, model mobility.Model, n int, cfg Config) *Medium {
 		cfg:     cfg,
 		n:       n,
 		grid:    geo.NewGrid(model.Area(), cfg.Range),
-		rx:      make(map[wire.NodeID]func(*wire.Packet), n),
-		ongoing: make(map[wire.NodeID][]*reception, n),
-		txBusy:  make(map[wire.NodeID][]interval, n),
+		rx:      make([]func(*wire.Packet), n),
+		ongoing: make([][]*reception, n),
+		txBusy:  make([][]interval, n),
 	}
 	for i := 0; i < n; i++ {
 		m.grid.Insert(uint32(i), model.Pos(uint32(i), 0))
@@ -152,7 +169,9 @@ func (m *Medium) refreshPositions() {
 // Attach registers the receive callback for node id. Each delivered packet
 // is a deep copy private to the receiver.
 func (m *Medium) Attach(id wire.NodeID, fn func(*wire.Packet)) {
-	m.rx[id] = fn
+	if int(id) < len(m.rx) {
+		m.rx[id] = fn
+	}
 }
 
 // SetDown marks node id's radio as off the air (true) or restores it
@@ -242,19 +261,7 @@ func (m *Medium) Pos(id wire.NodeID) geo.Point {
 // ground truth used by baselines and tests; the protocol itself discovers
 // neighbours from traffic.
 func (m *Medium) Neighbors(id wire.NodeID) []wire.NodeID {
-	if m.IsDown(id) {
-		return nil
-	}
-	p := m.Pos(id)
-	m.scratch = m.grid.Near(p, m.cfg.Range, m.scratch[:0])
-	out := make([]wire.NodeID, 0, len(m.scratch))
-	for _, raw := range m.scratch {
-		if wire.NodeID(raw) != id && m.linkUp(id, wire.NodeID(raw)) {
-			out = append(out, wire.NodeID(raw))
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return m.neighborsWithin(id, m.cfg.Range)
 }
 
 // SolidNeighbors is Neighbors restricted to loss-free links: peers inside
@@ -262,28 +269,35 @@ func (m *Medium) Neighbors(id wire.NodeID) []wire.NodeID {
 // drop receptions probabilistically, so they cannot carry any delivery
 // guarantee. With FringeStart >= 1 this equals Neighbors.
 func (m *Medium) SolidNeighbors(id wire.NodeID) []wire.NodeID {
-	if m.IsDown(id) {
-		return nil
-	}
 	solid := m.cfg.Range
 	if m.cfg.FringeStart < 1 {
 		solid = m.cfg.FringeStart * m.cfg.Range
 	}
+	return m.neighborsWithin(id, solid)
+}
+
+func (m *Medium) neighborsWithin(id wire.NodeID, radius float64) []wire.NodeID {
+	if m.IsDown(id) {
+		return nil
+	}
 	p := m.Pos(id)
-	m.scratch = m.grid.Near(p, solid, m.scratch[:0])
+	m.scratch = m.grid.Near(p, radius, m.scratch[:0])
 	out := make([]wire.NodeID, 0, len(m.scratch))
 	for _, raw := range m.scratch {
 		if wire.NodeID(raw) != id && m.linkUp(id, wire.NodeID(raw)) {
 			out = append(out, wire.NodeID(raw))
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
 // Busy reports whether node id senses the channel busy now: it is itself
 // transmitting, or at least one frame is currently arriving at it.
 func (m *Medium) Busy(id wire.NodeID) bool {
+	if int(id) >= m.n {
+		return false
+	}
 	now := m.eng.Now()
 	for _, iv := range m.txBusy[id] {
 		if iv.start <= now && now < iv.end {
@@ -296,6 +310,26 @@ func (m *Medium) Busy(id wire.NodeID) bool {
 		}
 	}
 	return false
+}
+
+// allocRec takes a reception record from the pool.
+func (m *Medium) allocRec() *reception {
+	if n := len(m.freeRecs); n > 0 {
+		rec := m.freeRecs[n-1]
+		m.freeRecs = m.freeRecs[:n-1]
+		return rec
+	}
+	return &reception{}
+}
+
+// allocBatch takes a batch record from the pool.
+func (m *Medium) allocBatch() *txBatch {
+	if n := len(m.freeBatches); n > 0 {
+		b := m.freeBatches[n-1]
+		m.freeBatches = m.freeBatches[:n-1]
+		return b
+	}
+	return &txBatch{}
 }
 
 // Broadcast puts pkt on the air from node `from`. Delivery to each in-range
@@ -320,17 +354,25 @@ func (m *Medium) Broadcast(from wire.NodeID, pkt *wire.Packet) {
 	src := m.Pos(from)
 	m.scratch = m.grid.Near(src, m.cfg.Range, m.scratch[:0])
 	// Sort for deterministic RNG draw order.
-	sort.Slice(m.scratch, func(i, j int) bool { return m.scratch[i] < m.scratch[j] })
+	slices.Sort(m.scratch)
+
+	rxStart := now + m.cfg.PropDelay
+	rxEnd := rxStart + dur
+	batch := m.allocBatch()
+	batch.from = from
+	batch.pkt = pkt
 
 	for _, raw := range m.scratch {
 		dst := wire.NodeID(raw)
 		if dst == from || !m.linkUp(from, dst) {
 			continue
 		}
-		dist := src.Dist(m.Pos(dst))
-		rxStart := now + m.cfg.PropDelay
-		rxEnd := rxStart + dur
-		rec := &reception{start: rxStart, end: rxEnd, dist: dist}
+		rec := m.allocRec()
+		rec.dst = dst
+		rec.start = rxStart
+		rec.end = rxEnd
+		rec.dist = src.Dist(m.Pos(dst))
+		rec.corrupted = false
 
 		// Overlapping frames at a receiver corrupt each other — unless the
 		// capture effect lets the markedly stronger (closer) one survive.
@@ -340,11 +382,20 @@ func (m *Medium) Broadcast(from wire.NodeID, pkt *wire.Packet) {
 			}
 		}
 		m.ongoing[dst] = append(m.ongoing[dst], rec)
-
-		m.eng.At(rxEnd, func() {
-			m.finishReception(from, dst, rec, dist, pkt)
-		})
+		batch.recs = append(batch.recs, rec)
 	}
+
+	if len(batch.recs) == 0 {
+		m.releaseBatch(batch)
+		return
+	}
+	m.eng.At(rxEnd, func() { m.finishBatch(batch) })
+}
+
+func (m *Medium) releaseBatch(b *txBatch) {
+	b.pkt = nil
+	b.recs = b.recs[:0]
+	m.freeBatches = append(m.freeBatches, b)
 }
 
 // collide resolves an overlap between two receptions at one receiver.
@@ -361,12 +412,24 @@ func (m *Medium) collide(a, b *reception) {
 	}
 }
 
-func (m *Medium) finishReception(from, dst wire.NodeID, rec *reception, dist float64, pkt *wire.Packet) {
-	// Drop the reception record.
+// finishBatch resolves every reception of one transmission, in ascending
+// destination order (batch.recs was built from the sorted neighbour list).
+func (m *Medium) finishBatch(b *txBatch) {
+	for _, rec := range b.recs {
+		m.finishReception(b.from, rec, b.pkt)
+		m.freeRecs = append(m.freeRecs, rec)
+	}
+	m.releaseBatch(b)
+}
+
+func (m *Medium) finishReception(from wire.NodeID, rec *reception, pkt *wire.Packet) {
+	dst := rec.dst
+	// Drop the reception record from the receiver's in-flight list.
 	list := m.ongoing[dst]
 	for i, r := range list {
 		if r == rec {
 			list[i] = list[len(list)-1]
+			list[len(list)-1] = nil
 			m.ongoing[dst] = list[:len(list)-1]
 			break
 		}
@@ -383,7 +446,7 @@ func (m *Medium) finishReception(from, dst wire.NodeID, rec *reception, dist flo
 		m.stats.HalfDuplexDrop++
 		return
 	}
-	if !m.receives(dist) {
+	if !m.receives(rec.dist) {
 		m.stats.FringeLosses++
 		return
 	}

@@ -1,0 +1,112 @@
+package runner
+
+import (
+	"runtime"
+	"time"
+)
+
+// BenchArm is one measured configuration of the benchmark harness: a
+// multi-replicate sweep at a fixed worker count.
+type BenchArm struct {
+	Workers      int     `json:"workers"`
+	Replicates   int     `json:"replicates"`
+	WallClockMS  float64 `json:"wall_clock_ms"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	// AllocsPerEvent and BytesPerEvent are measured from the global
+	// allocator counters across the arm, so they include per-run setup cost
+	// amortized over the run's events.
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+}
+
+// BenchReport is the machine-readable output of the benchmark harness
+// (`bbexp -bench`): simulator throughput figures plus the serial-vs-parallel
+// sweep comparison. BENCH_<pr>.json files committed to the repository pair
+// two of these ("before"/"after") to track the perf trajectory.
+type BenchReport struct {
+	Schema     string `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	Scenario   string `json:"scenario"`
+	N          int    `json:"n"`
+	DurationS  float64 `json:"sim_duration_s"`
+	Replicates int    `json:"replicates"`
+
+	// Serial is the -parallel 1 arm; Parallel uses ParallelWorkers workers.
+	Serial   BenchArm `json:"serial"`
+	Parallel BenchArm `json:"parallel"`
+	// Speedup is serial wall-clock over parallel wall-clock.
+	Speedup float64 `json:"speedup"`
+}
+
+// BenchSchema identifies the report format.
+const BenchSchema = "bbcast-bench/v1"
+
+// benchArm runs count replicates of sc at the given worker count and
+// measures wall-clock, event throughput and allocator traffic.
+func benchArm(sc Scenario, count, workers int) (BenchArm, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	results, err := Pool{Workers: workers}.RunReplicates(sc, count)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return BenchArm{}, err
+	}
+	arm := BenchArm{
+		Workers:     workers,
+		Replicates:  count,
+		WallClockMS: float64(wall.Nanoseconds()) / 1e6,
+	}
+	for _, r := range results {
+		arm.Events += r.Events
+	}
+	if arm.Events > 0 {
+		arm.EventsPerSec = float64(arm.Events) / wall.Seconds()
+		arm.NsPerEvent = float64(wall.Nanoseconds()) / float64(arm.Events)
+		arm.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(arm.Events)
+		arm.BytesPerEvent = float64(after.TotalAlloc-before.TotalAlloc) / float64(arm.Events)
+	}
+	return arm, nil
+}
+
+// Bench measures simulator throughput on the given scenario: a warm-up run,
+// then a serial sweep (-parallel 1) and a parallel sweep at `workers`
+// workers over the same derived replicates. Per-replicate results are
+// bit-identical across the two arms (see ReplicateSeed), so the arms do the
+// same work and the wall-clock ratio is a pure scheduling speedup.
+func Bench(sc Scenario, replicates, workers int) (BenchReport, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rep := BenchReport{
+		Schema:     BenchSchema,
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scenario:   sc.Name,
+		N:          sc.N,
+		DurationS:  sc.Duration.Seconds(),
+		Replicates: replicates,
+	}
+	if _, err := Run(sc); err != nil { // warm-up
+		return rep, err
+	}
+	var err error
+	if rep.Serial, err = benchArm(sc, replicates, 1); err != nil {
+		return rep, err
+	}
+	if rep.Parallel, err = benchArm(sc, replicates, workers); err != nil {
+		return rep, err
+	}
+	if rep.Parallel.WallClockMS > 0 {
+		rep.Speedup = rep.Serial.WallClockMS / rep.Parallel.WallClockMS
+	}
+	return rep, nil
+}

@@ -246,6 +246,10 @@ type Result struct {
 	// TraceErr is the first trace-encoding error, if the run's trace was
 	// lossy (only set when Scenario.Trace was configured).
 	TraceErr error
+	// Events is how many discrete simulation events the engine fired during
+	// the run — the denominator for the ns/event and allocs/event figures the
+	// benchmark harness reports.
+	Events uint64
 }
 
 // FaultRecord is one fault-plan event that fired during the run.
@@ -447,7 +451,7 @@ func Run(sc Scenario) (Result, error) {
 		debugInspect(cores)
 	}
 
-	res := Result{Phys: medium.Stats(), FaultEvents: faultEvents, NumCorrect: numCorrect, TraceErr: tracer.Err()}
+	res := Result{Phys: medium.Stats(), FaultEvents: faultEvents, NumCorrect: numCorrect, TraceErr: tracer.Err(), Events: eng.Processed()}
 	if chk != nil {
 		res.Violations = chk.Violations()
 		if len(res.Violations) > 0 {

@@ -4,10 +4,15 @@
 // Events scheduled for the same instant fire in scheduling order, which makes
 // runs fully reproducible for a fixed seed. The kernel is single-threaded:
 // all callbacks run on the goroutine that calls Run or Step.
+//
+// The event queue is a hand-rolled binary heap over recycled event records:
+// scheduling an event allocates nothing once the free list is warm, which
+// matters because the heap push/pop pair is the hottest edge in every
+// simulation (one per transmission, reception batch, MAC attempt and
+// protocol timer).
 package sim
 
 import (
-	"container/heap"
 	"math/rand"
 	"time"
 )
@@ -16,7 +21,8 @@ import (
 // The zero value is not usable; construct with New.
 type Engine struct {
 	now       time.Duration
-	queue     eventQueue
+	queue     []*event
+	free      []*event
 	seq       uint64
 	rng       *rand.Rand
 	seed      int64
@@ -62,14 +68,24 @@ func (e *Engine) SubRand(id uint64) *rand.Rand {
 }
 
 // Timer is a handle to a scheduled event. A Timer may be stopped before it
-// fires; stopping an already-fired or already-stopped timer is a no-op.
+// fires; stopping an already-fired or already-stopped timer is a no-op. The
+// zero Timer is valid and never pending. Timers are values: copy them
+// freely.
 type Timer struct {
-	ev *event
+	ev  *event
+	gen uint32
+}
+
+// live reports whether the timer still refers to the event it was issued
+// for (events are recycled after firing; the generation check keeps a stale
+// handle from touching an unrelated reuse).
+func (t Timer) live() bool {
+	return t.ev != nil && t.ev.gen == t.gen && !t.ev.cancelled && !t.ev.fired
 }
 
 // Stop cancels the timer. It reports whether the event was still pending.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+func (t Timer) Stop() bool {
+	if !t.live() {
 		return false
 	}
 	t.ev.cancelled = true
@@ -77,46 +93,69 @@ func (t *Timer) Stop() bool {
 }
 
 // Pending reports whether the timer has neither fired nor been stopped.
-func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.cancelled && !t.ev.fired
+func (t Timer) Pending() bool { return t.live() }
+
+// alloc takes an event record from the free list (or allocates one) and
+// initializes it for time t.
+func (e *Engine) alloc(t time.Duration, fn func()) *event {
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.cancelled = false
+	ev.fired = false
+	e.seq++
+	return ev
+}
+
+// recycle returns a popped event to the free list, bumping its generation so
+// outstanding Timer handles to it go stale.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // (or present) runs the event at the current time, after already-queued
 // events for that time.
-func (e *Engine) At(t time.Duration, fn func()) *Timer {
+func (e *Engine) At(t time.Duration, fn func()) Timer {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.queue, ev)
-	return &Timer{ev: ev}
+	ev := e.alloc(t, fn)
+	e.push(ev)
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d from now. Negative d behaves like zero.
-func (e *Engine) After(d time.Duration, fn func()) *Timer {
+func (e *Engine) After(d time.Duration, fn func()) Timer {
 	return e.At(e.now+d, fn)
 }
 
 // Every schedules fn to run every period, starting one period from now,
-// until the returned Timer chain is stopped via the returned stop function.
+// until the returned stop function is called.
 func (e *Engine) Every(period time.Duration, fn func()) (stop func()) {
 	stopped := false
-	var schedule func()
-	var cur *Timer
-	schedule = func() {
-		cur = e.After(period, func() {
-			if stopped {
-				return
-			}
-			fn()
-			if !stopped {
-				schedule()
-			}
-		})
+	var cur Timer
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			cur = e.After(period, tick)
+		}
 	}
-	schedule()
+	cur = e.After(period, tick)
 	return func() {
 		stopped = true
 		cur.Stop()
@@ -136,7 +175,7 @@ type Epoch struct {
 // records a named epoch and notifies OnEpoch observers when it fires. The
 // epoch is recorded before fn runs, so fn (and anything it schedules at the
 // same instant) observes it.
-func (e *Engine) AtEpoch(t time.Duration, name string, fn func()) *Timer {
+func (e *Engine) AtEpoch(t time.Duration, name string, fn func()) Timer {
 	return e.At(t, func() {
 		ep := Epoch{Name: name, At: e.now}
 		e.epochs = append(e.epochs, ep)
@@ -165,15 +204,18 @@ func (e *Engine) Epochs() []Epoch {
 // Step fires the earliest pending event. It reports false when the queue is
 // empty.
 func (e *Engine) Step() bool {
-	for e.queue.Len() > 0 {
-		ev, _ := heap.Pop(&e.queue).(*event)
+	for len(e.queue) > 0 {
+		ev := e.pop()
 		if ev.cancelled {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
 		ev.fired = true
 		e.processed++
-		ev.fn()
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
 		return true
 	}
 	return false
@@ -184,10 +226,10 @@ func (e *Engine) Step() bool {
 // scheduled beyond until remain queued. It returns the number of events fired.
 func (e *Engine) Run(until time.Duration) uint64 {
 	var fired uint64
-	for e.queue.Len() > 0 {
+	for len(e.queue) > 0 {
 		next := e.queue[0]
 		if next.cancelled {
-			heap.Pop(&e.queue)
+			e.recycle(e.pop())
 			continue
 		}
 		if next.at > until {
@@ -216,33 +258,58 @@ type event struct {
 	at        time.Duration
 	seq       uint64
 	fn        func()
+	gen       uint32
 	cancelled bool
 	fired     bool
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before orders events by (time, scheduling sequence).
+func (ev *event) before(o *event) bool {
+	if ev.at != o.at {
+		return ev.at < o.at
 	}
-	return q[i].seq < q[j].seq
+	return ev.seq < o.seq
 }
 
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-
-func (q *eventQueue) Push(x any) {
-	ev, _ := x.(*event)
-	*q = append(*q, ev)
+// push adds ev to the heap (sift-up).
+func (e *Engine) push(ev *event) {
+	q := append(e.queue, ev)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q[i].before(q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	e.queue = q
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+// pop removes and returns the minimum event (sift-down).
+func (e *Engine) pop() *event {
+	q := e.queue
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		least := l
+		if r := l + 1; r < n && q[r].before(q[l]) {
+			least = r
+		}
+		if !q[least].before(q[i]) {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+	e.queue = q
+	return top
 }

@@ -253,7 +253,7 @@ func TestQuickTimerStopSubset(t *testing.T) {
 		}
 		e := New(3)
 		fired := make([]bool, len(delays))
-		timers := make([]*Timer, len(delays))
+		timers := make([]Timer, len(delays))
 		for i, d := range delays {
 			i := i
 			timers[i] = e.After(time.Duration(d)*time.Millisecond, func() { fired[i] = true })

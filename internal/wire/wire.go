@@ -293,45 +293,69 @@ func Unmarshal(b []byte) (*Packet, error) {
 // receiver its own copy so receivers cannot corrupt one another.
 func (p *Packet) Clone() *Packet {
 	cp := *p
-	cp.Payload = cloneBytes(p.Payload)
-	cp.Sig = cloneBytes(p.Sig)
+	// All byte fields share one arena and all id slices another, so a clone
+	// costs a handful of allocations regardless of how many fields are set.
+	// The medium clones every delivered packet, which makes this the
+	// simulator's hottest allocation site.
+	nb := len(p.Payload) + len(p.Sig)
+	for _, g := range p.Gossip {
+		nb += len(g.Sig)
+	}
+	if p.State != nil {
+		nb += len(p.StateSig)
+	}
+	var arena []byte
+	if nb > 0 {
+		arena = make([]byte, 0, nb)
+	}
+	carve := func(b []byte) []byte {
+		if len(b) == 0 {
+			if b == nil {
+				return nil
+			}
+			return []byte{}
+		}
+		start := len(arena)
+		arena = append(arena, b...)
+		return arena[start:len(arena):len(arena)]
+	}
+	cp.Payload = carve(p.Payload)
+	cp.Sig = carve(p.Sig)
 	if p.Gossip != nil {
 		cp.Gossip = make([]GossipEntry, len(p.Gossip))
 		for i, g := range p.Gossip {
-			cp.Gossip[i] = GossipEntry{ID: g.ID, Sig: cloneBytes(g.Sig)}
+			cp.Gossip[i] = GossipEntry{ID: g.ID, Sig: carve(g.Sig)}
 		}
 	}
 	if p.State != nil {
-		st := &OverlayState{
+		ni := len(p.State.Neighbors) + len(p.State.ActiveNeighbors) +
+			len(p.State.DominatorNeighbors) + len(p.State.Suspects)
+		var ids []NodeID
+		if ni > 0 {
+			ids = make([]NodeID, 0, ni)
+		}
+		carveIDs := func(s []NodeID) []NodeID {
+			if len(s) == 0 {
+				if s == nil {
+					return nil
+				}
+				return []NodeID{}
+			}
+			start := len(ids)
+			ids = append(ids, s...)
+			return ids[start:len(ids):len(ids)]
+		}
+		cp.State = &OverlayState{
 			Active:             p.State.Active,
 			Dominator:          p.State.Dominator,
-			Neighbors:          cloneIDs(p.State.Neighbors),
-			ActiveNeighbors:    cloneIDs(p.State.ActiveNeighbors),
-			DominatorNeighbors: cloneIDs(p.State.DominatorNeighbors),
-			Suspects:           cloneIDs(p.State.Suspects),
+			Neighbors:          carveIDs(p.State.Neighbors),
+			ActiveNeighbors:    carveIDs(p.State.ActiveNeighbors),
+			DominatorNeighbors: carveIDs(p.State.DominatorNeighbors),
+			Suspects:           carveIDs(p.State.Suspects),
 		}
-		cp.State = st
-		cp.StateSig = cloneBytes(p.StateSig)
+		cp.StateSig = carve(p.StateSig)
 	}
 	return &cp
-}
-
-func cloneBytes(b []byte) []byte {
-	if b == nil {
-		return nil
-	}
-	cp := make([]byte, len(b))
-	copy(cp, b)
-	return cp
-}
-
-func cloneIDs(ids []NodeID) []NodeID {
-	if ids == nil {
-		return nil
-	}
-	cp := make([]NodeID, len(ids))
-	copy(cp, ids)
-	return cp
 }
 
 func appendBytes(b, v []byte) []byte {
