@@ -141,6 +141,13 @@ const (
 	// AdvEquivocate signs conflicting payloads for its own messages under
 	// one message id — the attack the agreement invariant catches.
 	AdvEquivocate = runner.AdvEquivocate
+	// AdvFlooder spams fresh validly-signed messages far above the workload
+	// rate (resource exhaustion; bounded by admission control).
+	AdvFlooder = runner.AdvFlooder
+	// AdvReplayer re-transmits harvested packets verbatim.
+	AdvReplayer = runner.AdvReplayer
+	// AdvForgeSpammer sends junk signatures from nonexistent origins.
+	AdvForgeSpammer = runner.AdvForgeSpammer
 )
 
 // AdversaryPlacement selects where adversaries are placed.

@@ -61,6 +61,9 @@ func run(args []string) error {
 		verbose    = fs.Int("verbose", 0, "request-spamming Byzantine nodes")
 		selective  = fs.Int("selective", 0, "selfish 50%-dropping nodes")
 		equivocate = fs.Int("equivocate", 0, "equivocating Byzantine sources (conflicting payloads, same id)")
+		flooder    = fs.Int("flooder", 0, "message-flooding nodes (fresh signed spam at ~10x workload rate)")
+		replayer   = fs.Int("replayer", 0, "packet-replaying nodes (re-send harvested traffic)")
+		forge      = fs.Int("forge", 0, "junk-signature spamming nodes (nonexistent origins)")
 		placement  = fs.String("placement", "spread", "adversary placement: spread | dominators")
 
 		faults = fs.String("faults", "", "fault plan: a JSON file path, or inline JSON starting with '{'")
@@ -180,6 +183,9 @@ func run(args []string) error {
 		{bbcast.AdvVerbose, *verbose},
 		{bbcast.AdvSelective, *selective},
 		{bbcast.AdvEquivocate, *equivocate},
+		{bbcast.AdvFlooder, *flooder},
+		{bbcast.AdvReplayer, *replayer},
+		{bbcast.AdvForgeSpammer, *forge},
 	} {
 		if adv.count > 0 {
 			sc.Adversaries = append(sc.Adversaries, bbcast.Adversaries{Kind: adv.kind, Count: adv.count})

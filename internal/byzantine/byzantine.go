@@ -325,6 +325,199 @@ func (e *Equivocate) Tick(send func(*wire.Packet)) {
 	e.variant = b
 }
 
+// flooderSeqBase keeps Flooder-originated sequence numbers clear of both the
+// node's protocol-level counter and the Equivocate range.
+const flooderSeqBase wire.Seq = 2 << 20
+
+// Flooder is a resource-exhaustion adversary: it originates a stream of
+// fresh, validly signed data messages far above any legitimate workload rate.
+// Every message verifies — the attack is not on agreement but on the
+// receivers' memory (store growth) and CPU (one verification per message),
+// which is exactly what the admission-control layer must bound.
+type Flooder struct {
+	// Self is the adversary's id.
+	Self wire.NodeID
+	// Sign signs bytes with the node's own key.
+	Sign func(data []byte) []byte
+	// PerTick is how many fresh messages go out per behaviour tick
+	// (default 5 — 10 msg/s at the standard tick, 10× the default workload).
+	PerTick int
+	// PayloadSize is the spam payload length (default 64 bytes).
+	PayloadSize int
+
+	seq wire.Seq
+}
+
+var _ Behavior = (*Flooder)(nil)
+
+// Name implements Behavior.
+func (f *Flooder) Name() string { return "flooder" }
+
+// FilterSend implements Behavior.
+func (f *Flooder) FilterSend(pkt *wire.Packet) *wire.Packet { return pkt }
+
+// OnReceive implements Behavior.
+func (f *Flooder) OnReceive(*wire.Packet) {}
+
+// Tick implements Behavior: spam fresh signed messages.
+func (f *Flooder) Tick(send func(*wire.Packet)) {
+	if f.Sign == nil {
+		return
+	}
+	n := f.PerTick
+	if n <= 0 {
+		n = 5
+	}
+	size := f.PayloadSize
+	if size <= 0 {
+		size = 64
+	}
+	for i := 0; i < n; i++ {
+		f.seq++
+		id := wire.MsgID{Origin: f.Self, Seq: flooderSeqBase + f.seq}
+		payload := make([]byte, size)
+		copy(payload, fmt.Sprintf("flood %d/%d", f.Self, f.seq))
+		send(&wire.Packet{
+			Kind:    wire.KindData,
+			Sender:  f.Self,
+			TTL:     1,
+			Target:  wire.NoNode,
+			Origin:  id.Origin,
+			Seq:     id.Seq,
+			Payload: payload,
+			Sig:     f.Sign(wire.DataSigBytes(id, payload)),
+		})
+	}
+}
+
+// Replayer harvests packets off the air and re-transmits byte-identical
+// copies later. Every replayed signature verifies (the bytes once did), so
+// the defence is duplicate suppression: without dedup-before-verify each
+// replay costs a full signature check, and without tombstones an old replay
+// is re-accepted.
+type Replayer struct {
+	// Self is the adversary's id.
+	Self wire.NodeID
+	// Rng picks which harvested packets to replay.
+	Rng *rand.Rand
+	// PerTick is how many replays go out per behaviour tick (default 8).
+	PerTick int
+
+	harvest []*wire.Packet
+}
+
+var _ Behavior = (*Replayer)(nil)
+
+// Name implements Behavior.
+func (r *Replayer) Name() string { return "replayer" }
+
+// FilterSend implements Behavior.
+func (r *Replayer) FilterSend(pkt *wire.Packet) *wire.Packet { return pkt }
+
+// OnReceive implements Behavior: harvest up to 128 distinct packets.
+func (r *Replayer) OnReceive(pkt *wire.Packet) {
+	if pkt.Sender == r.Self || len(r.harvest) >= 128 {
+		return
+	}
+	r.harvest = append(r.harvest, pkt.Clone())
+}
+
+// Tick implements Behavior: re-send harvested packets verbatim (except the
+// sender id, which the radio stamps as us anyway — a node cannot spoof its
+// link-layer source here).
+func (r *Replayer) Tick(send func(*wire.Packet)) {
+	if len(r.harvest) == 0 {
+		return
+	}
+	n := r.PerTick
+	if n <= 0 {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		var pick int
+		if r.Rng != nil {
+			pick = r.Rng.Intn(len(r.harvest))
+		} else {
+			pick = i % len(r.harvest)
+		}
+		cp := r.harvest[pick].Clone()
+		cp.Sender = r.Self
+		send(cp)
+	}
+}
+
+// ForgeSpammer sends packets with junk signatures attributed to nodes that do
+// not exist, forcing receivers to spend one (failing) verification per packet
+// and to churn their neighbour tables with phantom senders. It never frames a
+// real node: signer ids are drawn from far outside the deployment's id range,
+// so the bad-signature suspicions it provokes indict no one.
+type ForgeSpammer struct {
+	// Self is the adversary's id.
+	Self wire.NodeID
+	// Rng drives id and payload generation.
+	Rng *rand.Rand
+	// PerTick is how many junk packets go out per behaviour tick (default 8).
+	PerTick int
+
+	seq wire.Seq
+}
+
+var _ Behavior = (*ForgeSpammer)(nil)
+
+// forgeIDBase keeps forged origin ids clear of any real deployment's node-id
+// range (experiments use small dense ids).
+const forgeIDBase = 1 << 24
+
+// Name implements Behavior.
+func (s *ForgeSpammer) Name() string { return "forge-spammer" }
+
+// FilterSend implements Behavior.
+func (s *ForgeSpammer) FilterSend(pkt *wire.Packet) *wire.Packet { return pkt }
+
+// OnReceive implements Behavior.
+func (s *ForgeSpammer) OnReceive(*wire.Packet) {}
+
+// Tick implements Behavior: spam data and gossip packets with random
+// signatures from nonexistent origins.
+func (s *ForgeSpammer) Tick(send func(*wire.Packet)) {
+	if s.Rng == nil {
+		return
+	}
+	n := s.PerTick
+	if n <= 0 {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		s.seq++
+		origin := wire.NodeID(forgeIDBase + s.Rng.Intn(1<<20))
+		junk := make([]byte, 32)
+		s.Rng.Read(junk)
+		if s.seq%2 == 0 {
+			send(&wire.Packet{
+				Kind:   wire.KindGossip,
+				Sender: s.Self,
+				TTL:    1,
+				Target: wire.NoNode,
+				Origin: wire.NoNode,
+				Gossip: []wire.GossipEntry{{ID: wire.MsgID{Origin: origin, Seq: s.seq}, Sig: junk}},
+			})
+			continue
+		}
+		payload := make([]byte, 32)
+		s.Rng.Read(payload)
+		send(&wire.Packet{
+			Kind:    wire.KindData,
+			Sender:  s.Self,
+			TTL:     1,
+			Target:  wire.NoNode,
+			Origin:  origin,
+			Seq:     s.seq,
+			Payload: payload,
+			Sig:     junk,
+		})
+	}
+}
+
 // Switchable wraps a Behavior so the fault-injection layer can replace it
 // mid-run (a correct node turning mute, an adversary being "patched"). The
 // zero value delegates to Correct.
@@ -376,7 +569,7 @@ func (s *Switchable) Tick(send func(*wire.Packet)) { s.Current().Tick(send) }
 // Make builds a behaviour by name — the vocabulary fault plans use for
 // behaviour swaps. rng and sign may be nil for behaviours that do not need
 // them. Known names: correct, mute, mute-silent, verbose, tamper,
-// selective-drop, equivocate.
+// selective-drop, equivocate, flooder, replayer, forge-spammer.
 func Make(name string, self wire.NodeID, rng *rand.Rand, sign func([]byte) []byte) (Behavior, error) {
 	switch name {
 	case "correct", "":
@@ -402,6 +595,18 @@ func Make(name string, self wire.NodeID, rng *rand.Rand, sign func([]byte) []byt
 			return nil, fmt.Errorf("byzantine: %q needs a signing function", name)
 		}
 		return &Equivocate{Self: self, Sign: sign}, nil
+	case "flooder":
+		if sign == nil {
+			return nil, fmt.Errorf("byzantine: %q needs a signing function", name)
+		}
+		return &Flooder{Self: self, Sign: sign}, nil
+	case "replayer":
+		return &Replayer{Self: self, Rng: rng}, nil
+	case "forge-spammer":
+		if rng == nil {
+			return nil, fmt.Errorf("byzantine: %q needs a random stream", name)
+		}
+		return &ForgeSpammer{Self: self, Rng: rng}, nil
 	default:
 		return nil, fmt.Errorf("byzantine: unknown behaviour %q", name)
 	}

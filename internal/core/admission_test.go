@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bbcast/internal/wire"
+)
+
+// Admission-control and state-GC tests: every bound from ISSUE 4 — token
+// bucket, dedup-before-verify, neighbour/store/missing/reqSeen caps,
+// tombstone quiescence — exercised directly against one protocol instance.
+
+// admitTestConfig disables rate limiting so tests of the other bounds can
+// send back-to-back packets without tripping the bucket.
+func admitTestConfig() Config {
+	cfg := testConfig()
+	cfg.AdmitRate = 0
+	return cfg
+}
+
+func TestAdmissionBucketShedsFlood(t *testing.T) {
+	cfg := testConfig()
+	cfg.AdmitRate = 2
+	cfg.AdmitBurst = 4
+	h := newHarness(t, 0, cfg)
+
+	// Ten back-to-back packets from one sender: the first burst-worth are
+	// admitted (and accepted — all are validly signed), the rest shed before
+	// any signature check.
+	for seq := wire.Seq(1); seq <= 10; seq++ {
+		h.p.HandlePacket(h.dataFrom(1, seq, []byte("flood")))
+	}
+	st := h.p.Stats()
+	if st.Accepted != 4 {
+		t.Fatalf("accepted %d of a 10-packet burst, want burst size 4", st.Accepted)
+	}
+	if st.RateLimited != 6 {
+		t.Fatalf("rate-limited %d, want 6", st.RateLimited)
+	}
+
+	// The bucket refills at AdmitRate: two seconds buy four more tokens.
+	h.run(2 * time.Second)
+	h.p.HandlePacket(h.dataFrom(1, 11, []byte("later")))
+	if got := h.p.Stats(); got.Accepted != 5 || got.RateLimited != 6 {
+		t.Fatalf("after refill: accepted=%d rate-limited=%d, want 5 and 6",
+			got.Accepted, got.RateLimited)
+	}
+}
+
+func TestDuplicateDataVerifiedByByteEquality(t *testing.T) {
+	h := newHarness(t, 0, admitTestConfig())
+	h.p.HandlePacket(h.dataFrom(1, 1, []byte("payload")))
+	h.p.HandlePacket(h.dataFrom(1, 1, []byte("payload"))) // byte-identical replay
+	st := h.p.Stats()
+	if st.Accepted != 1 || st.Duplicates != 1 {
+		t.Fatalf("accepted=%d duplicates=%d, want 1 and 1", st.Accepted, st.Duplicates)
+	}
+	if st.DedupSkips != 1 {
+		t.Fatalf("dedup-skips=%d, want 1 (replay must not cost a verification)", st.DedupSkips)
+	}
+}
+
+func TestGossipReplayVerifiedByByteEquality(t *testing.T) {
+	h := newHarness(t, 0, admitTestConfig())
+	id := wire.MsgID{Origin: 2, Seq: 9}
+	h.p.HandlePacket(h.gossipFrom(1, id))
+	if len(h.p.missing) != 1 {
+		t.Fatalf("missing table has %d entries, want 1", len(h.p.missing))
+	}
+	// The identical advertisement again (same header signature): matched
+	// against the tracked entry by byte equality, not re-verified.
+	h.p.HandlePacket(h.gossipFrom(1, id))
+	if st := h.p.Stats(); st.DedupSkips != 1 || st.BadSignatures != 0 {
+		t.Fatalf("dedup-skips=%d bad-sigs=%d, want 1 and 0", st.DedupSkips, st.BadSignatures)
+	}
+}
+
+func TestGossipBatchTrimmedToRxCap(t *testing.T) {
+	cfg := admitTestConfig()
+	cfg.GossipMaxEntriesRx = 4
+	h := newHarness(t, 0, cfg)
+	ids := make([]wire.MsgID, 10)
+	for i := range ids {
+		ids[i] = wire.MsgID{Origin: 2, Seq: wire.Seq(i + 1)}
+	}
+	h.p.HandlePacket(h.gossipFrom(1, ids...))
+	if len(h.p.missing) != 4 {
+		t.Fatalf("missing table has %d entries after a 10-entry batch, want the rx cap 4",
+			len(h.p.missing))
+	}
+}
+
+func TestForgedGossipEntryRejected(t *testing.T) {
+	h := newHarness(t, 0, admitTestConfig())
+	pkt := &wire.Packet{
+		Kind: wire.KindGossip, Sender: 1, TTL: 1, Target: wire.NoNode, Origin: wire.NoNode,
+		Gossip: []wire.GossipEntry{{
+			ID:  wire.MsgID{Origin: 2, Seq: 1},
+			Sig: []byte("not a signature"),
+		}},
+	}
+	h.p.HandlePacket(pkt)
+	if st := h.p.Stats(); st.BadSignatures != 1 {
+		t.Fatalf("bad-signatures=%d, want 1", st.BadSignatures)
+	}
+	if len(h.p.missing) != 0 {
+		t.Fatal("forged advertisement must not be tracked as missing")
+	}
+}
+
+func TestNeighborTableEvictsLRU(t *testing.T) {
+	cfg := admitTestConfig()
+	cfg.MaxNeighbors = 4
+	h := newHarness(t, 0, cfg)
+	for i := 1; i <= 8; i++ {
+		h.p.HandlePacket(h.dataFrom(wire.NodeID(i), 1, []byte("x")))
+		h.run(10 * time.Millisecond) // distinct lastHeard per sender
+	}
+	if n := h.p.NeighborCount(); n != 4 {
+		t.Fatalf("neighbour table has %d entries, want cap 4", n)
+	}
+	for i := 1; i <= 4; i++ {
+		if h.p.neighbors[wire.NodeID(i)] != nil {
+			t.Fatalf("stale neighbour %d survived LRU eviction", i)
+		}
+	}
+	for i := 5; i <= 8; i++ {
+		if h.p.neighbors[wire.NodeID(i)] == nil {
+			t.Fatalf("recent neighbour %d was evicted", i)
+		}
+	}
+	if st := h.p.Stats(); st.Evictions != 4 {
+		t.Fatalf("evictions=%d, want 4", st.Evictions)
+	}
+}
+
+func TestStoreCapEvictsTombstonesFirst(t *testing.T) {
+	cfg := admitTestConfig()
+	cfg.MaxStore = 2
+	h := newHarness(t, 0, cfg)
+	a := wire.MsgID{Origin: 1, Seq: 1}
+	b := wire.MsgID{Origin: 1, Seq: 2}
+	h.p.HandlePacket(h.dataFrom(1, 1, []byte("a")))
+	h.run(10 * time.Millisecond)
+	h.p.HandlePacket(h.dataFrom(1, 2, []byte("b")))
+	// Tombstone the older entry by hand: at the cap it must be the victim
+	// even though a younger held entry exists.
+	h.p.store[a].purged = true
+	h.p.store[a].purgedAt = h.p.deps.Clock.Now()
+	h.run(10 * time.Millisecond)
+	h.p.HandlePacket(h.dataFrom(1, 3, []byte("c")))
+	if _, ok := h.p.store[a]; ok {
+		t.Fatal("tombstone survived store-cap eviction")
+	}
+	if !h.p.Holds(b) || !h.p.Holds(wire.MsgID{Origin: 1, Seq: 3}) {
+		t.Fatal("held payloads were evicted while a tombstone existed")
+	}
+	if st := h.p.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions=%d, want 1", st.Evictions)
+	}
+}
+
+func TestStoreCapEvictsOldestHeld(t *testing.T) {
+	cfg := admitTestConfig()
+	cfg.MaxStore = 4
+	h := newHarness(t, 0, cfg)
+	for seq := wire.Seq(1); seq <= 8; seq++ {
+		h.p.HandlePacket(h.dataFrom(1, seq, []byte("x")))
+		h.run(10 * time.Millisecond)
+	}
+	if n := len(h.p.store); n != 4 {
+		t.Fatalf("store has %d entries, want cap 4", n)
+	}
+	for seq := wire.Seq(5); seq <= 8; seq++ {
+		if !h.p.Holds(wire.MsgID{Origin: 1, Seq: seq}) {
+			t.Fatalf("recent message seq %d was evicted", seq)
+		}
+	}
+}
+
+func TestMissingTableRejectsAtCap(t *testing.T) {
+	cfg := admitTestConfig()
+	cfg.MaxMissing = 2
+	h := newHarness(t, 0, cfg)
+	for i := 1; i <= 4; i++ {
+		h.p.HandlePacket(h.gossipFrom(1, wire.MsgID{Origin: 2, Seq: wire.Seq(i)}))
+	}
+	if n := len(h.p.missing); n != 2 {
+		t.Fatalf("missing table has %d entries, want cap 2", n)
+	}
+	if st := h.p.Stats(); st.Evictions != 2 {
+		t.Fatalf("evictions=%d, want 2 rejected advertisements", st.Evictions)
+	}
+}
+
+func TestReqSeenCapAndTTL(t *testing.T) {
+	cfg := admitTestConfig()
+	cfg.MaxReqSeen = 3
+	cfg.ReqSeenTTL = 2 * time.Second
+	h := newHarness(t, 0, cfg)
+
+	for i := 1; i <= 5; i++ {
+		h.p.bumpRequestCount(wire.MsgID{Origin: 2, Seq: wire.Seq(i)}, 3)
+		h.run(time.Millisecond) // distinct touch times
+	}
+	if n := h.p.ReqSeenCount(); n != 3 {
+		t.Fatalf("reqSeen has %d records, want cap 3", n)
+	}
+	// Idle records expire on the purge tick once past the TTL.
+	h.run(cfg.ReqSeenTTL + cfg.PurgeInterval + time.Second)
+	if n := h.p.ReqSeenCount(); n != 0 {
+		t.Fatalf("reqSeen has %d records after the TTL, want 0", n)
+	}
+}
+
+func TestReqSeenClearedOnAccept(t *testing.T) {
+	h := newHarness(t, 0, admitTestConfig())
+	id := wire.MsgID{Origin: 1, Seq: 1}
+	h.p.bumpRequestCount(id, 3)
+	if h.p.ReqSeenCount() != 1 {
+		t.Fatal("request record not created")
+	}
+	// Accepting the data satisfies the request cycle; the record is dropped
+	// instead of lingering until the TTL (the ISSUE 4 satellite-b leak).
+	h.p.HandlePacket(h.dataFrom(1, 1, []byte("x")))
+	if n := h.p.ReqSeenCount(); n != 0 {
+		t.Fatalf("reqSeen has %d records after the message arrived, want 0", n)
+	}
+}
+
+func TestTombstoneQuiescenceGC(t *testing.T) {
+	cfg := admitTestConfig()
+	cfg.PurgeTimeout = 2 * time.Second
+	cfg.PurgeInterval = 1 * time.Second
+	cfg.StoreQuiescence = 3 * time.Second
+	h := newHarness(t, 0, cfg)
+	h.p.HandlePacket(h.dataFrom(1, 1, []byte("x")))
+
+	h.run(4 * time.Second) // past PurgeTimeout: payload dropped, tombstone kept
+	if held, tombs := h.p.StoreSize(); held != 0 || tombs != 1 {
+		t.Fatalf("after purge: held=%d tombstones=%d, want 0 and 1", held, tombs)
+	}
+	h.run(5 * time.Second) // past StoreQuiescence: tombstone deleted outright
+	if held, tombs := h.p.StoreSize(); held != 0 || tombs != 0 {
+		t.Fatalf("after quiescence: held=%d tombstones=%d, want 0 and 0", held, tombs)
+	}
+}
+
+func TestRateLimitDisabledAdmitsEverything(t *testing.T) {
+	h := newHarness(t, 0, admitTestConfig()) // AdmitRate = 0
+	for seq := wire.Seq(1); seq <= 500; seq++ {
+		h.p.HandlePacket(h.dataFrom(1, seq, []byte(fmt.Sprintf("m%d", seq))))
+	}
+	if st := h.p.Stats(); st.RateLimited != 0 || st.Accepted != 500 {
+		t.Fatalf("accepted=%d rate-limited=%d, want 500 and 0", st.Accepted, st.RateLimited)
+	}
+}

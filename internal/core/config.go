@@ -88,6 +88,45 @@ type Config struct {
 	// Overlay selects the maintenance protocol (CDS or MIS+B).
 	Overlay overlay.Kind
 
+	// AdmitRate is the per-sender token-bucket refill rate in packets/second
+	// applied before any packet processing (and in particular before any
+	// signature verification). Zero or negative disables rate limiting. The
+	// default is far above what a correct node ever sends, so only floods
+	// are shed.
+	AdmitRate float64
+	// AdmitBurst is the token-bucket capacity: how many back-to-back packets
+	// one sender may land before the rate applies (defaults to 2×AdmitRate
+	// when zero).
+	AdmitBurst float64
+	// MaxNeighbors caps the neighbour table; when full, the least recently
+	// heard entry is evicted to admit a new sender (LRU). Zero or negative
+	// means unbounded.
+	MaxNeighbors int
+	// MaxStore caps the message store, tombstones included. At the cap,
+	// tombstones are evicted oldest-first, then held payloads. Zero or
+	// negative means unbounded.
+	MaxStore int
+	// StoreQuiescence is how long a purged entry's tombstone is retained as a
+	// duplicate filter before being deleted outright. Zero or negative keeps
+	// tombstones forever (the pre-hardening behaviour).
+	StoreQuiescence time.Duration
+	// MaxMissing caps the recovery table; new gossip-advertised messages are
+	// not tracked while it is full (later gossip rounds retry naturally).
+	// Zero or negative means unbounded.
+	MaxMissing int
+	// MaxReqSeen caps the per-message request-count table; at the cap the
+	// least recently touched record is evicted. Zero or negative means
+	// unbounded.
+	MaxReqSeen int
+	// ReqSeenTTL expires request-count records not touched for this long
+	// (defaults to PurgeTimeout when zero).
+	ReqSeenTTL time.Duration
+	// GossipMaxEntriesRx caps how many advertisements of one received gossip
+	// packet are processed; the rest are ignored (a spammer cannot buy
+	// unbounded verification work with one datagram). Zero or negative means
+	// unbounded.
+	GossipMaxEntriesRx int
+
 	// EnableFDs gates the failure detectors; with them off the protocol
 	// still recovers via gossip but never evicts Byzantine overlay nodes
 	// (ablation arm of experiment E4).
@@ -117,6 +156,18 @@ func DefaultConfig() Config {
 
 		PurgeTimeout:  30 * time.Second,
 		PurgeInterval: 5 * time.Second,
+
+		// Resource bounds: generous enough that correct traffic never hits
+		// them at any experiment scale, tight enough that a flooding or
+		// replaying neighbour cannot exhaust memory or verification CPU.
+		AdmitRate:          60,
+		AdmitBurst:         120,
+		MaxNeighbors:       128,
+		MaxStore:           4096,
+		StoreQuiescence:    60 * time.Second,
+		MaxMissing:         1024,
+		MaxReqSeen:         1024,
+		GossipMaxEntriesRx: 64,
 
 		MaintenanceInterval: 1 * time.Second,
 		MaintenanceJitter:   200 * time.Millisecond,

@@ -224,6 +224,36 @@ func FuzzHandlePacket(f *testing.F) {
 		State: &wire.OverlayState{Active: true, Neighbors: []wire.NodeID{0, 1}},
 	}).Marshal())
 
+	// Adversary shapes from the spam/replay attackers (internal/byzantine):
+	// flooder spam at a high sequence base, a replayed packet re-stamped
+	// with the replayer's own sender id, forged junk signatures from origins
+	// no PKI ever issued, and an oversized gossip batch that must be trimmed
+	// by GossipMaxEntriesRx rather than bought at face value.
+	f.Add(signData(2, 2<<20, []byte("flood")).Marshal())
+	replayed := signData(1, 1, []byte("alpha"))
+	replayed.Sender = 7
+	f.Add(replayed.Marshal())
+	forged := wire.MsgID{Origin: 200, Seq: 3}
+	f.Add((&wire.Packet{
+		Kind: wire.KindGossip, Sender: 6, TTL: 1, Target: wire.NoNode, Origin: wire.NoNode,
+		Gossip: []wire.GossipEntry{{ID: forged, Sig: []byte("junkjunkjunkjunk")}},
+	}).Marshal())
+	f.Add((&wire.Packet{
+		Kind: wire.KindData, Sender: 6, TTL: 1, Target: wire.NoNode,
+		Origin: forged.Origin, Seq: forged.Seq, Payload: []byte("junk"),
+		Sig: []byte("junkjunkjunkjunk"),
+	}).Marshal())
+	big := &wire.Packet{
+		Kind: wire.KindGossip, Sender: 8, TTL: 1, Target: wire.NoNode, Origin: wire.NoNode,
+	}
+	for i := 0; i < 96; i++ {
+		bid := wire.MsgID{Origin: wire.NodeID(i % 4), Seq: wire.Seq(i)}
+		big.Gossip = append(big.Gossip, wire.GossipEntry{
+			ID: bid, Sig: seedScheme.Sign(uint32(bid.Origin), wire.HeaderSigBytes(bid)),
+		})
+	}
+	f.Add(big.Marshal())
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		pkt, err := wire.Unmarshal(data)
 		if err != nil {

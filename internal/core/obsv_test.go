@@ -84,6 +84,10 @@ func (r *recObserver) OnQueueDepth(at time.Duration, node wire.NodeID, queue obs
 	r.log("queue %s %d %s %d", at, node, queue, depth)
 }
 
+func (r *recObserver) OnAdmission(at time.Duration, node wire.NodeID, event obsv.AdmissionEvent) {
+	r.log("admit %s %d %s", at, node, event)
+}
+
 // newObsHarness is newHarness with an observer attached.
 func newObsHarness(t *testing.T, selfID wire.NodeID, cfg Config, obs obsv.Observer) *harness {
 	t.Helper()

@@ -170,16 +170,19 @@ func (p *Protocol) sampleQueues() {
 		return
 	}
 	at, id := p.deps.Clock.Now(), p.deps.ID
-	held, _ := p.StoreSize()
-	obs.OnQueueDepth(at, id, obsv.QueueStore, held)
+	obs.OnQueueDepth(at, id, obsv.QueueStore, len(p.store))
 	obs.OnQueueDepth(at, id, obsv.QueueMissing, len(p.missing))
 	obs.OnQueueDepth(at, id, obsv.QueueNeighbors, len(p.neighbors))
 	obs.OnQueueDepth(at, id, obsv.QueueExpectations, p.mute.PendingExpectations())
+	obs.OnQueueDepth(at, id, obsv.QueueReqSeen, len(p.reqSeen))
 }
 
 // purgeTick drops payloads past the retention window — or, with stability
 // purging on, as soon as enough distinct neighbours have advertised the
 // message — leaving tombstones so duplicates are still filtered (§3.2.2).
+// Tombstones themselves are deleted once quiescent for StoreQuiescence, and
+// request-count records expire after ReqSeenTTL, so every table this task
+// feeds shrinks back to zero under silence.
 func (p *Protocol) purgeTick() {
 	now := p.deps.Clock.Now()
 	// A message advertised but never received is abandoned once its
@@ -194,6 +197,14 @@ func (p *Protocol) purgeTick() {
 	}
 	for id, st := range p.store {
 		if st.purged {
+			// Quiescence GC: a tombstone that has outlived its duplicate-filter
+			// window is dropped outright. The price is that a ≥quiescence-old
+			// replay is accepted (and re-delivered locally) once more — benign
+			// for agreement, and the metrics layer is idempotent per (id, node).
+			if q := p.cfg.StoreQuiescence; q > 0 && now-st.purgedAt > q {
+				delete(p.store, id)
+				p.observeAdmission(obsv.AdmitStoreEvict)
+			}
 			continue
 		}
 		age := now - st.receivedAt
@@ -207,7 +218,20 @@ func (p *Protocol) purgeTick() {
 			st.headerSig = nil
 			st.holders = nil
 			st.purged = true
+			st.purgedAt = now
 			delete(p.reqSeen, id)
+		}
+	}
+	ttl := p.cfg.ReqSeenTTL
+	if ttl <= 0 {
+		ttl = p.cfg.PurgeTimeout
+	}
+	if ttl > 0 {
+		for id, rec := range p.reqSeen {
+			if now-rec.touched > ttl {
+				delete(p.reqSeen, id)
+				p.observeAdmission(obsv.AdmitReqSeenExpire)
+			}
 		}
 	}
 }
@@ -232,16 +256,25 @@ func (p *Protocol) stable(st *msgState, age time.Duration) bool {
 	return len(st.holders) >= threshold
 }
 
-func (p *Protocol) touchNeighbor(id wire.NodeID) {
+func (p *Protocol) touchNeighbor(id wire.NodeID) *neighborState {
+	now := p.deps.Clock.Now()
 	nb := p.neighbors[id]
 	if nb == nil {
-		nb = &neighborState{}
+		p.enforceNeighborCap()
+		// A new sender starts with a full token bucket so short bursts from
+		// legitimate newcomers are never shed.
+		burst := p.cfg.AdmitBurst
+		if burst <= 0 {
+			burst = 2 * p.cfg.AdmitRate
+		}
+		nb = &neighborState{tokens: burst, lastRefill: now}
 		p.neighbors[id] = nb
 	}
-	nb.lastHeard = p.deps.Clock.Now()
+	nb.lastHeard = now
 	if nb.hits < 1<<30 {
 		nb.hits++
 	}
+	return nb
 }
 
 func (p *Protocol) expireNeighbors() {
@@ -266,8 +299,10 @@ func (p *Protocol) handleState(from wire.NodeID, state *wire.OverlayState, state
 	}
 	nb := p.neighbors[from]
 	if nb == nil {
-		nb = &neighborState{}
-		p.neighbors[from] = nb
+		// handleState is only reached through HandlePacket, which already
+		// created the entry via touchNeighbor; this branch guards direct
+		// callers (tests) only.
+		nb = p.touchNeighbor(from)
 	}
 	nb.lastHeard = p.deps.Clock.Now()
 	nb.state = state

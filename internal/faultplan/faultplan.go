@@ -355,6 +355,7 @@ func (p *Plan) Validate(n int) error {
 var knownBehaviors = map[string]bool{
 	"correct": true, "mute": true, "mute-silent": true, "verbose": true,
 	"tamper": true, "selective-drop": true, "equivocate": true,
+	"flooder": true, "replayer": true, "forge-spammer": true,
 }
 
 func makeCheck(name string) (string, error) {

@@ -43,6 +43,10 @@ type Config struct {
 	Detectors bool
 	// Recovery enables the post-fault overlay-coverage check.
 	Recovery bool
+	// StateBounds enables the resource-bound check: every sampled
+	// protocol-state queue must stay at or under its configured cap
+	// (Probes.Bounds), no matter what adversaries send.
+	StateBounds bool
 
 	// ValidityGrace exempts messages injected within this window before the
 	// end of the run — they may legitimately still be in flight.
@@ -73,6 +77,7 @@ func DefaultConfig() Config {
 		Validity:       true,
 		Detectors:      true,
 		Recovery:       true,
+		StateBounds:    true,
 		ValidityGrace:  10 * time.Second,
 		ValidityRatio:  0.90,
 		HealWindow:     45 * time.Second,
@@ -82,7 +87,7 @@ func DefaultConfig() Config {
 
 // Enabled reports whether any invariant is switched on.
 func (c Config) Enabled() bool {
-	return c.Agreement || c.Validity || c.Detectors || c.Recovery
+	return c.Agreement || c.Validity || c.Detectors || c.Recovery || c.StateBounds
 }
 
 // Violation is one detected invariant breach.
@@ -125,6 +130,10 @@ type Probes struct {
 	OverlayActive func(wire.NodeID) bool
 	// Suspects reports whether observer currently distrusts subject.
 	Suspects func(observer, subject wire.NodeID) bool
+	// Bounds maps a sampled queue name (obsv.Queue values, string-keyed so
+	// this package stays observer-agnostic) to its configured cap. Queues
+	// absent from the map are unbounded. Consulted by the state-bounds check.
+	Bounds map[string]int
 }
 
 // delivery records the first payload a correct node delivered for a message.
@@ -176,20 +185,31 @@ type Checker struct {
 	lastFault  time.Duration
 	faultLog   []string
 
+	// boundBreached dedupes state-bounds violations: one report per
+	// (node, queue), not one per sample while the breach persists.
+	boundBreached map[boundKey]bool
+
 	violations []Violation
+}
+
+// boundKey identifies one node's sampled queue for violation dedup.
+type boundKey struct {
+	node  wire.NodeID
+	queue string
 }
 
 // New builds a checker. probes.N, Correct, Up, Neighbors, OverlayActive and
 // Suspects must be set for the checks enabled in cfg.
 func New(cfg Config, now func() time.Duration, probes Probes) *Checker {
 	return &Checker{
-		cfg:          cfg,
-		probes:       probes,
-		now:          now,
-		firstPayload: make(map[wire.MsgID]delivery),
-		delivered:    make(map[wire.MsgID]map[wire.NodeID]bool),
-		downtime:     make(map[wire.NodeID][]window),
-		partitions:   []partEpoch{{at: 0, groups: nil}},
+		cfg:           cfg,
+		probes:        probes,
+		now:           now,
+		firstPayload:  make(map[wire.MsgID]delivery),
+		delivered:     make(map[wire.MsgID]map[wire.NodeID]bool),
+		downtime:      make(map[wire.NodeID][]window),
+		partitions:    []partEpoch{{at: 0, groups: nil}},
+		boundBreached: make(map[boundKey]bool),
 	}
 }
 
@@ -267,6 +287,28 @@ func (c *Checker) OnDeliver(node wire.NodeID, id wire.MsgID, payload []byte) {
 		return
 	}
 	c.firstPayload[id] = delivery{hash: sum, node: node}
+}
+
+// OnQueueSample checks one periodic queue-depth sample against the node's
+// configured state bound (the resource-exhaustion hardening invariant: no
+// adversary traffic may push a node's tables past their caps; behaviours only
+// wrap the send path, so the bound holds for every protocol instance). A
+// persistent breach is reported once per (node, queue).
+func (c *Checker) OnQueueSample(node wire.NodeID, queue string, depth int) {
+	if !c.cfg.StateBounds {
+		return
+	}
+	bound, ok := c.probes.Bounds[queue]
+	if !ok || bound <= 0 || depth <= bound {
+		return
+	}
+	key := boundKey{node: node, queue: queue}
+	if c.boundBreached[key] {
+		return
+	}
+	c.boundBreached[key] = true
+	c.violate("state-bounds",
+		"node %d: queue %q depth %d exceeds configured bound %d", node, queue, depth, bound)
 }
 
 // OnFault records a fault event (crash/recover/partition/heal/degrade/swap)

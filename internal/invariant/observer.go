@@ -33,3 +33,8 @@ func (o observer) OnInject(at time.Duration, node wire.NodeID, id wire.MsgID) {
 func (o observer) OnAccept(_ time.Duration, node wire.NodeID, id wire.MsgID, payload []byte) {
 	o.c.OnDeliver(node, id, payload)
 }
+
+// OnQueueDepth implements obsv.Observer, feeding the state-bounds check.
+func (o observer) OnQueueDepth(_ time.Duration, node wire.NodeID, queue obsv.Queue, depth int) {
+	o.c.OnQueueSample(node, string(queue), depth)
+}

@@ -53,7 +53,8 @@ type Queue string
 
 // Sampled queues.
 const (
-	// QueueStore is the number of held (unpurged) message payloads.
+	// QueueStore is the message-store size: held payloads plus retained
+	// tombstones (the table MaxStore caps).
 	QueueStore Queue = "store"
 	// QueueMissing is the number of gossip-advertised messages still being
 	// recovered.
@@ -62,6 +63,40 @@ const (
 	QueueNeighbors Queue = "neighbors"
 	// QueueExpectations is the number of armed MUTE expectations.
 	QueueExpectations Queue = "expectations"
+	// QueueReqSeen is the number of tracked per-requester request records.
+	QueueReqSeen Queue = "reqseen"
+)
+
+// AdmissionEvent names one admission-control or state-GC action taken to keep
+// a node's resources bounded under hostile traffic.
+type AdmissionEvent string
+
+// Admission events.
+const (
+	// AdmitRateLimit is a packet dropped because its sender exceeded the
+	// per-sender token-bucket rate.
+	AdmitRateLimit AdmissionEvent = "rate-limit"
+	// AdmitDedup is a duplicate suppressed by byte comparison before any
+	// signature verification was spent on it.
+	AdmitDedup AdmissionEvent = "dedup"
+	// AdmitGossipTrim is a received gossip batch truncated to the per-packet
+	// entry cap.
+	AdmitGossipTrim AdmissionEvent = "gossip-trim"
+	// AdmitNeighborEvict is a neighbour-table entry evicted (LRU) to stay
+	// under the configured cap.
+	AdmitNeighborEvict AdmissionEvent = "neighbor-evict"
+	// AdmitStoreEvict is a message-store entry evicted (quiescence GC or the
+	// hard cap) rather than purged to a tombstone.
+	AdmitStoreEvict AdmissionEvent = "store-evict"
+	// AdmitMissingReject is a new recovery entry refused because the missing
+	// table was full.
+	AdmitMissingReject AdmissionEvent = "missing-reject"
+	// AdmitReqSeenExpire is a request-count record dropped by TTL expiry or
+	// cap eviction.
+	AdmitReqSeenExpire AdmissionEvent = "reqseen-expire"
+	// AdmitIngressDrop is a datagram dropped at the transport because the
+	// protocol layer was saturated.
+	AdmitIngressDrop AdmissionEvent = "ingress-drop"
 )
 
 // Observer receives protocol and transport events. Implementations must be
@@ -89,6 +124,10 @@ type Observer interface {
 	OnSigVerify(at time.Duration, node wire.NodeID, ok bool, took time.Duration)
 	// OnQueueDepth is one periodic sample of a protocol-internal queue.
 	OnQueueDepth(at time.Duration, node wire.NodeID, queue Queue, depth int)
+	// OnAdmission is one admission-control or state-GC action at node (a
+	// rate-limited packet, a verify-free dedup, an eviction, an expiry, an
+	// ingress drop).
+	OnAdmission(at time.Duration, node wire.NodeID, event AdmissionEvent)
 }
 
 // Nop is a no-op Observer. Embed it to implement only the events a consumer
@@ -118,6 +157,9 @@ func (Nop) OnSigVerify(time.Duration, wire.NodeID, bool, time.Duration) {}
 
 // OnQueueDepth implements Observer.
 func (Nop) OnQueueDepth(time.Duration, wire.NodeID, Queue, int) {}
+
+// OnAdmission implements Observer.
+func (Nop) OnAdmission(time.Duration, wire.NodeID, AdmissionEvent) {}
 
 // multi fans every event out to each member, in order.
 type multi []Observer
@@ -187,6 +229,12 @@ func (m multi) OnSigVerify(at time.Duration, node wire.NodeID, ok bool, took tim
 func (m multi) OnQueueDepth(at time.Duration, node wire.NodeID, queue Queue, depth int) {
 	for _, o := range m {
 		o.OnQueueDepth(at, node, queue, depth)
+	}
+}
+
+func (m multi) OnAdmission(at time.Duration, node wire.NodeID, event AdmissionEvent) {
+	for _, o := range m {
+		o.OnAdmission(at, node, event)
 	}
 }
 

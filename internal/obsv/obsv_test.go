@@ -50,6 +50,10 @@ func (r *recorder) OnQueueDepth(at time.Duration, node wire.NodeID, queue Queue,
 	r.add("queue %s %d %s %d", at, node, queue, depth)
 }
 
+func (r *recorder) OnAdmission(at time.Duration, node wire.NodeID, event AdmissionEvent) {
+	r.add("admit %s %d %s", at, node, event)
+}
+
 // emitAll fires one of each event at o.
 func emitAll(o Observer) {
 	o.OnPacketTx(1, 2, wire.KindData, wire.MsgID{Origin: 3, Seq: 4})
@@ -60,14 +64,15 @@ func emitAll(o Observer) {
 	o.OnSuspicion(5, 6, 7, DetectorMute, true)
 	o.OnSigVerify(6, 8, false, time.Microsecond)
 	o.OnQueueDepth(7, 9, QueueStore, 11)
+	o.OnAdmission(8, 10, AdmitRateLimit)
 }
 
 func TestMultiFansOutEveryEvent(t *testing.T) {
 	a, b := &recorder{}, &recorder{}
 	m := Multi(a, nil, b)
 	emitAll(m)
-	if len(a.events) != 8 || len(b.events) != 8 {
-		t.Fatalf("fan-out counts = %d, %d, want 8 each", len(a.events), len(b.events))
+	if len(a.events) != 9 || len(b.events) != 9 {
+		t.Fatalf("fan-out counts = %d, %d, want 9 each", len(a.events), len(b.events))
 	}
 	for i := range a.events {
 		if a.events[i] != b.events[i] {
@@ -95,8 +100,8 @@ func TestSkipAccepts(t *testing.T) {
 	}
 	r := &recorder{}
 	emitAll(SkipAccepts(r))
-	if len(r.events) != 7 {
-		t.Fatalf("events = %d, want 7 (accept dropped)", len(r.events))
+	if len(r.events) != 8 {
+		t.Fatalf("events = %d, want 8 (accept dropped)", len(r.events))
 	}
 	for _, e := range r.events {
 		if e[:6] == "accept" {

@@ -23,6 +23,7 @@ const (
 	MetricSigVerifySecs   = "bbcast_sigverify_seconds"
 	MetricQueueDepth      = "bbcast_queue_depth"
 	MetricDeliveryLatency = "bbcast_delivery_latency_seconds"
+	MetricAdmissionTotal  = "bbcast_admission_total"
 )
 
 // maxTrackedInjects bounds the inject-time map used to derive delivery
@@ -59,6 +60,7 @@ type RegistryObserver struct {
 	activeGauge    *Gauge
 	suspectedGauge *Gauge
 	queueGauges    map[Queue]*Gauge
+	admissions     map[AdmissionEvent]*Counter
 
 	latency *Summary
 
@@ -84,7 +86,8 @@ func NewRegistryObserver(r *Registry) *RegistryObserver {
 		sigSecs:        r.Summary(MetricSigVerifySecs, 0),
 		activeGauge:    r.Gauge(MetricOverlayActive),
 		suspectedGauge: r.Gauge(MetricSuspectedNodes),
-		queueGauges:    make(map[Queue]*Gauge, 4),
+		queueGauges:    make(map[Queue]*Gauge, 5),
+		admissions:     make(map[AdmissionEvent]*Counter, 8),
 		latency:        r.Summary(MetricDeliveryLatency, 0),
 		active:         make(map[wire.NodeID]bool),
 		suspected:      make(map[suspicionKey]struct{}),
@@ -103,9 +106,15 @@ func NewRegistryObserver(r *Registry) *RegistryObserver {
 		o.suspRaised[d] = r.Counter(labelled(base, "event", "raised"))
 		o.suspCleared[d] = r.Counter(labelled(base, "event", "cleared"))
 	}
-	for _, q := range []Queue{QueueStore, QueueMissing, QueueNeighbors, QueueExpectations} {
+	for _, q := range []Queue{QueueStore, QueueMissing, QueueNeighbors, QueueExpectations, QueueReqSeen} {
 		o.queueGauges[q] = r.Gauge(labelled(MetricQueueDepth, "queue", string(q)))
 		o.queues[q] = make(map[wire.NodeID]int)
+	}
+	for _, e := range []AdmissionEvent{
+		AdmitRateLimit, AdmitDedup, AdmitGossipTrim, AdmitNeighborEvict,
+		AdmitStoreEvict, AdmitMissingReject, AdmitReqSeenExpire, AdmitIngressDrop,
+	} {
+		o.admissions[e] = r.Counter(labelled(MetricAdmissionTotal, "event", string(e)))
 	}
 	return o
 }
@@ -213,5 +222,12 @@ func (o *RegistryObserver) OnQueueDepth(_ time.Duration, node wire.NodeID, queue
 	o.mu.Unlock()
 	if delta != 0 {
 		g.Add(float64(delta))
+	}
+}
+
+// OnAdmission implements Observer.
+func (o *RegistryObserver) OnAdmission(_ time.Duration, _ wire.NodeID, event AdmissionEvent) {
+	if c := o.admissions[event]; c != nil {
+		c.Inc()
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"bbcast/internal/faultplan"
 	"bbcast/internal/fd"
 	"bbcast/internal/invariant"
+	"bbcast/internal/obsv"
 	"bbcast/internal/radio"
 	"bbcast/internal/sig"
 	"bbcast/internal/sim"
@@ -42,8 +43,24 @@ func buildChecker(sc Scenario, eng *sim.Engine, medium *radio.Medium, protos []b
 		cp, _ := protos[id].(*core.Protocol)
 		return cp
 	}
+	// State bounds mirror the core config caps; only capped tables get a
+	// bound (zero/negative knobs mean unbounded and are skipped).
+	bounds := make(map[string]int, 4)
+	if sc.Protocol == ProtoByzCast {
+		for queue, cap := range map[obsv.Queue]int{
+			obsv.QueueStore:     sc.Core.MaxStore,
+			obsv.QueueMissing:   sc.Core.MaxMissing,
+			obsv.QueueNeighbors: sc.Core.MaxNeighbors,
+			obsv.QueueReqSeen:   sc.Core.MaxReqSeen,
+		} {
+			if cap > 0 {
+				bounds[string(queue)] = cap
+			}
+		}
+	}
 	return invariant.New(cfg, eng.Now, invariant.Probes{
-		N: sc.N,
+		N:      sc.N,
+		Bounds: bounds,
 		Correct: func(id wire.NodeID) bool {
 			return int(id) < len(correct) && correct[id]
 		},
@@ -223,6 +240,12 @@ func ReproCommand(sc Scenario) string {
 			fmt.Fprintf(&b, " -selective %d", a.Count)
 		case AdvEquivocate:
 			fmt.Fprintf(&b, " -equivocate %d", a.Count)
+		case AdvFlooder:
+			fmt.Fprintf(&b, " -flooder %d", a.Count)
+		case AdvReplayer:
+			fmt.Fprintf(&b, " -replayer %d", a.Count)
+		case AdvForgeSpammer:
+			fmt.Fprintf(&b, " -forge %d", a.Count)
 		}
 	}
 	if sc.Placement == PlaceDominators {

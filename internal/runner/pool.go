@@ -178,6 +178,9 @@ func Average(rs []Result) Result {
 		node.RequestsSent += r.Node.RequestsSent
 		node.FindsSent += r.Node.FindsSent
 		node.RecoveredByData += r.Node.RecoveredByData
+		node.RateLimited += r.Node.RateLimited
+		node.DedupSkips += r.Node.DedupSkips
+		node.Evictions += r.Node.Evictions
 		out.Violations = append(out.Violations, r.Violations...)
 		out.FaultEvents = append(out.FaultEvents, r.FaultEvents...)
 		if out.Repro == "" {
@@ -210,6 +213,9 @@ func Average(rs []Result) Result {
 		RequestsSent:    node.RequestsSent / un,
 		FindsSent:       node.FindsSent / un,
 		RecoveredByData: node.RecoveredByData / un,
+		RateLimited:     node.RateLimited / un,
+		DedupSkips:      node.DedupSkips / un,
+		Evictions:       node.Evictions / un,
 	}
 	return out
 }

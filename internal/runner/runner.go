@@ -100,6 +100,13 @@ const (
 	// AdvEquivocate signs conflicting payloads for its own messages — the
 	// attack the agreement invariant exists to catch.
 	AdvEquivocate
+	// AdvFlooder spams fresh validly-signed messages far above the workload
+	// rate (resource exhaustion, not an agreement attack).
+	AdvFlooder
+	// AdvReplayer re-transmits harvested packets verbatim.
+	AdvReplayer
+	// AdvForgeSpammer sends junk signatures from nonexistent origins.
+	AdvForgeSpammer
 )
 
 // Adversaries places Count nodes with the given behaviour. Adversaries are
@@ -485,6 +492,9 @@ func Run(sc Scenario) (Result, error) {
 		res.Node.RequestsSent += st.RequestsSent
 		res.Node.FindsSent += st.FindsSent
 		res.Node.RecoveredByData += st.RecoveredByData
+		res.Node.RateLimited += st.RateLimited
+		res.Node.DedupSkips += st.DedupSkips
+		res.Node.Evictions += st.Evictions
 		if cp, ok := protos[i].(*core.Protocol); ok {
 			if cp.InOverlay() {
 				res.Results.OverlaySize++
@@ -608,6 +618,12 @@ func assignAdversaries(sc Scenario, eng *sim.Engine, medium *radio.Medium, schem
 				out[id] = &byzantine.SelectiveDrop{Self: id, Rng: eng.SubRand(uint64(id) + 2<<32), DropProb: 0.5}
 			case AdvEquivocate:
 				out[id] = &byzantine.Equivocate{Self: id, Sign: signerFor(scheme, id)}
+			case AdvFlooder:
+				out[id] = &byzantine.Flooder{Self: id, Sign: signerFor(scheme, id)}
+			case AdvReplayer:
+				out[id] = &byzantine.Replayer{Self: id, Rng: eng.SubRand(uint64(id) + 2<<32)}
+			case AdvForgeSpammer:
+				out[id] = &byzantine.ForgeSpammer{Self: id, Rng: eng.SubRand(uint64(id) + 2<<32)}
 			default:
 				out[id] = &byzantine.Mute{Self: id}
 			}

@@ -28,6 +28,22 @@ import (
 // maxDatagram bounds receive buffers.
 const maxDatagram = 64 * 1024
 
+// inboxDepth bounds the decoded-packet queue between the socket reader and
+// the protocol goroutine. When the protocol cannot keep up (e.g. a LAN
+// flooder outpacing signature verification), further datagrams are dropped at
+// ingress instead of wedging the read loop or growing a queue without bound.
+const inboxDepth = 256
+
+// readBufs recycles receive buffers across datagrams. wire.Unmarshal copies
+// every byte slice out of the input, so a buffer can be reused as soon as
+// decoding returns.
+var readBufs = sync.Pool{
+	New: func() any {
+		b := make([]byte, maxDatagram)
+		return &b
+	},
+}
+
 // UDPNode hosts one protocol instance over a UDP socket.
 type UDPNode struct {
 	id    wire.NodeID
@@ -46,9 +62,12 @@ type UDPNode struct {
 	debugMu  sync.Mutex
 	debugSrv *http.Server
 
+	inbox chan *wire.Packet
+
 	closeOnce sync.Once
 	closed    chan struct{}
 	done      chan struct{}
+	procDone  chan struct{}
 }
 
 // lockedClock wraps a Clock so timer callbacks run under the node mutex,
@@ -94,8 +113,10 @@ func NewUDPNode(cfg core.Config, id wire.NodeID, scheme sig.Scheme, listen strin
 		conn:     conn,
 		registry: obsv.NewRegistry(),
 		deliver:  deliver,
+		inbox:    make(chan *wire.Packet, inboxDepth),
 		closed:   make(chan struct{}),
 		done:     make(chan struct{}),
+		procDone: make(chan struct{}),
 	}
 	n.obs = obsv.NewRegistryObserver(n.registry)
 	clock := lockedClock{inner: &env.RealClock{}, mu: &n.mu, node: n}
@@ -114,6 +135,7 @@ func NewUDPNode(cfg core.Config, id wire.NodeID, scheme sig.Scheme, listen strin
 		},
 	})
 	go n.readLoop()
+	go n.procLoop()
 	return n, nil
 }
 
@@ -238,9 +260,16 @@ func (n *UDPNode) send(pkt *wire.Packet) {
 	}
 }
 
+// readLoop pulls datagrams off the socket, decodes them and hands them to the
+// protocol goroutine through the bounded inbox. It never takes the node lock
+// and never blocks on the protocol: when the inbox is full the datagram is
+// dropped (with an ingress-drop event), so a flooder saturating the protocol
+// layer cannot wedge the kernel receive path.
 func (n *UDPNode) readLoop() {
 	defer close(n.done)
-	buf := make([]byte, maxDatagram)
+	bufp := readBufs.Get().(*[]byte)
+	defer readBufs.Put(bufp)
+	buf := *bufp
 	for {
 		sz, _, err := n.conn.ReadFromUDP(buf)
 		if err != nil {
@@ -261,17 +290,32 @@ func (n *UDPNode) readLoop() {
 		if err != nil {
 			continue // garbage datagram
 		}
+		select {
+		case n.inbox <- pkt:
+		default:
+			// Protocol layer saturated: shed at ingress. The registry
+			// observer's counters are atomic, so this is safe off the
+			// protocol goroutine.
+			n.obs.OnAdmission(n.clock.Now(), n.id, obsv.AdmitIngressDrop)
+		}
+	}
+}
+
+// procLoop drains the inbox into the protocol under the node lock.
+func (n *UDPNode) procLoop() {
+	defer close(n.procDone)
+	for pkt := range n.inbox {
 		n.mu.Lock()
 		n.proto.HandlePacket(pkt)
 		n.mu.Unlock()
 	}
 }
 
-// Close stops the node and waits for its read loop to exit. It returns
-// promptly even if the read loop is blocked in a kernel read: an immediate
-// read deadline forces the pending ReadFromUDP to fail before the socket is
-// torn down, so the loop observes the closed flag without waiting for
-// traffic.
+// Close stops the node and waits for its read and protocol loops to exit. It
+// returns promptly even if the read loop is blocked in a kernel read: an
+// immediate read deadline forces the pending ReadFromUDP to fail before the
+// socket is torn down, so the loop observes the closed flag without waiting
+// for traffic.
 func (n *UDPNode) Close() error {
 	var err error
 	n.closeOnce.Do(func() {
@@ -288,6 +332,11 @@ func (n *UDPNode) Close() error {
 		n.mu.Unlock()
 		err = n.conn.Close()
 		<-n.done
+		// The reader is gone; close the inbox so the protocol goroutine
+		// drains whatever was queued (HandlePacket is a no-op after Stop)
+		// and exits.
+		close(n.inbox)
+		<-n.procDone
 	})
 	return err
 }
