@@ -41,16 +41,16 @@ func run(args []string) error {
 		seed       = fs.Int64("seed", 1, "random seed (runs are deterministic per seed)")
 		replicates = fs.Int("replicates", 1, "independent replicates to run (seeds derived from -seed via SplitMix64); results are averaged")
 		parallel   = fs.Int("parallel", 0, "concurrent replicate simulations (0 = GOMAXPROCS); per-replicate results are identical at any setting")
-		proto    = fs.String("proto", "byzcast", "protocol: byzcast | flooding | f+1")
-		f        = fs.Int("f", 2, "tolerated failures for the f+1 baseline")
-		area     = fs.Float64("area", 1000, "square area side in metres")
-		rng      = fs.Float64("range", 250, "radio range in metres")
-		rate     = fs.Float64("rate", 1, "injection rate δ in messages/second")
-		senders  = fs.Int("senders", 5, "number of distinct senders")
-		size     = fs.Int("size", 256, "payload size in bytes")
-		duration = fs.Duration("duration", 85*time.Second, "total simulated time")
-		warmup   = fs.Duration("warmup", 15*time.Second, "time before the first injection")
-		drain    = fs.Duration("drain", 10*time.Second, "time after the last injection")
+		proto      = fs.String("proto", "byzcast", "protocol: byzcast | flooding | f+1")
+		f          = fs.Int("f", 2, "tolerated failures for the f+1 baseline")
+		area       = fs.Float64("area", 1000, "square area side in metres")
+		rng        = fs.Float64("range", 250, "radio range in metres")
+		rate       = fs.Float64("rate", 1, "injection rate δ in messages/second")
+		senders    = fs.Int("senders", 5, "number of distinct senders")
+		size       = fs.Int("size", 256, "payload size in bytes")
+		duration   = fs.Duration("duration", 85*time.Second, "total simulated time")
+		warmup     = fs.Duration("warmup", 15*time.Second, "time before the first injection")
+		drain      = fs.Duration("drain", 10*time.Second, "time after the last injection")
 
 		overlayKind = fs.String("overlay", "mis+b", "overlay maintainer: cds | mis+b")
 		noFD        = fs.Bool("no-fd", false, "disable the failure detectors")

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //bbvet: annotation grammar. An annotation is a line comment of the
+// form
+//
+//	//bbvet:<kind> <argument and/or justification>
+//
+// with no space between "//" and "bbvet:". Three kinds exist:
+//
+//	//bbvet:wallclock <why>        file header: exempts the file from the
+//	                               determinism wall-clock/global-rand checks;
+//	                               on or above a line: exempts that line only.
+//	//bbvet:unordered <why>        on or above a `for range` over a map:
+//	                               asserts iteration order cannot leak into
+//	                               observable output.
+//	//bbvet:bounded-by <cap> <why> on a map-typed struct field in
+//	                               internal/core: names the config field or
+//	                               package constant that bounds the map.
+//
+// Every annotation must carry a non-empty justification; the analyzers
+// reject bare escapes.
+const (
+	annotationPrefix = "//bbvet:"
+
+	// AnnWallclock exempts wall-clock code from determinism checks.
+	AnnWallclock = "wallclock"
+	// AnnUnordered justifies an order-insensitive map iteration.
+	AnnUnordered = "unordered"
+	// AnnBoundedBy names the cap bounding a map-typed struct field.
+	AnnBoundedBy = "bounded-by"
+)
+
+// Annotation is one parsed //bbvet: comment.
+type Annotation struct {
+	Kind string // "wallclock", "unordered", "bounded-by", or unrecognized text
+	Arg  string // everything after the kind, trimmed
+	Line int
+	Pos  token.Pos
+}
+
+// FileAnnotations indexes the //bbvet: comments of one file.
+type FileAnnotations struct {
+	// Header holds annotations placed before the package clause; a
+	// wallclock annotation there exempts the whole file.
+	Header []Annotation
+	byLine map[int][]Annotation
+	all    []Annotation
+}
+
+// ParseAnnotations extracts every //bbvet: comment of file.
+func ParseAnnotations(fset *token.FileSet, file *ast.File) *FileAnnotations {
+	fa := &FileAnnotations{byLine: map[int][]Annotation{}}
+	pkgLine := fset.Position(file.Package).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, annotationPrefix)
+			if !ok {
+				continue
+			}
+			kind, arg, _ := strings.Cut(text, " ")
+			ann := Annotation{
+				Kind: kind,
+				Arg:  strings.TrimSpace(arg),
+				Line: fset.Position(c.Pos()).Line,
+				Pos:  c.Pos(),
+			}
+			fa.all = append(fa.all, ann)
+			if ann.Line < pkgLine {
+				fa.Header = append(fa.Header, ann)
+			}
+			fa.byLine[ann.Line] = append(fa.byLine[ann.Line], ann)
+		}
+	}
+	return fa
+}
+
+// All returns every annotation in the file, in source order.
+func (fa *FileAnnotations) All() []Annotation { return fa.all }
+
+// FileExempt reports whether the file header carries the given annotation
+// kind (e.g. a //bbvet:wallclock file allowlist).
+func (fa *FileAnnotations) FileExempt(kind string) bool {
+	for _, a := range fa.Header {
+		if a.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// At returns the annotation of the given kind that governs line: one written
+// on the line itself or on the line directly above it.
+func (fa *FileAnnotations) At(kind string, line int) *Annotation {
+	for _, l := range [2]int{line, line - 1} {
+		for i := range fa.byLine[l] {
+			if fa.byLine[l][i].Kind == kind {
+				return &fa.byLine[l][i]
+			}
+		}
+	}
+	return nil
+}
+
+// CheckAnnotations reports malformed //bbvet: comments: unknown kinds and
+// annotations without a justification. Called by the determinism analyzer so
+// the grammar is validated exactly once per file.
+func CheckAnnotations(pass *Pass, fa *FileAnnotations) {
+	for _, a := range fa.All() {
+		switch a.Kind {
+		case AnnWallclock, AnnUnordered:
+			if a.Arg == "" {
+				pass.Reportf(a.Pos, "//bbvet:%s needs a justification: //bbvet:%s <why>", a.Kind, a.Kind)
+			}
+		case AnnBoundedBy:
+			if a.Arg == "" {
+				pass.Reportf(a.Pos, "//bbvet:bounded-by needs a cap: //bbvet:bounded-by <cap> [why]")
+			}
+		default:
+			pass.Reportf(a.Pos, "unknown annotation //bbvet:%s (want wallclock, unordered or bounded-by)", a.Kind)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) (*token.FileSet, *FileAnnotations, *Pass, *[]Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: &Analyzer{Name: "test"},
+		Fset:     fset,
+		diags:    &diags,
+	}
+	return fset, ParseAnnotations(fset, file), pass, &diags
+}
+
+func TestHeaderVersusLineAnnotations(t *testing.T) {
+	_, fa, _, _ := parseSrc(t, `//bbvet:wallclock whole file measures real time
+
+package p
+
+func f() {
+	//bbvet:unordered commutative fold
+	_ = 1
+	_ = 2 //bbvet:wallclock inline
+}
+`)
+	if !fa.FileExempt(AnnWallclock) {
+		t.Error("header wallclock annotation not recognized as file exemption")
+	}
+	if fa.FileExempt(AnnUnordered) {
+		t.Error("body annotation wrongly treated as file exemption")
+	}
+	if fa.At(AnnUnordered, 7) == nil { // annotation on line 6 governs line 7
+		t.Error("annotation on the preceding line not found")
+	}
+	if fa.At(AnnUnordered, 8) != nil {
+		t.Error("annotation leaked two lines down")
+	}
+	if a := fa.At(AnnWallclock, 8); a == nil || a.Arg != "inline" {
+		t.Errorf("same-line annotation not found or arg mangled: %+v", a)
+	}
+}
+
+// TestCheckAnnotations covers the grammar errors: bare escapes without a
+// justification and unknown kinds. (The analysistest fixtures cannot express
+// a bare annotation — the want comment would become its justification — so
+// this is checked white-box.)
+func TestCheckAnnotations(t *testing.T) {
+	_, fa, pass, diags := parseSrc(t, `package p
+
+//bbvet:wallclock
+//bbvet:unordered
+//bbvet:bounded-by
+//bbvet:wallclock justified because reasons
+//bbvet:nonsense some justification
+`)
+	CheckAnnotations(pass, fa)
+	want := []string{
+		"//bbvet:wallclock needs a justification",
+		"//bbvet:unordered needs a justification",
+		"//bbvet:bounded-by needs a cap",
+		"unknown annotation //bbvet:nonsense",
+	}
+	if len(*diags) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d: %v", len(*diags), len(want), *diags)
+	}
+	for i, w := range want {
+		if !strings.Contains((*diags)[i].Message, w) {
+			t.Errorf("diagnostic %d = %q, want substring %q", i, (*diags)[i].Message, w)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package boundedstate_test
+
+import (
+	"testing"
+
+	"bbcast/internal/analysis/analysistest"
+	"bbcast/internal/analysis/boundedstate"
+)
+
+// TestCapsAndAnnotations covers registered tables, //bbvet:bounded-by side
+// tables (valid and naming a nonexistent cap), and the unbounded-map report.
+func TestCapsAndAnnotations(t *testing.T) {
+	analysistest.Run(t, "testdata/core", "bbcast/internal/core", boundedstate.Analyzer)
+}
+
+// TestStaleCapsTable checks both drift directions: a registered struct field
+// that no longer exists, and a registration whose Config cap was deleted.
+func TestStaleCapsTable(t *testing.T) {
+	analysistest.Run(t, "testdata/stale", "bbcast/internal/core", boundedstate.Analyzer)
+}
+
+// TestScopedToCore checks packages outside internal/core are ignored.
+func TestScopedToCore(t *testing.T) {
+	analysistest.Run(t, "testdata/other", "bbcast/internal/fd", boundedstate.Analyzer)
+}

@@ -1,0 +1,7 @@
+// Package fd is a boundedstate fixture type-checked as bbcast/internal/fd:
+// the analyzer is scoped to internal/core, so nothing here is checked.
+package fd
+
+type table struct {
+	m map[int]int // outside internal/core: not protocol state
+}

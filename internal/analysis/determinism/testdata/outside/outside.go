@@ -1,0 +1,12 @@
+// Package main is a determinism fixture type-checked as bbcast/cmd/fixture:
+// outside internal/, so wall clock and global rand are free — but the
+// annotation grammar is still validated everywhere.
+package main
+
+import "time"
+
+func main() {
+	_ = time.Now() // tools may read the wall clock
+}
+
+//bbvet:frobnicate annotations are validated even out of scope // want `unknown annotation //bbvet:frobnicate`

@@ -1,0 +1,66 @@
+// Package core is an obsvonce fixture type-checked as bbcast/internal/core,
+// so the emission table's core entries (Deps.Accept for OnAccept, and so on)
+// apply to the look-alike types defined here. It imports the real obsv
+// package: the analyzer resolves Observer through export data exactly as it
+// does on the production tree.
+package core
+
+import (
+	"time"
+
+	"bbcast/internal/obsv"
+	"bbcast/internal/wire"
+)
+
+// Deps mirrors the real core.Deps; Accept is OnAccept's designated source.
+type Deps struct {
+	ID  wire.NodeID
+	Obs obsv.Observer
+}
+
+func (d Deps) Accept(at time.Duration, id wire.MsgID, payload []byte) {
+	d.Obs.OnAccept(at, d.ID, id, payload) // designated source: allowed
+	emit := func() {
+		d.Obs.OnAccept(at, d.ID, id, payload) // closures count as Deps.Accept
+	}
+	emit()
+	d.Obs.OnInject(at, d.ID, id) // want `obsv\.Observer\.OnInject emitted outside its designated source`
+}
+
+func leak(at time.Duration, obs obsv.Observer, node wire.NodeID, id wire.MsgID) {
+	obs.OnAccept(at, node, id, nil) // want `obsv\.Observer\.OnAccept emitted outside its designated source`
+}
+
+// tee fans out to a second observer. It implements obsv.Observer through the
+// embedded interface and overrides OnInject; a method named like the event it
+// forwards is a forwarder, not a second emission.
+type tee struct {
+	obsv.Observer
+	second obsv.Observer
+}
+
+func (t tee) OnInject(at time.Duration, node wire.NodeID, id wire.MsgID) {
+	t.Observer.OnInject(at, node, id)
+	t.second.OnInject(at, node, id)
+}
+
+// counter has an Observer-shaped method but does not implement obsv.Observer,
+// so calling it is not an emission.
+type counter struct{ n int }
+
+func (c *counter) OnInject(time.Duration, wire.NodeID, wire.MsgID) { c.n++ }
+
+func tally(c *counter, at time.Duration, node wire.NodeID, id wire.MsgID) {
+	c.OnInject(at, node, id)
+}
+
+// forwardWrongEvent is the forwarder rule's limit: a forwarder may re-emit
+// only its own event, anything else is a stray emission.
+type loud struct {
+	obsv.Observer
+}
+
+func (l loud) OnInject(at time.Duration, node wire.NodeID, id wire.MsgID) {
+	l.Observer.OnInject(at, node, id)
+	l.Observer.OnAccept(at, node, id, nil) // want `obsv\.Observer\.OnAccept emitted outside its designated source`
+}

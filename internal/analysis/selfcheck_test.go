@@ -1,0 +1,42 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bbcast/internal/analysis"
+	"bbcast/internal/analysis/boundedstate"
+	"bbcast/internal/analysis/determinism"
+	"bbcast/internal/analysis/obsvonce"
+)
+
+// TestRepoIsClean runs the bbvet analyzers over the entire repository, so a
+// new contract violation fails `go test ./...` even where nobody runs bbvet
+// or CI by hand. It is the test-suite twin of `go run ./cmd/bbvet ./...`.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("load ./...: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{
+		determinism.Analyzer,
+		obsvonce.Analyzer,
+		boundedstate.Analyzer,
+	})
+	if err != nil {
+		t.Fatalf("run analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

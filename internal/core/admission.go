@@ -17,6 +17,7 @@ import (
 // touch time so idle records can expire (the old map[wire.NodeID]int grew
 // forever; see ISSUE 4 satellite b).
 type reqRecord struct {
+	//bbvet:bounded-by maxReqCounters bumpRequestCount stops admitting new requesters past the cap; total is maxReqCounters×MaxReqSeen
 	counts  map[wire.NodeID]int
 	touched time.Duration
 }
@@ -65,10 +66,16 @@ func (p *Protocol) enforceStoreCap() {
 		return
 	}
 	for len(p.store) >= max {
+		// The scan below ranges the map unsorted, which is fine only because
+		// the victim choice is a pure minimum with a total order: tombstones
+		// before held entries, then oldest timestamp, then smallest id. The
+		// id tie-break matters — entries inserted at the same virtual instant
+		// are common, and without it the randomized iteration order would
+		// pick the victim (and hence the emitted eviction event) per run.
 		var victim wire.MsgID
 		var victimAt time.Duration
 		victimPurged, found := false, false
-		for id, st := range p.store {
+		for id, st := range p.store { //bbvet:unordered pure minimum with a total order (purged flag, timestamp, id); no emission until the loop ends
 			at := st.receivedAt
 			if st.purged {
 				at = st.purgedAt
@@ -76,7 +83,7 @@ func (p *Protocol) enforceStoreCap() {
 			switch {
 			case !found,
 				st.purged && !victimPurged,
-				st.purged == victimPurged && at < victimAt:
+				st.purged == victimPurged && (at < victimAt || (at == victimAt && id.Less(victim))):
 				victim, victimAt, victimPurged, found = id, at, st.purged, true
 			}
 		}
@@ -97,11 +104,15 @@ func (p *Protocol) enforceNeighborCap() {
 		return
 	}
 	for len(p.neighbors) >= max {
+		// Pure minimum over the map with a total order (LRU timestamp, then
+		// smallest id): iteration order cannot pick the victim, so ranging
+		// the map unsorted stays deterministic. Same-instant lastHeard ties
+		// are routine — every packet of a burst carries one virtual time.
 		var victim wire.NodeID
 		var victimAt time.Duration
 		found := false
 		for id, nb := range p.neighbors {
-			if !found || nb.lastHeard < victimAt {
+			if !found || nb.lastHeard < victimAt || (nb.lastHeard == victimAt && id < victim) {
 				victim, victimAt, found = id, nb.lastHeard, true
 			}
 		}
@@ -128,17 +139,25 @@ func (p *Protocol) bumpRequestCount(id wire.MsgID, from wire.NodeID) int {
 		p.reqSeen[id] = rec
 	}
 	rec.touched = now
+	if _, tracked := rec.counts[from]; !tracked && len(rec.counts) >= maxReqCounters {
+		// Cap the per-record requester map: an untracked requester past the
+		// cap is served as a first-time asker but not remembered. Repeat
+		// offenders are by definition already tracked.
+		return 1
+	}
 	rec.counts[from]++
 	return rec.counts[from]
 }
 
 // evictOldestReqSeen removes the least recently touched request record.
 func (p *Protocol) evictOldestReqSeen() {
+	// Pure minimum with an id tie-break, as in the scans above: iteration
+	// order cannot leak into the eviction choice or the emitted event.
 	var victim wire.MsgID
 	var victimAt time.Duration
 	found := false
-	for id, rec := range p.reqSeen {
-		if !found || rec.touched < victimAt {
+	for id, rec := range p.reqSeen { //bbvet:unordered pure minimum with a total order (touch time, then id); no emission until the loop ends
+		if !found || rec.touched < victimAt || (rec.touched == victimAt && id.Less(victim)) {
 			victim, victimAt, found = id, rec.touched, true
 		}
 	}

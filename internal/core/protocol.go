@@ -60,20 +60,40 @@ type msgState struct {
 	dataSig    []byte // originator signature over the data
 	headerSig  []byte // originator signature over the header (gossip proof)
 	receivedAt time.Duration
-	gossiped   bool // advertised at least once since receipt
-	purged     bool // payload dropped; id retained as duplicate-filter tombstone
+	gossiped   bool          // advertised at least once since receipt
+	purged     bool          // payload dropped; id retained as duplicate-filter tombstone
 	purgedAt   time.Duration // when the payload was dropped (quiescence GC input)
 	// holders are the distinct neighbours seen advertising this message
-	// (stability detection input); bounded.
+	// (stability detection input).
+	//bbvet:bounded-by maxHolders noteHolder refuses growth past the cap; total is maxHolders×MaxStore
 	holders map[wire.NodeID]bool
 }
+
+// Per-entry side-table caps. These small maps hang off entries of the
+// capped protocol tables, so the product with the table's own cap bounds the
+// total state an adversary can grow.
+const (
+	// maxHolders caps the distinct advertisers tracked per stored message.
+	// Stability purging needs only "enough distinct confirmations", so
+	// dropping the excess loses nothing.
+	maxHolders = 64
+	// maxMissGossipers caps the distinct gossipers tracked (and asked) per
+	// missing message. Later gossip rounds retry recovery naturally, so
+	// refusing to track a 65th avenue costs only latency under an absurdly
+	// rich neighbourhood.
+	maxMissGossipers = 64
+	// maxReqCounters caps the distinct requesters counted per request
+	// record. A requester beyond the cap is served but not counted; VERBOSE
+	// indictment needs repeat offenders, which by definition are counted.
+	maxReqCounters = 64
+)
 
 // noteHolder records that `from` advertised the message.
 func (st *msgState) noteHolder(from wire.NodeID) {
 	if st.holders == nil {
 		st.holders = make(map[wire.NodeID]bool, 4)
 	}
-	if len(st.holders) < 64 {
+	if len(st.holders) < maxHolders {
 		st.holders[from] = true
 	}
 }
@@ -83,7 +103,8 @@ func (st *msgState) noteHolder(from wire.NodeID) {
 // gossip rounds naturally retry the recovery, so no explicit retry loop is
 // needed.
 type pendingMiss struct {
-	headerSig  []byte
+	headerSig []byte
+	//bbvet:bounded-by maxMissGossipers noteMissing refuses growth past the cap; total is maxMissGossipers×MaxMissing
 	gossipers  map[wire.NodeID]bool
 	cancels    []func()
 	firstHeard time.Duration
@@ -224,6 +245,8 @@ func (p *Protocol) Holds(id wire.MsgID) bool {
 // StoreSize reports the number of held payloads and retained tombstones —
 // the buffer the paper bounds by max_timeout·(n−1)·δ (§3.4.1).
 func (p *Protocol) StoreSize() (held, tombstones int) {
+	// Unsorted range is fine: counting is commutative, so iteration order
+	// cannot leak into the returned totals or anywhere else.
 	for _, st := range p.store {
 		if st.purged {
 			tombstones++
@@ -303,8 +326,9 @@ func (p *Protocol) verify(signer uint32, msg, tag []byte) bool {
 	if p.deps.Obs == nil {
 		return p.deps.Scheme.Verify(signer, msg, tag)
 	}
-	start := time.Now()
+	start := time.Now() //bbvet:wallclock measures real CPU spent verifying; observability-only, never fed back into protocol decisions
 	ok := p.deps.Scheme.Verify(signer, msg, tag)
+	//bbvet:wallclock the verify duration is a wall-clock measurement by design (virtual time is zero here)
 	p.deps.Obs.OnSigVerify(p.deps.Clock.Now(), p.deps.ID, ok, time.Since(start))
 	return ok
 }
@@ -543,6 +567,10 @@ func (p *Protocol) noteMissing(id wire.MsgID, headerSig []byte, gossiper wire.No
 	}
 	if miss.gossipers[gossiper] {
 		return // already being recovered via this gossiper
+	}
+	if len(miss.gossipers) >= maxMissGossipers {
+		// Enough recovery avenues tracked; later gossip rounds retry anyway.
+		return
 	}
 	miss.gossipers[gossiper] = true
 	if p.cfg.EnableFDs {

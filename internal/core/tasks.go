@@ -185,9 +185,15 @@ func (p *Protocol) sampleQueues() {
 // feeds shrinks back to zero under silence.
 func (p *Protocol) purgeTick() {
 	now := p.deps.Clock.Now()
+	// Every loop below walks its table in sorted id order: purging cancels
+	// timers and emits admission events, and neither may happen in Go's
+	// randomized map iteration order or serial and parallel replays of the
+	// same seed would diverge.
+	//
 	// A message advertised but never received is abandoned once its
 	// recovery window passes (everyone else will have purged it too).
-	for id, miss := range p.missing {
+	for _, id := range sortedMsgIDs(p.missing) {
+		miss := p.missing[id]
 		if now-miss.firstHeard > p.cfg.PurgeTimeout {
 			for _, cancel := range miss.cancels {
 				cancel()
@@ -195,7 +201,8 @@ func (p *Protocol) purgeTick() {
 			delete(p.missing, id)
 		}
 	}
-	for id, st := range p.store {
+	for _, id := range sortedMsgIDs(p.store) {
+		st := p.store[id]
 		if st.purged {
 			// Quiescence GC: a tombstone that has outlived its duplicate-filter
 			// window is dropped outright. The price is that a ≥quiescence-old
@@ -227,13 +234,24 @@ func (p *Protocol) purgeTick() {
 		ttl = p.cfg.PurgeTimeout
 	}
 	if ttl > 0 {
-		for id, rec := range p.reqSeen {
-			if now-rec.touched > ttl {
+		for _, id := range sortedMsgIDs(p.reqSeen) {
+			if now-p.reqSeen[id].touched > ttl {
 				delete(p.reqSeen, id)
 				p.observeAdmission(obsv.AdmitReqSeenExpire)
 			}
 		}
 	}
+}
+
+// sortedMsgIDs returns m's keys in ascending (origin, seq) order, for table
+// walks whose bodies emit events or touch timers.
+func sortedMsgIDs[V any](m map[wire.MsgID]V) []wire.MsgID {
+	ids := make([]wire.MsgID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	return ids
 }
 
 // stable reports whether enough distinct neighbours advertised the message
@@ -399,13 +417,21 @@ func (p *Protocol) isOverlayNeighbor(id wire.NodeID) bool {
 
 // overlayNeighbors returns OL(1,p): the usable overlay neighbours, sorted.
 func (p *Protocol) overlayNeighbors() []wire.NodeID {
+	// Sorted iteration, not sort-after-filter: level() folds expired
+	// suspicions lazily and can emit raise/clear transitions, so the filter
+	// itself must run in id order.
+	ids := make([]wire.NodeID, 0, len(p.neighbors))
+	for id := range p.neighbors {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	out := make([]wire.NodeID, 0, 8)
-	for id, nb := range p.neighbors {
+	for _, id := range ids {
+		nb := p.neighbors[id]
 		if nb.admitted() && nb.state != nil && nb.state.Active && p.level(id) != fd.Untrusted {
 			out = append(out, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -1,3 +1,5 @@
+//bbvet:wallclock RealClock is the production wall-clock Clock implementation; everything deterministic goes through SimClock
+
 // Package env defines the small runtime interface the protocol stack needs
 // from its host — a clock and timers — so the same code runs inside the
 // deterministic simulator and over a real transport.

@@ -159,11 +159,25 @@ func (c *counterSet) count(id wire.NodeID) int {
 
 func (c *counterSet) suspects() []wire.NodeID {
 	out := make([]wire.NodeID, 0, len(c.until))
-	for id := range c.until {
+	// Iterate in id order: suspected() emits clear events through onChange
+	// when an entry has expired, and those must not fire in map order.
+	for _, id := range sortedKeys(c.until) {
 		if c.suspected(id) {
 			out = append(out, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// sortedKeys returns m's keys in ascending id order. The detectors touch
+// suspicion state only in sorted order wherever a callback (and hence an
+// observer emission) can fire, so Go's randomized map iteration never leaks
+// into the event trace.
+func sortedKeys[V any](m map[wire.NodeID]V) []wire.NodeID {
+	ids := make([]wire.NodeID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }

@@ -124,7 +124,9 @@ func (m *Mute) sweep() {
 		// overlay neighbours forwarded, they are all suspected (only
 		// genuinely mute nodes stay suspected once good ones fulfil later
 		// expectations and counters age).
-		for id := range e.waiting {
+		// Sorted: bump can raise a suspicion, and the OnSuspect emissions
+		// must not depend on map iteration order.
+		for _, id := range sortedKeys(e.waiting) {
 			m.set.bump(id, 1)
 		}
 	}

@@ -155,7 +155,9 @@ func (t *Trust) Reason(id wire.NodeID) (Reason, bool) {
 // These are what the node advertises in its overlay-state Suspects list.
 func (t *Trust) Suspects() []wire.NodeID {
 	seen := make(map[wire.NodeID]bool)
-	for id := range t.direct {
+	// Sorted: Level folds expired suspicions lazily and can emit raise/clear
+	// transitions, so it must not run in map iteration order.
+	for _, id := range sortedKeys(t.direct) {
 		if t.Level(id) == Untrusted {
 			seen[id] = true
 		}

@@ -1,3 +1,5 @@
+//bbvet:wallclock benchmark harness: measures real elapsed wall time and allocator counters around deterministic runs
+
 package runner
 
 import (
@@ -31,10 +33,10 @@ type BenchReport struct {
 	NumCPU     int    `json:"num_cpu"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 
-	Scenario   string `json:"scenario"`
-	N          int    `json:"n"`
+	Scenario   string  `json:"scenario"`
+	N          int     `json:"n"`
 	DurationS  float64 `json:"sim_duration_s"`
-	Replicates int    `json:"replicates"`
+	Replicates int     `json:"replicates"`
 
 	// Serial is the -parallel 1 arm; Parallel uses ParallelWorkers workers.
 	Serial   BenchArm `json:"serial"`

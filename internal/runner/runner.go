@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -515,7 +516,15 @@ func Run(sc Scenario) (Result, error) {
 }
 
 func distrustsAnAdversary(p *core.Protocol, behaviors map[wire.NodeID]byzantine.Behavior) bool {
-	for advID := range behaviors {
+	// Sorted: Level can emit suspicion transitions (lazy expiry), and the
+	// early return below would otherwise make even the emitted *set* depend
+	// on map iteration order.
+	ids := make([]wire.NodeID, 0, len(behaviors))
+	for id := range behaviors {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, advID := range ids {
 		if p.Trust().Level(advID) != fd.Trusted {
 			return true
 		}

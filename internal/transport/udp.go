@@ -1,3 +1,5 @@
+//bbvet:wallclock live transport: socket deadlines, RealClock and seed entropy are wall-clock by nature
+
 // Package transport runs the broadcast protocol over real UDP datagrams.
 //
 // A UDPNode emulates the radio's one-hop broadcast by sending each frame to
@@ -8,6 +10,8 @@
 package transport
 
 import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"expvar"
 	"fmt"
@@ -42,6 +46,25 @@ var readBufs = sync.Pool{
 		b := make([]byte, maxDatagram)
 		return &b
 	},
+}
+
+// randSeed produces the seed for a live node's protocol RNG. Tests that need
+// reproducible live nodes may swap it; production uses the OS entropy pool.
+// The previous time.Now().UnixNano()^id<<32 seed was predictable (an attacker
+// who can bound the start instant can enumerate it, and with it every gossip
+// jitter and forwarding delay the node will ever pick) and collided outright
+// for nodes created in the same nanosecond, correlating their backoff.
+var randSeed = secureSeed
+
+// secureSeed draws a 64-bit seed from crypto/rand; it panics if the OS
+// entropy source is unusable, matching crypto/rand's own contract — a live
+// node with predictable jitter is worse than one that fails to start.
+func secureSeed() int64 {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("transport: cannot seed RNG: %v", err))
+	}
+	return int64(binary.LittleEndian.Uint64(b[:]))
 }
 
 // UDPNode hosts one protocol instance over a UDP socket.
@@ -126,7 +149,7 @@ func NewUDPNode(cfg core.Config, id wire.NodeID, scheme sig.Scheme, listen strin
 		Clock:  clock,
 		Send:   n.send,
 		Scheme: scheme,
-		Rand:   rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(id)<<32)),
+		Rand:   rand.New(rand.NewSource(randSeed())),
 		Obs:    n.obs,
 		Deliver: func(origin wire.NodeID, msgID wire.MsgID, payload []byte) {
 			if n.deliver != nil {
