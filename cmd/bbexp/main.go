@@ -1,5 +1,5 @@
 // Command bbexp regenerates the paper-reproduction experiment tables
-// (DESIGN.md E1–E14 and ablations A1–A9).
+// (DESIGN.md E1–E15 and ablations A1–A9).
 //
 // Usage:
 //

@@ -54,6 +54,7 @@ func run(args []string) error {
 
 		overlayKind = fs.String("overlay", "mis+b", "overlay maintainer: cds | mis+b")
 		noFD        = fs.Bool("no-fd", false, "disable the failure detectors")
+		noAdapt     = fs.Bool("no-adapt", false, "disable adaptive timing and bounded retransmission (static timers, no retry chain)")
 		ed25519     = fs.Bool("ed25519", false, "use real Ed25519 signatures")
 
 		mute       = fs.Int("mute", 0, "mute Byzantine nodes")
@@ -96,6 +97,10 @@ func run(args []string) error {
 	sc.Workload.End = *duration - *drain
 	sc.Duration = *duration
 	sc.Core.EnableFDs = !*noFD
+	if *noAdapt {
+		sc.Core.AdaptiveTiming = false
+		sc.Core.RetryMaxAttempts = 0
+	}
 	sc.SnapshotSVG = *svg
 	if *noInv {
 		sc.Invariants = bbcast.InvariantConfig{}

@@ -27,6 +27,10 @@ var RegisteredCaps = []struct{ Struct, Field, Cap string }{
 	{"Protocol", "missing", "MaxMissing"},
 	{"Protocol", "neighbors", "MaxNeighbors"},
 	{"Protocol", "reqSeen", "MaxReqSeen"},
+	// linkQual entries are created only for senders present in the neighbour
+	// table and deleted alongside neighbour expiry/eviction, so MaxNeighbors
+	// bounds both tables.
+	{"Protocol", "linkQual", "MaxNeighbors"},
 }
 
 // Analyzer is the bounded-state pass.

@@ -21,6 +21,7 @@ type Protocol struct {
 	missing   map[int]int
 	neighbors map[int]int
 	reqSeen   map[int]int
+	linkQual  map[int]int // registered: shares Config.MaxNeighbors with neighbors
 
 	//bbvet:bounded-by maxSide fixture: insertion refuses growth past the cap
 	side map[int]int

@@ -14,4 +14,5 @@ type Protocol struct {
 	store     map[int]int
 	missing   map[int]int // want `registered against Config\.MaxMissing, but that cap field does not exist`
 	neighbors map[int]int
+	linkQual  map[int]int
 }

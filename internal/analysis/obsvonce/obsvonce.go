@@ -61,6 +61,10 @@ var EmissionSources = map[string][]string{
 		"bbcast/internal/core.Protocol.observeAdmission",
 		"bbcast/internal/transport.UDPNode.readLoop",
 	},
+	// adaptation: the adaptive timer controller's commit choke point.
+	"OnAdaptation": {"bbcast/internal/core.Protocol.observeAdaptation"},
+	// retry: the bounded-retransmission reporter.
+	"OnRetry": {"bbcast/internal/core.Protocol.observeRetry"},
 }
 
 // Analyzer is the exactly-once emission pass.

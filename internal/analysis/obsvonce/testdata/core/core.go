@@ -64,3 +64,26 @@ func (l loud) OnInject(at time.Duration, node wire.NodeID, id wire.MsgID) {
 	l.Observer.OnInject(at, node, id)
 	l.Observer.OnAccept(at, node, id, nil) // want `obsv\.Observer\.OnAccept emitted outside its designated source`
 }
+
+// Protocol mirrors the real protocol's adaptive-timing chokepoints:
+// observeAdaptation and observeRetry are the designated sources for
+// OnAdaptation and OnRetry.
+type Protocol struct {
+	deps Deps
+}
+
+func (p *Protocol) observeAdaptation(at time.Duration, timer obsv.AdaptiveTimer, old, new time.Duration) {
+	p.deps.Obs.OnAdaptation(at, p.deps.ID, timer, old, new) // designated source: allowed
+}
+
+func (p *Protocol) observeRetry(at time.Duration, id wire.MsgID, attempt int, abandoned bool) {
+	p.deps.Obs.OnRetry(at, p.deps.ID, id, attempt, abandoned) // designated source: allowed
+}
+
+// adaptTimers must route timer changes through observeAdaptation, not emit
+// directly.
+func (p *Protocol) adaptTimers(at time.Duration) {
+	p.observeAdaptation(at, obsv.TimerGossip, time.Second, time.Second/2)
+	p.deps.Obs.OnAdaptation(at, p.deps.ID, obsv.TimerMute, 0, 0) // want `obsv\.Observer\.OnAdaptation emitted outside its designated source`
+	p.deps.Obs.OnRetry(at, p.deps.ID, wire.MsgID{}, 1, false)    // want `obsv\.Observer\.OnRetry emitted outside its designated source`
+}

@@ -120,6 +120,7 @@ func (p *Protocol) enforceNeighborCap() {
 			return
 		}
 		delete(p.neighbors, victim)
+		delete(p.linkQual, victim)
 		p.stats.Evictions++
 		p.observeAdmission(obsv.AdmitNeighborEvict)
 	}

@@ -127,6 +127,39 @@ type Config struct {
 	// unbounded.
 	GossipMaxEntriesRx int
 
+	// AdaptiveTiming gates the link-quality estimator and the AIMD timer
+	// control it drives: with it on, each node scores its neighbours by
+	// observed-vs-expected gossip arrivals and moves the gossip period and
+	// the MUTE expectation timeout between their configured bounds (faster
+	// gossip and a more patient detector under loss, nominal values when the
+	// channel recovers). With it off the timers are static (the E15 baseline
+	// arm).
+	AdaptiveTiming bool
+	// GossipIntervalMin and GossipIntervalMax are the hard bounds of the
+	// adaptive gossip period (defaults: GossipInterval/4 and 2×GossipInterval
+	// when zero). The adaptation never leaves [Min, Max]; the invariant
+	// checker's timer-bounds probe enforces this.
+	GossipIntervalMin time.Duration
+	GossipIntervalMax time.Duration
+	// MuteTimeoutMin and MuteTimeoutMax are the hard bounds of the adaptive
+	// MUTE expectation timeout (defaults: Mute.Timeout and 4×Mute.Timeout
+	// when zero).
+	MuteTimeoutMin time.Duration
+	MuteTimeoutMax time.Duration
+
+	// RetryMaxAttempts caps the explicit retransmission chain per missing
+	// message: after the first request fires without the data arriving, up to
+	// this many further requests are sent with exponential backoff before the
+	// node gives up and leaves recovery to later gossip rounds. Zero or
+	// negative disables the chain (the pre-ISSUE-6 behaviour).
+	RetryMaxAttempts int
+	// RetryBackoffBase is the delay before the first retransmission; each
+	// further attempt doubles it (defaults to RequestDelay when zero).
+	RetryBackoffBase time.Duration
+	// RetryBackoffMax caps the exponential backoff (defaults to
+	// 8×RetryBackoffBase when zero).
+	RetryBackoffMax time.Duration
+
 	// EnableFDs gates the failure detectors; with them off the protocol
 	// still recovers via gossip but never evicts Byzantine overlay nodes
 	// (ablation arm of experiment E4).
@@ -176,6 +209,15 @@ func DefaultConfig() Config {
 		PiggybackState:      true,
 		Overlay:             overlay.MISB,
 
+		// Adaptive timing on by default: under clean channels the estimator
+		// stays above its degradation threshold and the timers never move, so
+		// the behaviour (and the RNG draw schedule) matches the static
+		// configuration exactly.
+		AdaptiveTiming:   true,
+		RetryMaxAttempts: 3,
+		RetryBackoffBase: 800 * time.Millisecond,
+		RetryBackoffMax:  6400 * time.Millisecond,
+
 		EnableFDs: true,
 		Mute: fd.MuteConfig{
 			Timeout:      1500 * time.Millisecond,
@@ -195,4 +237,38 @@ func DefaultConfig() Config {
 
 		DeliverOwn: true,
 	}
+}
+
+// GossipBounds returns the effective adaptive gossip-period bounds, filling
+// the documented defaults for zero fields. Both the protocol's AIMD step and
+// the invariant checker's timer-bounds probe use this, so they can never
+// disagree about what "in bounds" means.
+func (c *Config) GossipBounds() (min, max time.Duration) {
+	min, max = c.GossipIntervalMin, c.GossipIntervalMax
+	if min <= 0 {
+		min = c.GossipInterval / 4
+	}
+	if max <= 0 {
+		max = 2 * c.GossipInterval
+	}
+	if max < min {
+		max = min
+	}
+	return min, max
+}
+
+// MuteTimeoutBounds returns the effective adaptive MUTE-timeout bounds,
+// filling the documented defaults for zero fields.
+func (c *Config) MuteTimeoutBounds() (min, max time.Duration) {
+	min, max = c.MuteTimeoutMin, c.MuteTimeoutMax
+	if min <= 0 {
+		min = c.Mute.Timeout
+	}
+	if max <= 0 {
+		max = 4 * c.Mute.Timeout
+	}
+	if max < min {
+		max = min
+	}
+	return min, max
 }

@@ -158,7 +158,8 @@ func TestQuickAcceptOncePerInterleaving(t *testing.T) {
 }
 
 // Property: arbitrary gossip batches never cause more requests than
-// distinct (message, gossiper) pairs.
+// distinct (message, gossiper) pairs, plus the bounded retransmission
+// budget of RetryMaxAttempts per distinct missing message.
 func TestQuickRequestsBoundedByGossipPairs(t *testing.T) {
 	f := func(entries []uint16) bool {
 		if len(entries) > 40 {
@@ -168,6 +169,7 @@ func TestQuickRequestsBoundedByGossipPairs(t *testing.T) {
 		h := newHarness(t, 0, cfg)
 		defer h.p.Stop()
 		pairs := map[[2]uint32]bool{}
+		ids := map[wire.MsgID]bool{}
 		for _, e := range entries {
 			origin := wire.NodeID(e%4 + 1)
 			seq := wire.Seq(e / 4 % 8)
@@ -177,9 +179,14 @@ func TestQuickRequestsBoundedByGossipPairs(t *testing.T) {
 			}
 			h.p.HandlePacket(h.gossipFrom(gossiper, wire.MsgID{Origin: origin, Seq: seq}))
 			pairs[[2]uint32{uint32(origin)<<16 | uint32(seq), uint32(gossiper)}] = true
+			ids[wire.MsgID{Origin: origin, Seq: seq}] = true
 		}
-		h.run(cfg.RequestDelay*3 + time.Second)
-		return int(h.p.Stats().RequestsSent) <= len(pairs)
+		h.run(cfg.RequestDelay*3 + cfg.RetryBackoffMax*time.Duration(cfg.RetryMaxAttempts+1) + time.Second)
+		st := h.p.Stats()
+		if int(st.RetriesSent) > len(ids)*cfg.RetryMaxAttempts {
+			return false // retry budget exceeded
+		}
+		return int(st.RequestsSent-st.RetriesSent) <= len(pairs)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)

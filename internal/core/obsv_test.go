@@ -88,6 +88,14 @@ func (r *recObserver) OnAdmission(at time.Duration, node wire.NodeID, event obsv
 	r.log("admit %s %d %s", at, node, event)
 }
 
+func (r *recObserver) OnAdaptation(at time.Duration, node wire.NodeID, timer obsv.AdaptiveTimer, old, new time.Duration) {
+	r.log("adapt %s %d %s %s→%s", at, node, timer, old, new)
+}
+
+func (r *recObserver) OnRetry(at time.Duration, node wire.NodeID, id wire.MsgID, attempt int, abandoned bool) {
+	r.log("retry %s %d %v %d %v", at, node, id, attempt, abandoned)
+}
+
 // newObsHarness is newHarness with an observer attached.
 func newObsHarness(t *testing.T, selfID wire.NodeID, cfg Config, obs obsv.Observer) *harness {
 	t.Helper()

@@ -99,15 +99,19 @@ func (st *msgState) noteHolder(from wire.NodeID) {
 }
 
 // pendingMiss tracks a message known (from gossip) but not yet received.
-// Every distinct gossiper is asked once (after RequestDelay); subsequent
-// gossip rounds naturally retry the recovery, so no explicit retry loop is
-// needed.
+// Every distinct gossiper is asked once (after RequestDelay); beyond that, a
+// bounded retransmission chain re-requests with exponential backoff up to
+// RetryMaxAttempts times (rotating through the known gossipers) before
+// giving up explicitly — after which subsequent gossip rounds still retry
+// the recovery naturally.
 type pendingMiss struct {
 	headerSig []byte
 	//bbvet:bounded-by maxMissGossipers noteMissing refuses growth past the cap; total is maxMissGossipers×MaxMissing
-	gossipers  map[wire.NodeID]bool
+	gossipers  map[wire.NodeID]int // advertiser → requests sent to it so far
 	cancels    []func()
 	firstHeard time.Duration
+	attempts   int  // retransmissions sent so far (first requests excluded)
+	retryArmed bool // the retransmission chain has been started
 }
 
 // neighborState is what we know about one direct neighbour. It doubles as
@@ -129,17 +133,20 @@ func (n *neighborState) admitted() bool { return n.hits >= 2 }
 
 // Stats counts protocol-level events for analysis.
 type Stats struct {
-	Accepted        uint64
-	Duplicates      uint64
-	BadSignatures   uint64
-	Forwarded       uint64
-	GossipsSent     uint64
-	RequestsSent    uint64
-	FindsSent       uint64
-	RecoveredByData uint64 // requests answered with data by this node
-	RateLimited     uint64 // packets shed by the per-sender admission bucket
-	DedupSkips      uint64 // signature verifications avoided by byte-equal dedup
-	Evictions       uint64 // state entries evicted/rejected to stay under caps
+	Accepted         uint64
+	Duplicates       uint64
+	BadSignatures    uint64
+	Forwarded        uint64
+	GossipsSent      uint64
+	RequestsSent     uint64
+	FindsSent        uint64
+	RecoveredByData  uint64 // requests answered with data by this node
+	RateLimited      uint64 // packets shed by the per-sender admission bucket
+	DedupSkips       uint64 // signature verifications avoided by byte-equal dedup
+	Evictions        uint64 // state entries evicted/rejected to stay under caps
+	Adaptations      uint64 // committed adaptive-timer changes
+	RetriesSent      uint64 // explicit retransmissions of missing-message requests
+	RetriesAbandoned uint64 // retransmission chains that hit the attempt cap
 }
 
 // Protocol is one node's instance of the Byzantine broadcast protocol.
@@ -152,7 +159,15 @@ type Protocol struct {
 	store   map[wire.MsgID]*msgState
 	missing map[wire.MsgID]*pendingMiss
 
-	neighbors   map[wire.NodeID]*neighborState
+	neighbors map[wire.NodeID]*neighborState
+	// linkQual is the per-neighbour link-quality estimator; entries are
+	// created only for senders present in the neighbour table and deleted
+	// alongside neighbour expiry/eviction, so the same cap bounds both.
+	linkQual map[wire.NodeID]*linkEstimate
+	// gossipPeriod is the current (possibly adapted) lazycast period; the
+	// gossip scheduler re-reads it every round.
+	gossipPeriod time.Duration
+
 	role        overlay.Role
 	roleCand    overlay.Role
 	roleRun     int
@@ -174,14 +189,16 @@ type Protocol struct {
 // maintenance, purge). Call Stop to halt them.
 func New(cfg Config, deps Deps) *Protocol {
 	p := &Protocol{
-		cfg:       cfg,
-		deps:      deps,
-		store:     make(map[wire.MsgID]*msgState),
-		missing:   make(map[wire.MsgID]*pendingMiss),
-		neighbors: make(map[wire.NodeID]*neighborState),
-		role:      overlay.Passive,
-		maint:     overlay.New(cfg.Overlay),
-		reqSeen:   make(map[wire.MsgID]*reqRecord),
+		cfg:          cfg,
+		deps:         deps,
+		store:        make(map[wire.MsgID]*msgState),
+		missing:      make(map[wire.MsgID]*pendingMiss),
+		neighbors:    make(map[wire.NodeID]*neighborState),
+		linkQual:     make(map[wire.NodeID]*linkEstimate),
+		gossipPeriod: cfg.GossipInterval,
+		role:         overlay.Passive,
+		maint:        overlay.New(cfg.Overlay),
+		reqSeen:      make(map[wire.MsgID]*reqRecord),
 	}
 	now := deps.Clock.Now
 	p.mute = fd.NewMute(now, cfg.Mute)
@@ -200,7 +217,11 @@ func New(cfg Config, deps Deps) *Protocol {
 		}
 	}
 
-	p.schedulePeriodic(cfg.GossipInterval, cfg.GossipJitter, p.gossipTick)
+	if cfg.GossipInterval > 0 {
+		// The gossip period is dynamic: the adaptive controller rewrites
+		// p.gossipPeriod and the scheduler re-reads it each round.
+		p.schedulePeriodicFunc(func() time.Duration { return p.gossipPeriod }, cfg.GossipJitter, p.gossipTick)
+	}
 	p.schedulePeriodic(cfg.MaintenanceInterval, cfg.MaintenanceJitter, p.maintenanceTick)
 	if cfg.PurgeInterval > 0 {
 		p.schedulePeriodic(cfg.PurgeInterval, 0, p.purgeTick)
@@ -236,6 +257,17 @@ func (p *Protocol) Trust() *fd.Trust { return p.trust }
 // NeighborCount reports the current neighbour-table size.
 func (p *Protocol) NeighborCount() int { return len(p.neighbors) }
 
+// GossipPeriod reports the current (possibly adapted) lazycast period.
+func (p *Protocol) GossipPeriod() time.Duration { return p.gossipPeriod }
+
+// MuteTimeout reports the current (possibly adapted) MUTE expectation
+// timeout.
+func (p *Protocol) MuteTimeout() time.Duration { return p.mute.Timeout() }
+
+// LinkQualCount reports the number of tracked link-quality estimator entries
+// (test and invariant input).
+func (p *Protocol) LinkQualCount() int { return len(p.linkQual) }
+
 // Holds reports whether the node has (unpurged) message id.
 func (p *Protocol) Holds(id wire.MsgID) bool {
 	st, ok := p.store[id]
@@ -261,13 +293,22 @@ func (p *Protocol) schedulePeriodic(period, jitter time.Duration, fn func()) {
 	if period <= 0 {
 		return
 	}
+	p.schedulePeriodicFunc(func() time.Duration { return period }, jitter, fn)
+}
+
+// schedulePeriodicFunc is schedulePeriodic with the period re-read each
+// round, so adaptive timers take effect from the next reschedule.
+func (p *Protocol) schedulePeriodicFunc(period func() time.Duration, jitter time.Duration, fn func()) {
 	stopped := false
 	var cancel func()
 	var schedule func()
 	schedule = func() {
-		d := period
+		d := period()
 		if jitter > 0 {
 			d += time.Duration(p.deps.Rand.Int63n(int64(2*jitter))) - jitter
+		}
+		if d <= 0 {
+			d = 1
 		}
 		cancel = p.deps.Clock.After(d, func() {
 			if stopped || p.stopped {
@@ -505,6 +546,7 @@ func (p *Protocol) forwardData(id wire.MsgID, st *msgState, ttl uint8, target wi
 // advertisement whose signature byte-matches one we already verified (held
 // message or pending recovery) skips re-verification entirely.
 func (p *Protocol) handleGossip(pkt *wire.Packet) {
+	p.noteGossipArrival(pkt.Sender)
 	entries := pkt.Gossip
 	if max := p.cfg.GossipMaxEntriesRx; max > 0 && len(entries) > max {
 		entries = entries[:max]
@@ -560,19 +602,19 @@ func (p *Protocol) noteMissing(id wire.MsgID, headerSig []byte, gossiper wire.No
 		}
 		miss = &pendingMiss{
 			headerSig:  headerSig,
-			gossipers:  make(map[wire.NodeID]bool, 4),
+			gossipers:  make(map[wire.NodeID]int, 4),
 			firstHeard: p.deps.Clock.Now(),
 		}
 		p.missing[id] = miss
 	}
-	if miss.gossipers[gossiper] {
+	if _, tracked := miss.gossipers[gossiper]; tracked {
 		return // already being recovered via this gossiper
 	}
 	if len(miss.gossipers) >= maxMissGossipers {
 		// Enough recovery avenues tracked; later gossip rounds retry anyway.
 		return
 	}
-	miss.gossipers[gossiper] = true
+	miss.gossipers[gossiper] = 0
 	if p.cfg.EnableFDs {
 		// Line 28: the gossiper must be able to supply the message.
 		p.mute.Expect(fd.ExpectKey{Kind: wire.KindData, ID: id}, []wire.NodeID{gossiper}, fd.ExpectAny)
@@ -603,6 +645,7 @@ func (p *Protocol) scheduleRequest(id wire.MsgID, miss *pendingMiss, gossiper wi
 			return
 		}
 		p.stats.RequestsSent++
+		miss.gossipers[gossiper]++
 		// Line 32: one-hop request addressed to the gossiper; overlay
 		// neighbours answer too.
 		p.send(&wire.Packet{
@@ -613,6 +656,9 @@ func (p *Protocol) scheduleRequest(id wire.MsgID, miss *pendingMiss, gossiper wi
 			Seq:    id.Seq,
 			Sig:    miss.headerSig,
 		})
+		// The data did not arrive by itself: beyond the per-gossiper first
+		// requests, start the bounded retransmission chain (once per entry).
+		p.armRetries(id, miss)
 	})
 	miss.cancels = append(miss.cancels, cancel)
 }

@@ -313,11 +313,13 @@ func TestDataArrivalCancelsPendingRequest(t *testing.T) {
 }
 
 func TestOneRequestPerGossiper(t *testing.T) {
-	// Each distinct gossiper of a missing message is asked exactly once;
-	// re-hearing the same gossiper does not re-request (periodic gossip
-	// rounds are the retry mechanism and each new gossiper is a new
-	// recovery avenue).
+	// With the retransmission chain disabled, each distinct gossiper of a
+	// missing message is asked exactly once; re-hearing the same gossiper
+	// does not re-request (periodic gossip rounds are the retry mechanism
+	// and each new gossiper is a new recovery avenue). The retry-enabled
+	// behaviour is covered in adaptive_test.go.
 	cfg := testConfig()
+	cfg.RetryMaxAttempts = 0
 	h := newHarness(t, 0, cfg)
 	id := wire.MsgID{Origin: 1, Seq: 7}
 	h.p.HandlePacket(h.gossipFrom(2, id))

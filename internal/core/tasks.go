@@ -119,6 +119,7 @@ func (p *Protocol) registerGossip(id wire.MsgID, st *msgState, headerSig []byte)
 // (as its own packet unless it piggybacks on gossip).
 func (p *Protocol) maintenanceTick() {
 	p.expireNeighbors()
+	p.adaptTimers()
 	view := p.buildView()
 	next := p.maint.Decide(view)
 	switch {
@@ -175,6 +176,7 @@ func (p *Protocol) sampleQueues() {
 	obs.OnQueueDepth(at, id, obsv.QueueNeighbors, len(p.neighbors))
 	obs.OnQueueDepth(at, id, obsv.QueueExpectations, p.mute.PendingExpectations())
 	obs.OnQueueDepth(at, id, obsv.QueueReqSeen, len(p.reqSeen))
+	obs.OnQueueDepth(at, id, obsv.QueueLinkQual, len(p.linkQual))
 }
 
 // purgeTick drops payloads past the retention window — or, with stability
@@ -303,6 +305,7 @@ func (p *Protocol) expireNeighbors() {
 	for id, nb := range p.neighbors {
 		if now-nb.lastHeard > p.cfg.NeighborTTL {
 			delete(p.neighbors, id)
+			delete(p.linkQual, id)
 		}
 	}
 }

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"time"
+
+	"bbcast/internal/faultplan"
+	"bbcast/internal/runner"
+)
+
+// E15HostileLinks crosses hostile-link conditions (Gilbert–Elliott burst
+// loss, delivery jitter, asymmetric degradation, plus an equivocating
+// adversary on top) with the timing mode: the adaptive arm runs the full
+// ISSUE-6 layer (link-quality-driven AIMD timers + bounded retransmission),
+// the static arm pins the pre-adaptive behaviour (fixed timers, no
+// retransmission chain). The invariant checker runs on every arm with the
+// timer-bounds probe armed, so "violations 0" certifies both agreement and
+// that the adaptive timers never left their configured bounds. The headline
+// is graceful degradation: under burst loss the adaptive arm holds delivery
+// where the static baseline collapses.
+func E15HostileLinks(c Config) Table {
+	t := Table{
+		ID:     "E15",
+		Title:  "hostile links: adaptive vs static timing under burst loss, jitter and asymmetry",
+		Params: "n=75, GE blackout bursts ~2s, ~74% mean loss, invariants + timer bounds on",
+		Header: []string{"condition", "timing", "delivery", "lat-p95(ms)", "adaptations", "retries", "abandoned", "violations"},
+	}
+	type condition struct {
+		label  string
+		events []faultplan.Kind
+		equiv  bool
+	}
+	conds := []condition{
+		{"clean", nil, false},
+		{"burst-loss", []faultplan.Kind{faultplan.BurstLoss}, false},
+		{"burst+jitter", []faultplan.Kind{faultplan.BurstLoss, faultplan.Jitter}, false},
+		{"burst+asym", []faultplan.Kind{faultplan.BurstLoss, faultplan.AsymDegrade}, false},
+		{"burst+jitter+equiv", []faultplan.Kind{faultplan.BurstLoss, faultplan.Jitter}, true},
+	}
+	if c.Quick {
+		conds = conds[:2]
+	}
+	for _, cond := range conds {
+		for _, adaptive := range []bool{true, false} {
+			sc := c.base()
+			sc.N = 75
+			sc.Core.AdaptiveTiming = adaptive
+			if !adaptive {
+				// The static baseline is the pre-adaptive protocol: fixed
+				// timers and no retransmission chain.
+				sc.Core.RetryMaxAttempts = 0
+			}
+			if len(cond.events) > 0 {
+				sc.FaultPlan = &faultplan.Plan{Events: hostileEvents(sc, cond.events)}
+			}
+			if cond.equiv {
+				sc.Adversaries = []runner.Adversaries{{Kind: runner.AdvEquivocate, Count: 2}}
+			}
+			res := c.run(sc)
+			label := "static"
+			if adaptive {
+				label = "adaptive"
+			}
+			t.Rows = append(t.Rows, []string{
+				cond.label, label,
+				f3(res.DeliveryRatio), ms(res.LatP95),
+				u64(res.Node.Adaptations), u64(res.Node.RetriesSent),
+				u64(res.Node.RetriesAbandoned), itoa(len(res.Violations)),
+			})
+		}
+	}
+	return t
+}
+
+// hostileEvents builds the fault-plan events for one E15 condition: each
+// requested hostile-link kind switches on shortly after the workload starts
+// and stays hostile through the drain — recovery has to happen over the bad
+// channel, not on a conveniently clean tail.
+func hostileEvents(sc runner.Scenario, kinds []faultplan.Kind) []faultplan.Event {
+	start := sc.Workload.Start + 5*time.Second
+	dur := sc.Duration - start
+	var out []faultplan.Event
+	for _, k := range kinds {
+		e := faultplan.Event{At: start, Kind: k, Duration: dur}
+		switch k {
+		case faultplan.BurstLoss:
+			e.LossFactor = 1
+			e.MeanBad = 2 * time.Second
+			e.MeanGood = 700 * time.Millisecond
+		case faultplan.Jitter:
+			e.MaxJitter = 80 * time.Millisecond
+		case faultplan.AsymDegrade:
+			e.LossFactor = 0.3
+		}
+		out = append(out, e)
+	}
+	return out
+}

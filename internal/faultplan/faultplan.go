@@ -42,11 +42,26 @@ const (
 	// Heal removes the current partition.
 	Heal Kind = "heal"
 	// DegradeRadio adds LossFactor per-reception loss for Duration.
+	// Overlapping windows stack (independent drop chances).
 	DegradeRadio Kind = "degrade-radio"
 	// SwapBehavior replaces Node's behaviour with Behavior (byzantine.Make
 	// vocabulary: correct, mute, mute-silent, verbose, tamper,
 	// selective-drop, equivocate).
 	SwapBehavior Kind = "swap-behavior"
+	// BurstLoss installs a per-link Gilbert–Elliott bursty-loss model for
+	// Duration: links flip between a good state and a bad state (mean dwell
+	// times MeanGood/MeanBad); receptions in the bad state drop with
+	// probability LossFactor.
+	BurstLoss Kind = "burst-loss"
+	// Jitter defers each delivery by a uniform draw in [0,MaxJitter) for
+	// Duration.
+	Jitter Kind = "jitter"
+	// Duplicate delivers each successful reception twice with probability
+	// DupProb, for Duration.
+	Duplicate Kind = "duplicate"
+	// AsymDegrade degrades each ordered link by a static, direction-dependent
+	// extra loss up to LossFactor (severity), for Duration.
+	AsymDegrade Kind = "asym-degrade"
 )
 
 // Event is one scheduled fault.
@@ -59,12 +74,22 @@ type Event struct {
 	Node wire.NodeID
 	// Groups are the partition groups for partition events.
 	Groups [][]wire.NodeID
-	// LossFactor is the additional loss probability for degrade-radio.
+	// LossFactor is the additional loss probability for degrade-radio, the
+	// bad-state loss probability for burst-loss, and the severity for
+	// asym-degrade.
 	LossFactor float64
-	// Duration is how long a degrade-radio event lasts.
+	// Duration is how long a windowed event (degrade-radio, burst-loss,
+	// jitter, duplicate, asym-degrade) lasts.
 	Duration time.Duration
 	// Behavior names the new behaviour for swap-behavior events.
 	Behavior string
+	// MeanBad and MeanGood are the Gilbert–Elliott dwell times for
+	// burst-loss events.
+	MeanBad, MeanGood time.Duration
+	// MaxJitter is the delivery-latency bound for jitter events.
+	MaxJitter time.Duration
+	// DupProb is the duplication probability for duplicate events.
+	DupProb float64
 }
 
 // Name renders a short identifier for the event, used as its epoch name,
@@ -81,6 +106,14 @@ func (e Event) Name() string {
 		return fmt.Sprintf("degrade-radio(%.2f,%s)", e.LossFactor, e.Duration)
 	case SwapBehavior:
 		return fmt.Sprintf("swap(%d→%s)", e.Node, e.Behavior)
+	case BurstLoss:
+		return fmt.Sprintf("burst-loss(%.2f,%s/%s,%s)", e.LossFactor, e.MeanBad, e.MeanGood, e.Duration)
+	case Jitter:
+		return fmt.Sprintf("jitter(%s,%s)", e.MaxJitter, e.Duration)
+	case Duplicate:
+		return fmt.Sprintf("duplicate(%.2f,%s)", e.DupProb, e.Duration)
+	case AsymDegrade:
+		return fmt.Sprintf("asym-degrade(%.2f,%s)", e.LossFactor, e.Duration)
 	default:
 		return string(e.Kind)
 	}
@@ -96,12 +129,16 @@ type eventJSON struct {
 	LossFactor float64         `json:"lossFactor,omitempty"`
 	Duration   string          `json:"duration,omitempty"`
 	Behavior   string          `json:"behavior,omitempty"`
+	MeanBad    string          `json:"meanBad,omitempty"`
+	MeanGood   string          `json:"meanGood,omitempty"`
+	MaxJitter  string          `json:"maxJitter,omitempty"`
+	DupProb    float64         `json:"dupProb,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler.
 func (e Event) MarshalJSON() ([]byte, error) {
 	j := eventJSON{At: e.At.String(), Kind: e.Kind, Groups: e.Groups,
-		LossFactor: e.LossFactor, Behavior: e.Behavior}
+		LossFactor: e.LossFactor, Behavior: e.Behavior, DupProb: e.DupProb}
 	switch e.Kind {
 	case Crash, Recover, SwapBehavior:
 		node := e.Node
@@ -109,6 +146,15 @@ func (e Event) MarshalJSON() ([]byte, error) {
 	}
 	if e.Duration > 0 {
 		j.Duration = e.Duration.String()
+	}
+	if e.MeanBad > 0 {
+		j.MeanBad = e.MeanBad.String()
+	}
+	if e.MeanGood > 0 {
+		j.MeanGood = e.MeanGood.String()
+	}
+	if e.MaxJitter > 0 {
+		j.MaxJitter = e.MaxJitter.String()
 	}
 	return json.Marshal(j)
 }
@@ -124,14 +170,30 @@ func (e *Event) UnmarshalJSON(data []byte) error {
 	if err != nil {
 		return err
 	}
-	var dur time.Duration
+	var dur, meanBad, meanGood, maxJitter time.Duration
 	if j.Duration != "" {
 		if dur, err = parseDuration(j.Duration, "duration"); err != nil {
 			return err
 		}
 	}
+	if j.MeanBad != "" {
+		if meanBad, err = parseDuration(j.MeanBad, "meanBad"); err != nil {
+			return err
+		}
+	}
+	if j.MeanGood != "" {
+		if meanGood, err = parseDuration(j.MeanGood, "meanGood"); err != nil {
+			return err
+		}
+	}
+	if j.MaxJitter != "" {
+		if maxJitter, err = parseDuration(j.MaxJitter, "maxJitter"); err != nil {
+			return err
+		}
+	}
 	*e = Event{At: at, Kind: j.Kind, Groups: j.Groups,
-		LossFactor: j.LossFactor, Duration: dur, Behavior: j.Behavior}
+		LossFactor: j.LossFactor, Duration: dur, Behavior: j.Behavior,
+		MeanBad: meanBad, MeanGood: meanGood, MaxJitter: maxJitter, DupProb: j.DupProb}
 	switch j.Kind {
 	case Crash, Recover, SwapBehavior:
 		if j.Node == nil {
@@ -324,6 +386,37 @@ func (p *Plan) Validate(n int) error {
 			}
 			if e.Duration <= 0 {
 				return fmt.Errorf("faultplan: event %d: degrade-radio needs a positive duration", i)
+			}
+		case BurstLoss:
+			if e.LossFactor <= 0 || e.LossFactor > 1 {
+				return fmt.Errorf("faultplan: event %d: burst-loss lossFactor %.3f outside (0,1]", i, e.LossFactor)
+			}
+			if e.MeanBad <= 0 || e.MeanGood <= 0 {
+				return fmt.Errorf("faultplan: event %d: burst-loss needs positive meanBad and meanGood dwell times", i)
+			}
+			if e.Duration <= 0 {
+				return fmt.Errorf("faultplan: event %d: burst-loss needs a positive duration", i)
+			}
+		case Jitter:
+			if e.MaxJitter <= 0 {
+				return fmt.Errorf("faultplan: event %d: jitter needs a positive maxJitter", i)
+			}
+			if e.Duration <= 0 {
+				return fmt.Errorf("faultplan: event %d: jitter needs a positive duration", i)
+			}
+		case Duplicate:
+			if e.DupProb <= 0 || e.DupProb >= 1 {
+				return fmt.Errorf("faultplan: event %d: dupProb %.3f outside (0,1)", i, e.DupProb)
+			}
+			if e.Duration <= 0 {
+				return fmt.Errorf("faultplan: event %d: duplicate needs a positive duration", i)
+			}
+		case AsymDegrade:
+			if e.LossFactor <= 0 || e.LossFactor >= 1 {
+				return fmt.Errorf("faultplan: event %d: asym-degrade severity %.3f outside (0,1)", i, e.LossFactor)
+			}
+			if e.Duration <= 0 {
+				return fmt.Errorf("faultplan: event %d: asym-degrade needs a positive duration", i)
 			}
 		default:
 			return fmt.Errorf("faultplan: event %d: unknown kind %q", i, e.Kind)

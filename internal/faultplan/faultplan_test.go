@@ -21,6 +21,11 @@ func samplePlan() *Plan {
 			{At: 40 * time.Second, Kind: Heal},
 			{At: 45 * time.Second, Kind: DegradeRadio, LossFactor: 0.3, Duration: 5 * time.Second},
 			{At: 50 * time.Second, Kind: SwapBehavior, Node: 2, Behavior: "mute"},
+			{At: 52 * time.Second, Kind: BurstLoss, LossFactor: 0.9,
+				MeanBad: 200 * time.Millisecond, MeanGood: 800 * time.Millisecond, Duration: 10 * time.Second},
+			{At: 54 * time.Second, Kind: Jitter, MaxJitter: 20 * time.Millisecond, Duration: 8 * time.Second},
+			{At: 56 * time.Second, Kind: Duplicate, DupProb: 0.15, Duration: 6 * time.Second},
+			{At: 58 * time.Second, Kind: AsymDegrade, LossFactor: 0.5, Duration: 4 * time.Second},
 		},
 		Churn: &Churn{Rate: 0.5, Start: 15 * time.Second, End: 60 * time.Second,
 			Downtime: 8 * time.Second, Exclude: []wire.NodeID{0}},
@@ -61,6 +66,26 @@ func TestParseHumanReadable(t *testing.T) {
 	}
 	if len(p.Events) != 4 {
 		t.Fatalf("got %d events", len(p.Events))
+	}
+	hostile, err := Parse([]byte(`{
+		"events": [
+			{"at": "5s", "kind": "burst-loss", "lossFactor": 0.8, "meanBad": "150ms", "meanGood": "600ms", "duration": "20s"},
+			{"at": "6s", "kind": "jitter", "maxJitter": "15ms", "duration": "10s"},
+			{"at": "7s", "kind": "duplicate", "dupProb": 0.2, "duration": "10s"},
+			{"at": "8s", "kind": "asym-degrade", "lossFactor": 0.4, "duration": "10s"}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hostile.Validate(8); err != nil {
+		t.Fatalf("valid hostile-links plan rejected: %v", err)
+	}
+	if got := hostile.Events[0].MeanBad; got != 150*time.Millisecond {
+		t.Fatalf("meanBad parsed as %s", got)
+	}
+	if got := hostile.Events[1].MaxJitter; got != 15*time.Millisecond {
+		t.Fatalf("maxJitter parsed as %s", got)
 	}
 	if p.Events[1].At != 70*time.Second {
 		t.Fatalf("1m10s parsed as %s", p.Events[1].At)
@@ -103,6 +128,24 @@ func TestValidateRejects(t *testing.T) {
 			LossFactor: 0.5}}},
 		"unknown behaviour": {Events: []Event{{At: 1, Kind: SwapBehavior,
 			Node: 1, Behavior: "weird"}}},
+		"burst loss zero": {Events: []Event{{At: 1, Kind: BurstLoss,
+			MeanBad: time.Second, MeanGood: time.Second, Duration: time.Second}}},
+		"burst loss too big": {Events: []Event{{At: 1, Kind: BurstLoss, LossFactor: 1.5,
+			MeanBad: time.Second, MeanGood: time.Second, Duration: time.Second}}},
+		"burst no dwell": {Events: []Event{{At: 1, Kind: BurstLoss, LossFactor: 0.5,
+			MeanGood: time.Second, Duration: time.Second}}},
+		"burst no duration": {Events: []Event{{At: 1, Kind: BurstLoss, LossFactor: 0.5,
+			MeanBad: time.Second, MeanGood: time.Second}}},
+		"jitter zero bound": {Events: []Event{{At: 1, Kind: Jitter, Duration: time.Second}}},
+		"jitter no duration": {Events: []Event{{At: 1, Kind: Jitter,
+			MaxJitter: 10 * time.Millisecond}}},
+		"dup prob zero": {Events: []Event{{At: 1, Kind: Duplicate, Duration: time.Second}}},
+		"dup prob one": {Events: []Event{{At: 1, Kind: Duplicate, DupProb: 1,
+			Duration: time.Second}}},
+		"dup no duration": {Events: []Event{{At: 1, Kind: Duplicate, DupProb: 0.5}}},
+		"asym severity big": {Events: []Event{{At: 1, Kind: AsymDegrade, LossFactor: 1,
+			Duration: time.Second}}},
+		"asym no duration": {Events: []Event{{At: 1, Kind: AsymDegrade, LossFactor: 0.5}}},
 		"unknown kind":     {Events: []Event{{At: 1, Kind: "melt"}}},
 		"churn zero rate":  {Churn: &Churn{Start: 0, End: time.Second}},
 		"churn empty":      {Churn: &Churn{Rate: 1, Start: 5 * time.Second, End: 5 * time.Second}},
@@ -210,6 +253,11 @@ func TestEventNames(t *testing.T) {
 		"heal":                   {Kind: Heal},
 		"degrade-radio(0.30,5s)": {Kind: DegradeRadio, LossFactor: 0.3, Duration: 5 * time.Second},
 		"swap(2→mute)":           {Kind: SwapBehavior, Node: 2, Behavior: "mute"},
+		"burst-loss(0.90,200ms/800ms,10s)": {Kind: BurstLoss, LossFactor: 0.9,
+			MeanBad: 200 * time.Millisecond, MeanGood: 800 * time.Millisecond, Duration: 10 * time.Second},
+		"jitter(20ms,8s)":       {Kind: Jitter, MaxJitter: 20 * time.Millisecond, Duration: 8 * time.Second},
+		"duplicate(0.15,6s)":    {Kind: Duplicate, DupProb: 0.15, Duration: 6 * time.Second},
+		"asym-degrade(0.50,4s)": {Kind: AsymDegrade, LossFactor: 0.5, Duration: 4 * time.Second},
 	}
 	for want, e := range cases {
 		if got := e.Name(); got != want {

@@ -89,6 +89,18 @@ func (m *Mute) Expect(key ExpectKey, nodes []wire.NodeID, mode ExpectMode) {
 	})
 }
 
+// SetTimeout changes the expectation timeout applied to future Expect calls.
+// Already-armed expectations keep the deadline they were armed with. Values
+// <= 0 are ignored.
+func (m *Mute) SetTimeout(d time.Duration) {
+	if d > 0 {
+		m.cfg.Timeout = d
+	}
+}
+
+// Timeout reports the expectation timeout applied to future Expect calls.
+func (m *Mute) Timeout() time.Duration { return m.cfg.Timeout }
+
 // Fulfill records that `from` sent a message matching key. It clears every
 // matching ExpectAny expectation that listed `from`, and removes `from` from
 // matching ExpectAll expectations.

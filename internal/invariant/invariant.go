@@ -47,6 +47,10 @@ type Config struct {
 	// protocol-state queue must stay at or under its configured cap
 	// (Probes.Bounds), no matter what adversaries send.
 	StateBounds bool
+	// TimerBounds enables the adaptive-timer check: every committed
+	// adaptive-timer change must land inside the timer's configured range
+	// (Probes.TimerRanges), no matter how hostile the channel gets.
+	TimerBounds bool
 
 	// ValidityGrace exempts messages injected within this window before the
 	// end of the run — they may legitimately still be in flight.
@@ -78,6 +82,7 @@ func DefaultConfig() Config {
 		Detectors:      true,
 		Recovery:       true,
 		StateBounds:    true,
+		TimerBounds:    true,
 		ValidityGrace:  10 * time.Second,
 		ValidityRatio:  0.90,
 		HealWindow:     45 * time.Second,
@@ -87,7 +92,7 @@ func DefaultConfig() Config {
 
 // Enabled reports whether any invariant is switched on.
 func (c Config) Enabled() bool {
-	return c.Agreement || c.Validity || c.Detectors || c.Recovery || c.StateBounds
+	return c.Agreement || c.Validity || c.Detectors || c.Recovery || c.StateBounds || c.TimerBounds
 }
 
 // Violation is one detected invariant breach.
@@ -134,6 +139,10 @@ type Probes struct {
 	// this package stays observer-agnostic) to its configured cap. Queues
 	// absent from the map are unbounded. Consulted by the state-bounds check.
 	Bounds map[string]int
+	// TimerRanges maps an adaptive timer name (obsv.AdaptiveTimer values,
+	// string-keyed) to its configured [min, max] range. Timers absent from
+	// the map are unchecked. Consulted by the timer-bounds check.
+	TimerRanges map[string][2]time.Duration
 }
 
 // delivery records the first payload a correct node delivered for a message.
@@ -188,6 +197,8 @@ type Checker struct {
 	// boundBreached dedupes state-bounds violations: one report per
 	// (node, queue), not one per sample while the breach persists.
 	boundBreached map[boundKey]bool
+	// timerBreached dedupes timer-bounds violations per (node, timer).
+	timerBreached map[boundKey]bool
 
 	violations []Violation
 }
@@ -210,6 +221,7 @@ func New(cfg Config, now func() time.Duration, probes Probes) *Checker {
 		downtime:      make(map[wire.NodeID][]window),
 		partitions:    []partEpoch{{at: 0, groups: nil}},
 		boundBreached: make(map[boundKey]bool),
+		timerBreached: make(map[boundKey]bool),
 	}
 }
 
@@ -309,6 +321,28 @@ func (c *Checker) OnQueueSample(node wire.NodeID, queue string, depth int) {
 	c.boundBreached[key] = true
 	c.violate("state-bounds",
 		"node %d: queue %q depth %d exceeds configured bound %d", node, queue, depth, bound)
+}
+
+// OnTimerChange checks one committed adaptive-timer change against the
+// timer's configured range (the adaptive-timing invariant: no channel
+// condition may drive a timer outside its hard [min, max] bounds). A
+// persistently out-of-range timer is reported once per (node, timer).
+func (c *Checker) OnTimerChange(node wire.NodeID, timer string, value time.Duration) {
+	if !c.cfg.TimerBounds {
+		return
+	}
+	r, ok := c.probes.TimerRanges[timer]
+	if !ok || (value >= r[0] && value <= r[1]) {
+		return
+	}
+	key := boundKey{node: node, queue: timer}
+	if c.timerBreached[key] {
+		return
+	}
+	c.timerBreached[key] = true
+	c.violate("timer-bounds",
+		"node %d: adaptive timer %q moved to %s, outside configured bounds [%s, %s]",
+		node, timer, value, r[0], r[1])
 }
 
 // OnFault records a fault event (crash/recover/partition/heal/degrade/swap)

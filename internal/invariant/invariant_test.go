@@ -96,6 +96,37 @@ func TestAgreementViolation(t *testing.T) {
 	}
 }
 
+// TestTimerBoundsViolation: adaptive-timer changes inside the configured
+// range are clean, the first excursion outside it is one violation, and
+// repeats on the same (node, timer) pair are deduplicated. Unregistered
+// timers are ignored.
+func TestTimerBoundsViolation(t *testing.T) {
+	f := newFakeNet(3)
+	p := f.probes()
+	p.TimerRanges = map[string][2]time.Duration{
+		"gossip": {250 * time.Millisecond, 2 * time.Second},
+	}
+	c := New(Config{TimerBounds: true}, func() time.Duration { return f.now }, p)
+	c.OnTimerChange(1, "gossip", 250*time.Millisecond) // at the floor: fine
+	c.OnTimerChange(1, "gossip", 2*time.Second)        // at the ceiling: fine
+	c.OnTimerChange(1, "unregistered", time.Hour)      // unknown timer: ignored
+	if len(c.Violations()) != 0 {
+		t.Fatalf("in-range changes flagged: %v", c.Violations())
+	}
+	c.OnTimerChange(1, "gossip", 200*time.Millisecond)
+	c.OnTimerChange(1, "gossip", 100*time.Millisecond) // same pair: deduplicated
+	c.OnTimerChange(2, "gossip", 3*time.Second)        // other node: its own violation
+	if got := countByKind(c.Violations(), "timer-bounds"); got != 2 {
+		t.Fatalf("want 2 timer-bounds violations, got %v", c.Violations())
+	}
+	// With the check disabled, nothing fires.
+	off := New(Config{}, func() time.Duration { return f.now }, p)
+	off.OnTimerChange(1, "gossip", time.Hour)
+	if len(off.Violations()) != 0 {
+		t.Fatalf("disabled check fired: %v", off.Violations())
+	}
+}
+
 // connectedFakeNet builds a fakeNet where every node hears every other.
 func connectedFakeNet(n int) *fakeNet {
 	f := newFakeNet(n)

@@ -38,3 +38,8 @@ func (o observer) OnAccept(_ time.Duration, node wire.NodeID, id wire.MsgID, pay
 func (o observer) OnQueueDepth(_ time.Duration, node wire.NodeID, queue obsv.Queue, depth int) {
 	o.c.OnQueueSample(node, string(queue), depth)
 }
+
+// OnAdaptation implements obsv.Observer, feeding the timer-bounds check.
+func (o observer) OnAdaptation(_ time.Duration, node wire.NodeID, timer obsv.AdaptiveTimer, _, new time.Duration) {
+	o.c.OnTimerChange(node, string(timer), new)
+}

@@ -65,6 +65,20 @@ const (
 	QueueExpectations Queue = "expectations"
 	// QueueReqSeen is the number of tracked per-requester request records.
 	QueueReqSeen Queue = "reqseen"
+	// QueueLinkQual is the number of tracked per-neighbour link-quality
+	// estimator entries.
+	QueueLinkQual Queue = "linkqual"
+)
+
+// AdaptiveTimer names a protocol timer the link-quality estimator drives.
+type AdaptiveTimer string
+
+// Adaptive timers.
+const (
+	// TimerGossip is the gossip-round period.
+	TimerGossip AdaptiveTimer = "gossip"
+	// TimerMute is the MUTE failure-detector expectation timeout.
+	TimerMute AdaptiveTimer = "mute"
 )
 
 // AdmissionEvent names one admission-control or state-GC action taken to keep
@@ -128,6 +142,13 @@ type Observer interface {
 	// rate-limited packet, a verify-free dedup, an eviction, an expiry, an
 	// ingress drop).
 	OnAdmission(at time.Duration, node wire.NodeID, event AdmissionEvent)
+	// OnAdaptation is one committed adaptive-timer change at node: the named
+	// timer moved from old to new (both within its configured bounds).
+	OnAdaptation(at time.Duration, node wire.NodeID, timer AdaptiveTimer, old, new time.Duration)
+	// OnRetry is one bounded-retransmission action at node for a missing
+	// message: attempt counts from 1; abandoned marks the give-up transition
+	// (the attempt cap was reached; no request was sent).
+	OnRetry(at time.Duration, node wire.NodeID, id wire.MsgID, attempt int, abandoned bool)
 }
 
 // Nop is a no-op Observer. Embed it to implement only the events a consumer
@@ -160,6 +181,12 @@ func (Nop) OnQueueDepth(time.Duration, wire.NodeID, Queue, int) {}
 
 // OnAdmission implements Observer.
 func (Nop) OnAdmission(time.Duration, wire.NodeID, AdmissionEvent) {}
+
+// OnAdaptation implements Observer.
+func (Nop) OnAdaptation(time.Duration, wire.NodeID, AdaptiveTimer, time.Duration, time.Duration) {}
+
+// OnRetry implements Observer.
+func (Nop) OnRetry(time.Duration, wire.NodeID, wire.MsgID, int, bool) {}
 
 // multi fans every event out to each member, in order.
 type multi []Observer
@@ -235,6 +262,18 @@ func (m multi) OnQueueDepth(at time.Duration, node wire.NodeID, queue Queue, dep
 func (m multi) OnAdmission(at time.Duration, node wire.NodeID, event AdmissionEvent) {
 	for _, o := range m {
 		o.OnAdmission(at, node, event)
+	}
+}
+
+func (m multi) OnAdaptation(at time.Duration, node wire.NodeID, timer AdaptiveTimer, old, new time.Duration) {
+	for _, o := range m {
+		o.OnAdaptation(at, node, timer, old, new)
+	}
+}
+
+func (m multi) OnRetry(at time.Duration, node wire.NodeID, id wire.MsgID, attempt int, abandoned bool) {
+	for _, o := range m {
+		o.OnRetry(at, node, id, attempt, abandoned)
 	}
 }
 

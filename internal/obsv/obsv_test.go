@@ -54,6 +54,14 @@ func (r *recorder) OnAdmission(at time.Duration, node wire.NodeID, event Admissi
 	r.add("admit %s %d %s", at, node, event)
 }
 
+func (r *recorder) OnAdaptation(at time.Duration, node wire.NodeID, timer AdaptiveTimer, old, new time.Duration) {
+	r.add("adapt %s %d %s %s→%s", at, node, timer, old, new)
+}
+
+func (r *recorder) OnRetry(at time.Duration, node wire.NodeID, id wire.MsgID, attempt int, abandoned bool) {
+	r.add("retry %s %d %v %d %v", at, node, id, attempt, abandoned)
+}
+
 // emitAll fires one of each event at o.
 func emitAll(o Observer) {
 	o.OnPacketTx(1, 2, wire.KindData, wire.MsgID{Origin: 3, Seq: 4})
@@ -65,14 +73,16 @@ func emitAll(o Observer) {
 	o.OnSigVerify(6, 8, false, time.Microsecond)
 	o.OnQueueDepth(7, 9, QueueStore, 11)
 	o.OnAdmission(8, 10, AdmitRateLimit)
+	o.OnAdaptation(9, 11, TimerGossip, time.Second, 800*time.Millisecond)
+	o.OnRetry(10, 12, wire.MsgID{Origin: 3, Seq: 1}, 2, false)
 }
 
 func TestMultiFansOutEveryEvent(t *testing.T) {
 	a, b := &recorder{}, &recorder{}
 	m := Multi(a, nil, b)
 	emitAll(m)
-	if len(a.events) != 9 || len(b.events) != 9 {
-		t.Fatalf("fan-out counts = %d, %d, want 9 each", len(a.events), len(b.events))
+	if len(a.events) != 11 || len(b.events) != 11 {
+		t.Fatalf("fan-out counts = %d, %d, want 11 each", len(a.events), len(b.events))
 	}
 	for i := range a.events {
 		if a.events[i] != b.events[i] {
@@ -100,8 +110,8 @@ func TestSkipAccepts(t *testing.T) {
 	}
 	r := &recorder{}
 	emitAll(SkipAccepts(r))
-	if len(r.events) != 8 {
-		t.Fatalf("events = %d, want 8 (accept dropped)", len(r.events))
+	if len(r.events) != 10 {
+		t.Fatalf("events = %d, want 10 (accept dropped)", len(r.events))
 	}
 	for _, e := range r.events {
 		if e[:6] == "accept" {

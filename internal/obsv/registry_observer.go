@@ -24,6 +24,8 @@ const (
 	MetricQueueDepth      = "bbcast_queue_depth"
 	MetricDeliveryLatency = "bbcast_delivery_latency_seconds"
 	MetricAdmissionTotal  = "bbcast_admission_total"
+	MetricAdaptationTotal = "bbcast_adaptation_total"
+	MetricRetryTotal      = "bbcast_retry_total"
 )
 
 // maxTrackedInjects bounds the inject-time map used to derive delivery
@@ -61,6 +63,9 @@ type RegistryObserver struct {
 	suspectedGauge *Gauge
 	queueGauges    map[Queue]*Gauge
 	admissions     map[AdmissionEvent]*Counter
+	adaptations    map[AdaptiveTimer]*Counter
+	retriesSent    *Counter
+	retriesGivenUp *Counter
 
 	latency *Summary
 
@@ -86,8 +91,11 @@ func NewRegistryObserver(r *Registry) *RegistryObserver {
 		sigSecs:        r.Summary(MetricSigVerifySecs, 0),
 		activeGauge:    r.Gauge(MetricOverlayActive),
 		suspectedGauge: r.Gauge(MetricSuspectedNodes),
-		queueGauges:    make(map[Queue]*Gauge, 5),
+		queueGauges:    make(map[Queue]*Gauge, 6),
 		admissions:     make(map[AdmissionEvent]*Counter, 8),
+		adaptations:    make(map[AdaptiveTimer]*Counter, 2),
+		retriesSent:    r.Counter(labelled(MetricRetryTotal, "event", "sent")),
+		retriesGivenUp: r.Counter(labelled(MetricRetryTotal, "event", "abandoned")),
 		latency:        r.Summary(MetricDeliveryLatency, 0),
 		active:         make(map[wire.NodeID]bool),
 		suspected:      make(map[suspicionKey]struct{}),
@@ -106,9 +114,12 @@ func NewRegistryObserver(r *Registry) *RegistryObserver {
 		o.suspRaised[d] = r.Counter(labelled(base, "event", "raised"))
 		o.suspCleared[d] = r.Counter(labelled(base, "event", "cleared"))
 	}
-	for _, q := range []Queue{QueueStore, QueueMissing, QueueNeighbors, QueueExpectations, QueueReqSeen} {
+	for _, q := range []Queue{QueueStore, QueueMissing, QueueNeighbors, QueueExpectations, QueueReqSeen, QueueLinkQual} {
 		o.queueGauges[q] = r.Gauge(labelled(MetricQueueDepth, "queue", string(q)))
 		o.queues[q] = make(map[wire.NodeID]int)
+	}
+	for _, tm := range []AdaptiveTimer{TimerGossip, TimerMute} {
+		o.adaptations[tm] = r.Counter(labelled(MetricAdaptationTotal, "timer", string(tm)))
 	}
 	for _, e := range []AdmissionEvent{
 		AdmitRateLimit, AdmitDedup, AdmitGossipTrim, AdmitNeighborEvict,
@@ -229,5 +240,21 @@ func (o *RegistryObserver) OnQueueDepth(_ time.Duration, node wire.NodeID, queue
 func (o *RegistryObserver) OnAdmission(_ time.Duration, _ wire.NodeID, event AdmissionEvent) {
 	if c := o.admissions[event]; c != nil {
 		c.Inc()
+	}
+}
+
+// OnAdaptation implements Observer.
+func (o *RegistryObserver) OnAdaptation(_ time.Duration, _ wire.NodeID, timer AdaptiveTimer, _, _ time.Duration) {
+	if c := o.adaptations[timer]; c != nil {
+		c.Inc()
+	}
+}
+
+// OnRetry implements Observer.
+func (o *RegistryObserver) OnRetry(_ time.Duration, _ wire.NodeID, _ wire.MsgID, _ int, abandoned bool) {
+	if abandoned {
+		o.retriesGivenUp.Inc()
+	} else {
+		o.retriesSent.Inc()
 	}
 }

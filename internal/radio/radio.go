@@ -10,6 +10,7 @@
 package radio
 
 import (
+	"math"
 	"slices"
 	"time"
 
@@ -64,10 +65,34 @@ func DefaultConfig() Config {
 type Stats struct {
 	Transmissions  uint64 // frames put on the air
 	BytesOnAir     uint64
-	Deliveries     uint64 // frames handed to a receiver
+	Deliveries     uint64 // frames handed to a receiver (duplicates included)
 	Collisions     uint64 // receptions lost to overlap
 	FringeLosses   uint64 // receptions lost to distance/noise
 	HalfDuplexDrop uint64 // receptions lost because receiver was transmitting
+	BurstLosses    uint64 // receptions lost to a Gilbert–Elliott bad state
+	AsymLosses     uint64 // receptions lost to asymmetric link degradation
+	DupFrames      uint64 // extra deliveries injected by frame duplication
+}
+
+// BurstConfig parameterises the per-link Gilbert–Elliott bursty-loss model:
+// each ordered link is a two-state (good/bad) continuous-time Markov chain
+// with mean dwell times MeanGood and MeanBad; receptions while the link is in
+// the bad state drop with probability Loss. The zero value disables the model.
+type BurstConfig struct {
+	Loss     float64       // drop probability while in the bad state, in (0,1]
+	MeanBad  time.Duration // mean dwell time of the bad state
+	MeanGood time.Duration // mean dwell time of the good state
+}
+
+// Enabled reports whether the configuration describes an active burst model.
+func (b BurstConfig) Enabled() bool {
+	return b.Loss > 0 && b.MeanBad > 0 && b.MeanGood > 0
+}
+
+// geLink is the Gilbert–Elliott state of one ordered link.
+type geLink struct {
+	bad  bool
+	last time.Duration // virtual time of the last state evolution
 }
 
 // reception is one in-flight frame at one receiver. Records are pooled on
@@ -121,6 +146,21 @@ type Medium struct {
 	// extraLoss is an additional per-reception loss probability in [0,1),
 	// modelling a degraded radio environment (jamming, weather).
 	extraLoss float64
+	// degs are stacked degradation windows pushed by PushDegradation.
+	// Overlapping windows compose: the effective loss probability is
+	// 1 - Π(1-p_i) over the base extraLoss and every active window, so one
+	// window ending never silently cancels another that is still active.
+	degs      []degradation
+	nextDegID uint64
+
+	// Hostile-link models. All draws happen only when the corresponding
+	// feature is active, so enabling none of them leaves the RNG stream —
+	// and therefore every existing trace golden — untouched.
+	burst      BurstConfig
+	burstLinks map[uint64]*geLink // ordered link (from<<32|dst) → GE state; keyed access only
+	jitter     time.Duration      // max extra delivery latency, uniform in [0,jitter)
+	dupProb    float64            // probability of duplicating a successful reception
+	asymLoss   float64            // severity of asymmetric per-link degradation
 
 	// OnTransmit, if non-nil, observes every frame put on the air.
 	OnTransmit func(from wire.NodeID, pkt *wire.Packet)
@@ -215,21 +255,153 @@ func (m *Medium) SetPartition(groups [][]wire.NodeID) {
 // Heal removes any installed partition mask.
 func (m *Medium) Heal() { m.group = nil }
 
-// SetExtraLoss sets the additional per-reception loss probability (clamped
-// to [0,1)), modelling a degraded radio environment. Zero restores the
-// nominal channel.
-func (m *Medium) SetExtraLoss(p float64) {
-	if p < 0 {
-		p = 0
-	}
-	if p >= 1 {
-		p = 0.999
-	}
-	m.extraLoss = p
+// degradation is one active PushDegradation window.
+type degradation struct {
+	id uint64
+	p  float64
 }
 
-// ExtraLoss reports the current additional loss probability.
-func (m *Medium) ExtraLoss() float64 { return m.extraLoss }
+// clampLoss clamps a loss probability to [0, 0.999].
+func clampLoss(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 0.999
+	}
+	return p
+}
+
+// SetExtraLoss sets the base additional per-reception loss probability
+// (clamped to [0,1)), modelling a degraded radio environment. Zero restores
+// the nominal channel. Windowed degradations stack on top via
+// PushDegradation.
+func (m *Medium) SetExtraLoss(p float64) {
+	m.extraLoss = clampLoss(p)
+}
+
+// PushDegradation adds an independent degradation source with per-reception
+// loss probability p and returns a pop function that removes exactly that
+// source. Active sources compose as independent drop chances
+// (1 - Π(1-p_i)), so overlapping degrade-radio windows no longer clobber
+// each other the way last-writer-wins SetExtraLoss calls did. Pop is
+// idempotent.
+func (m *Medium) PushDegradation(p float64) (pop func()) {
+	id := m.nextDegID
+	m.nextDegID++
+	m.degs = append(m.degs, degradation{id: id, p: clampLoss(p)})
+	return func() {
+		for i, d := range m.degs {
+			if d.id == id {
+				m.degs = append(m.degs[:i], m.degs[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// ExtraLoss reports the effective additional loss probability: the base
+// SetExtraLoss value composed with every active PushDegradation window.
+func (m *Medium) ExtraLoss() float64 {
+	keep := 1 - m.extraLoss
+	for _, d := range m.degs {
+		keep *= 1 - d.p
+	}
+	return 1 - keep
+}
+
+// SetBurst installs (or, with a zero config, removes) the per-link
+// Gilbert–Elliott bursty-loss model. Installing a config resets all link
+// states; links re-enter the chain at its stationary distribution on first
+// use.
+func (m *Medium) SetBurst(cfg BurstConfig) {
+	m.burst = cfg
+	if cfg.Enabled() {
+		m.burstLinks = make(map[uint64]*geLink)
+	} else {
+		m.burstLinks = nil
+	}
+}
+
+// Burst reports the active bursty-loss configuration.
+func (m *Medium) Burst() BurstConfig { return m.burst }
+
+// SetJitter sets the maximum extra delivery latency: each successful
+// reception is deferred by a uniform draw in [0,d). Zero restores immediate
+// delivery.
+func (m *Medium) SetJitter(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	m.jitter = d
+}
+
+// Jitter reports the maximum extra delivery latency.
+func (m *Medium) Jitter() time.Duration { return m.jitter }
+
+// SetDuplication sets the probability (clamped to [0,1)) that a successful
+// reception is delivered twice, modelling MAC-level retransmit duplicates.
+func (m *Medium) SetDuplication(p float64) {
+	m.dupProb = clampLoss(p)
+}
+
+// Duplication reports the active duplication probability.
+func (m *Medium) Duplication() float64 { return m.dupProb }
+
+// SetAsymLoss sets the severity of asymmetric link degradation: each ordered
+// link (a,b) gets a static extra loss probability severity·h(a,b), where h
+// is a per-link hash in [0,1) derived from the engine seed — so a→b and b→a
+// degrade differently, deterministically. Zero disables.
+func (m *Medium) SetAsymLoss(severity float64) {
+	m.asymLoss = clampLoss(severity)
+}
+
+// AsymLoss reports the active asymmetric degradation severity.
+func (m *Medium) AsymLoss() float64 { return m.asymLoss }
+
+// linkKey packs an ordered link into a map key.
+func linkKey(from, dst wire.NodeID) uint64 {
+	return uint64(from)<<32 | uint64(dst)
+}
+
+// hash01 maps an ordered link to a uniform value in [0,1) determined only by
+// the engine seed (SplitMix64 finalizer; no RNG stream is consumed).
+func (m *Medium) hash01(from, dst wire.NodeID) float64 {
+	z := uint64(m.eng.Seed()) ^ (linkKey(from, dst)*0x9e3779b97f4a7c15 + 0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// burstDrop evolves the ordered link's Gilbert–Elliott state to the current
+// instant and reports whether this reception is lost to a bad-state burst.
+// The two-state CTMC has closed-form transition probabilities, so the state
+// advances lazily — one evolution per reception, however long the link was
+// idle.
+func (m *Medium) burstDrop(from, dst wire.NodeID) bool {
+	rng := m.eng.Rand()
+	lambda := 1 / m.burst.MeanGood.Seconds() // good → bad rate
+	mu := 1 / m.burst.MeanBad.Seconds()      // bad → good rate
+	piBad := lambda / (lambda + mu)
+	key := linkKey(from, dst)
+	st := m.burstLinks[key]
+	now := m.eng.Now()
+	if st == nil {
+		// First use: enter the chain at its stationary distribution.
+		st = &geLink{bad: rng.Float64() < piBad, last: now}
+		m.burstLinks[key] = st
+	} else if now > st.last {
+		decay := math.Exp(-(lambda + mu) * (now - st.last).Seconds())
+		pBad := piBad * (1 - decay)
+		if st.bad {
+			pBad = piBad + (1-piBad)*decay
+		}
+		st.bad = rng.Float64() < pBad
+		st.last = now
+	}
+	return st.bad && rng.Float64() < m.burst.Loss
+}
 
 // linkUp reports whether frames can currently cross from a to b: both radios
 // on the air and, under a partition, in the same group.
@@ -450,18 +622,51 @@ func (m *Medium) finishReception(from wire.NodeID, rec *reception, pkt *wire.Pac
 		m.stats.FringeLosses++
 		return
 	}
+	if m.burst.Enabled() && m.burstDrop(from, dst) {
+		m.stats.BurstLosses++
+		return
+	}
+	if m.asymLoss > 0 && m.eng.Rand().Float64() < m.asymLoss*m.hash01(from, dst) {
+		m.stats.AsymLosses++
+		return
+	}
 	fn := m.rx[dst]
 	if fn == nil {
 		return
 	}
-	m.stats.Deliveries++
-	fn(pkt.Clone())
+	m.deliver(dst, fn, pkt)
+	if m.dupProb > 0 && m.eng.Rand().Float64() < m.dupProb {
+		m.stats.DupFrames++
+		m.deliver(dst, fn, pkt)
+	}
+}
+
+// deliver hands a successful reception to the receiver — immediately on the
+// nominal channel, or deferred by a deterministic uniform draw in [0,jitter)
+// when latency jitter is active. The packet is cloned at decision time so a
+// deferred delivery cannot observe later sender-side mutation; a receiver
+// that goes down while the frame is deferred loses it.
+func (m *Medium) deliver(dst wire.NodeID, fn func(*wire.Packet), pkt *wire.Packet) {
+	if m.jitter <= 0 {
+		m.stats.Deliveries++
+		fn(pkt.Clone())
+		return
+	}
+	cp := pkt.Clone()
+	d := time.Duration(m.eng.Rand().Int63n(int64(m.jitter)))
+	m.eng.After(d, func() {
+		if m.IsDown(dst) {
+			return
+		}
+		m.stats.Deliveries++
+		fn(cp)
+	})
 }
 
 // receives draws the distance-dependent reception outcome.
 func (m *Medium) receives(dist float64) bool {
 	rng := m.eng.Rand()
-	if m.extraLoss > 0 && rng.Float64() < m.extraLoss {
+	if el := m.ExtraLoss(); el > 0 && rng.Float64() < el {
 		return false
 	}
 	if m.cfg.BaseLoss > 0 && rng.Float64() < m.cfg.BaseLoss {

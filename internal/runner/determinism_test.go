@@ -12,14 +12,17 @@ import (
 	"sort"
 	"testing"
 	"time"
+
+	"bbcast/internal/faultplan"
 )
 
 var updateGoldens = flag.Bool("update", false, "rewrite testdata/trace_goldens.json from the current run")
 
-// goldenConfigs are three representative scenario shapes whose event traces
+// goldenConfigs are four representative scenario shapes whose event traces
 // are pinned by checked-in hashes: the default protocol on a static grid, the
-// protocol under mute adversaries with waypoint mobility, and the flooding
-// baseline. Anything that perturbs the event schedule — RNG draw order, heap
+// protocol under mute adversaries with waypoint mobility, the flooding
+// baseline, and the protocol under bursty loss with the adaptive layer
+// engaged. Anything that perturbs the event schedule — RNG draw order, heap
 // tie-breaking, reception batching — shows up as a hash mismatch here.
 func goldenConfigs() []Scenario {
 	grid := DefaultScenario()
@@ -44,7 +47,18 @@ func goldenConfigs() []Scenario {
 	flood.N = 30
 	flood.Protocol = ProtoFlooding
 
-	return []Scenario{grid, mute, flood}
+	// Hostile-links shape: Gilbert–Elliott burst loss over the workload
+	// window exercises the per-link RNG substreams, the adaptive timers and
+	// the retransmission chain — all of which must replay bit-identically.
+	burst := grid
+	burst.Name = "det-byzcast-burst-loss"
+	burst.Seed = 17
+	burst.FaultPlan = &faultplan.Plan{Events: []faultplan.Event{{
+		At: 6 * time.Second, Kind: faultplan.BurstLoss, Duration: 12 * time.Second,
+		LossFactor: 0.85, MeanBad: 300 * time.Millisecond, MeanGood: 900 * time.Millisecond,
+	}}}
+
+	return []Scenario{grid, mute, flood, burst}
 }
 
 func traceHash(t *testing.T, sc Scenario) (string, Result) {

@@ -45,22 +45,31 @@ func buildChecker(sc Scenario, eng *sim.Engine, medium *radio.Medium, protos []b
 	}
 	// State bounds mirror the core config caps; only capped tables get a
 	// bound (zero/negative knobs mean unbounded and are skipped).
-	bounds := make(map[string]int, 4)
+	bounds := make(map[string]int, 5)
+	timerRanges := make(map[string][2]time.Duration, 2)
 	if sc.Protocol == ProtoByzCast {
 		for queue, cap := range map[obsv.Queue]int{
 			obsv.QueueStore:     sc.Core.MaxStore,
 			obsv.QueueMissing:   sc.Core.MaxMissing,
 			obsv.QueueNeighbors: sc.Core.MaxNeighbors,
 			obsv.QueueReqSeen:   sc.Core.MaxReqSeen,
+			obsv.QueueLinkQual:  sc.Core.MaxNeighbors,
 		} {
 			if cap > 0 {
 				bounds[string(queue)] = cap
 			}
 		}
+		// Timer ranges come from the same Config helpers the protocol's AIMD
+		// step clamps against, so checker and protocol cannot drift apart.
+		gMin, gMax := sc.Core.GossipBounds()
+		mMin, mMax := sc.Core.MuteTimeoutBounds()
+		timerRanges[string(obsv.TimerGossip)] = [2]time.Duration{gMin, gMax}
+		timerRanges[string(obsv.TimerMute)] = [2]time.Duration{mMin, mMax}
 	}
 	return invariant.New(cfg, eng.Now, invariant.Probes{
-		N:      sc.N,
-		Bounds: bounds,
+		N:           sc.N,
+		Bounds:      bounds,
+		TimerRanges: timerRanges,
 		Correct: func(id wire.NodeID) bool {
 			return int(id) < len(correct) && correct[id]
 		},
@@ -130,9 +139,48 @@ func scheduleFaultPlan(sc Scenario, eng *sim.Engine, medium *radio.Medium, switc
 		case faultplan.DegradeRadio:
 			end := e.At + e.Duration
 			apply = func() {
-				medium.SetExtraLoss(e.LossFactor)
-				eng.AtEpoch(end, "fault:radio-restored", func() {
-					medium.SetExtraLoss(0)
+				// Each window pushes its own degradation and pops exactly it
+				// at expiry: overlapping degrade-radio events compose (their
+				// survival probabilities multiply) instead of the last writer
+				// clobbering the shared scalar and the first expiry clearing
+				// every later window.
+				pop := medium.PushDegradation(e.LossFactor)
+				eng.AtEpoch(end, "fault:radio-restored", pop)
+			}
+		case faultplan.BurstLoss:
+			end := e.At + e.Duration
+			apply = func() {
+				medium.SetBurst(radio.BurstConfig{
+					Loss:     e.LossFactor,
+					MeanBad:  e.MeanBad,
+					MeanGood: e.MeanGood,
+				})
+				eng.AtEpoch(end, "fault:burst-restored", func() {
+					medium.SetBurst(radio.BurstConfig{})
+				})
+			}
+		case faultplan.Jitter:
+			end := e.At + e.Duration
+			apply = func() {
+				medium.SetJitter(e.MaxJitter)
+				eng.AtEpoch(end, "fault:jitter-restored", func() {
+					medium.SetJitter(0)
+				})
+			}
+		case faultplan.Duplicate:
+			end := e.At + e.Duration
+			apply = func() {
+				medium.SetDuplication(e.DupProb)
+				eng.AtEpoch(end, "fault:duplicate-restored", func() {
+					medium.SetDuplication(0)
+				})
+			}
+		case faultplan.AsymDegrade:
+			end := e.At + e.Duration
+			apply = func() {
+				medium.SetAsymLoss(e.LossFactor)
+				eng.AtEpoch(end, "fault:asym-restored", func() {
+					medium.SetAsymLoss(0)
 				})
 			}
 		case faultplan.SwapBehavior:
@@ -256,6 +304,9 @@ func ReproCommand(sc Scenario) string {
 	}
 	if !sc.Core.EnableFDs {
 		b.WriteString(" -no-fd")
+	}
+	if !sc.Core.AdaptiveTiming {
+		b.WriteString(" -no-adapt")
 	}
 	if sc.FaultPlan != nil {
 		fmt.Fprintf(&b, " -faults '%s'", sc.FaultPlan.String())

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"bbcast/internal/faultplan"
+	"bbcast/internal/radio"
+	"bbcast/internal/sim"
 	"bbcast/internal/wire"
 )
 
@@ -143,9 +145,46 @@ func TestSwapBehaviorExcludedFromCorrect(t *testing.T) {
 	}
 }
 
+// TestOverlappingDegradeRadioWindowsCompose is the regression test for the
+// last-writer-wins bug: two overlapping degrade-radio events used to share
+// one scalar, so the second event clobbered the first and the first expiry
+// cleared both. Through the fault-plan path, overlapping windows must
+// compose (survival probabilities multiply) and each expiry must remove
+// exactly its own contribution.
+func TestOverlappingDegradeRadioWindowsCompose(t *testing.T) {
+	sc := DefaultScenario()
+	sc.N = 4
+	eng := sim.New(1)
+	medium := radio.New(eng, buildMobility(sc), sc.N, sc.Radio)
+	defer medium.Close()
+	events := []faultplan.Event{
+		{At: 10 * time.Second, Kind: faultplan.DegradeRadio, LossFactor: 0.5, Duration: 20 * time.Second}, // 10s–30s
+		{At: 15 * time.Second, Kind: faultplan.DegradeRadio, LossFactor: 0.5, Duration: 5 * time.Second},  // 15s–20s
+	}
+	if err := scheduleFaultPlan(sc, eng, medium, nil, nil, nil, events); err != nil {
+		t.Fatal(err)
+	}
+	probe := func(at time.Duration, lo, hi float64) {
+		eng.At(at, func() {
+			if got := medium.ExtraLoss(); got < lo || got > hi {
+				t.Errorf("at %s: ExtraLoss = %v, want in [%v, %v]", at, got, lo, hi)
+			}
+		})
+	}
+	probe(12*time.Second, 0.5, 0.5)   // first window alone
+	probe(17*time.Second, 0.74, 0.76) // overlap: 1-(1-0.5)² = 0.75
+	probe(25*time.Second, 0.5, 0.5)   // second expired, first must survive
+	probe(35*time.Second, 0, 0)       // both expired
+	eng.Run(40 * time.Second)
+}
+
 func TestEquivocationFiresAgreement(t *testing.T) {
 	sc := quickScenario()
-	sc.Adversaries = []Adversaries{{Kind: AdvEquivocate, Count: 1}}
+	// Two equivocators: a lone one only splits the network for the moments
+	// before its variants cross paths, so whether any correct pair durably
+	// accepts different payloads is seed luck. A pair reinforcing each other's
+	// variants produces agreement violations across seeds.
+	sc.Adversaries = []Adversaries{{Kind: AdvEquivocate, Count: 2}}
 	res, err := Run(sc)
 	if err != nil {
 		t.Fatal(err)
@@ -159,7 +198,7 @@ func TestEquivocationFiresAgreement(t *testing.T) {
 	if agreement == 0 {
 		t.Fatal("equivocating source produced no agreement violations")
 	}
-	if !strings.Contains(res.Repro, "-seed") || !strings.Contains(res.Repro, "-equivocate 1") {
+	if !strings.Contains(res.Repro, "-seed") || !strings.Contains(res.Repro, "-equivocate 2") {
 		t.Fatalf("repro line incomplete: %q", res.Repro)
 	}
 }

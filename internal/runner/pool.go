@@ -181,6 +181,9 @@ func Average(rs []Result) Result {
 		node.RateLimited += r.Node.RateLimited
 		node.DedupSkips += r.Node.DedupSkips
 		node.Evictions += r.Node.Evictions
+		node.Adaptations += r.Node.Adaptations
+		node.RetriesSent += r.Node.RetriesSent
+		node.RetriesAbandoned += r.Node.RetriesAbandoned
 		out.Violations = append(out.Violations, r.Violations...)
 		out.FaultEvents = append(out.FaultEvents, r.FaultEvents...)
 		if out.Repro == "" {
@@ -205,17 +208,20 @@ func Average(rs []Result) Result {
 		out.TxByKind[k] = v / un
 	}
 	out.Node = core.Stats{
-		Accepted:        node.Accepted / un,
-		Duplicates:      node.Duplicates / un,
-		BadSignatures:   node.BadSignatures / un,
-		Forwarded:       node.Forwarded / un,
-		GossipsSent:     node.GossipsSent / un,
-		RequestsSent:    node.RequestsSent / un,
-		FindsSent:       node.FindsSent / un,
-		RecoveredByData: node.RecoveredByData / un,
-		RateLimited:     node.RateLimited / un,
-		DedupSkips:      node.DedupSkips / un,
-		Evictions:       node.Evictions / un,
+		Accepted:         node.Accepted / un,
+		Duplicates:       node.Duplicates / un,
+		BadSignatures:    node.BadSignatures / un,
+		Forwarded:        node.Forwarded / un,
+		GossipsSent:      node.GossipsSent / un,
+		RequestsSent:     node.RequestsSent / un,
+		FindsSent:        node.FindsSent / un,
+		RecoveredByData:  node.RecoveredByData / un,
+		RateLimited:      node.RateLimited / un,
+		DedupSkips:       node.DedupSkips / un,
+		Evictions:        node.Evictions / un,
+		Adaptations:      node.Adaptations / un,
+		RetriesSent:      node.RetriesSent / un,
+		RetriesAbandoned: node.RetriesAbandoned / un,
 	}
 	return out
 }

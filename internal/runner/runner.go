@@ -496,6 +496,9 @@ func Run(sc Scenario) (Result, error) {
 		res.Node.RateLimited += st.RateLimited
 		res.Node.DedupSkips += st.DedupSkips
 		res.Node.Evictions += st.Evictions
+		res.Node.Adaptations += st.Adaptations
+		res.Node.RetriesSent += st.RetriesSent
+		res.Node.RetriesAbandoned += st.RetriesAbandoned
 		if cp, ok := protos[i].(*core.Protocol); ok {
 			if cp.InOverlay() {
 				res.Results.OverlaySize++
