@@ -1,28 +1,60 @@
-// Command bbtrace digests a JSONL event trace produced by `bbsim -trace`:
-// per-message propagation times, transmission counts by kind, and overlay
-// role churn.
+// Command bbtrace digests a JSONL event trace produced by `bbsim -trace`.
 //
 //	bbsim -n 50 -trace /tmp/run.jsonl
-//	bbtrace /tmp/run.jsonl
+//	bbtrace /tmp/run.jsonl                       # propagation summary
+//	bbtrace lineage /tmp/run.jsonl               # per-message dissemination DAGs
+//	bbtrace lineage -chrome /tmp/run.json /tmp/run.jsonl
+//	bbtrace explain -msg 1/3 -node 42 /tmp/run.jsonl
+//
+// The summary reports per-message propagation times, transmission counts by
+// kind and overlay role churn. The lineage report reconstructs each
+// message's dissemination DAG: phase latencies, hop-count distributions,
+// data-path vs gossip-recovery delivery attribution and loss-site
+// localization. Explain answers "why was this delivery late" / "why did this
+// node never deliver" for one (message, node) pair. The -chrome flag
+// additionally exports the DAGs as Chrome trace-event JSON for
+// about:tracing or Perfetto.
+//
+// Truncated or corrupt traces are reported, not ignored: undecodable lines
+// produce a warning with the byte offset of the first one, and a trace with
+// zero decodable events is an error.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"bbcast/internal/trace"
+	"bbcast/internal/wire"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "bbtrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+const usage = `usage: bbtrace [summary] <trace.jsonl>
+       bbtrace lineage [-chrome <out.json>] <trace.jsonl>
+       bbtrace explain -msg <origin/seq> -node <id> <trace.jsonl>`
+
+func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("%s", usage)
+	}
+	switch args[0] {
+	case "lineage":
+		return runLineage(args[1:], stdout, stderr)
+	case "explain":
+		return runExplain(args[1:], stdout, stderr)
+	case "summary":
+		args = args[1:]
+	}
 	if len(args) != 1 {
-		return fmt.Errorf("usage: bbtrace <trace.jsonl>")
+		return fmt.Errorf("%s", usage)
 	}
 	f, err := os.Open(args[0])
 	if err != nil {
@@ -33,6 +65,102 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(analysis.Summary())
+	warnDecode(stderr, trace.DecodeStats{
+		Decoded:        analysis.Events,
+		Undecodable:    analysis.Undecodable,
+		FirstBadOffset: analysis.FirstBadOffset,
+	})
+	if analysis.Events == 0 {
+		return fmt.Errorf("%s: no decodable events", args[0])
+	}
+	fmt.Fprint(stdout, analysis.Summary())
 	return nil
+}
+
+func runLineage(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lineage", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	chrome := fs.String("chrome", "", "also export Chrome trace-event JSON to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("%s", usage)
+	}
+	l, err := loadLineage(fs.Arg(0), stderr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, l.Report())
+	if *chrome != "" {
+		out, err := os.Create(*chrome)
+		if err != nil {
+			return err
+		}
+		if err := l.ChromeTrace(out); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "bbtrace: wrote Chrome trace to %s (load in about:tracing or Perfetto)\n", *chrome)
+	}
+	return nil
+}
+
+func runExplain(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	msg := fs.String("msg", "", "message id as origin/seq (required)")
+	node := fs.Uint("node", 0, "node id (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 || *msg == "" {
+		return fmt.Errorf("%s", usage)
+	}
+	nodeSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "node" {
+			nodeSet = true
+		}
+	})
+	if !nodeSet {
+		return fmt.Errorf("%s", usage)
+	}
+	l, err := loadLineage(fs.Arg(0), stderr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, l.Explain(*msg, wire.NodeID(*node)))
+	return nil
+}
+
+// loadLineage decodes a trace file and builds its lineage, enforcing the
+// decode-health contract shared by every subcommand.
+func loadLineage(path string, stderr io.Writer) (*trace.Lineage, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	events, stats, err := trace.Decode(f)
+	if err != nil {
+		return nil, err
+	}
+	warnDecode(stderr, stats)
+	if stats.Decoded == 0 {
+		return nil, fmt.Errorf("%s: no decodable events", path)
+	}
+	return trace.BuildLineage(events, stats), nil
+}
+
+// warnDecode surfaces lossy decodes on stderr so a truncated trace is never
+// mistaken for a quiet run.
+func warnDecode(stderr io.Writer, stats trace.DecodeStats) {
+	if stats.Undecodable > 0 {
+		fmt.Fprintf(stderr, "bbtrace: warning: %d undecodable line(s), first at byte offset %d (truncated or corrupt trace?)\n",
+			stats.Undecodable, stats.FirstBadOffset)
+	}
 }

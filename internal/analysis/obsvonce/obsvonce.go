@@ -47,6 +47,9 @@ var EmissionSources = map[string][]string{
 	},
 	// accept: the single application-delivery choke point.
 	"OnAccept": {"bbcast/internal/core.Deps.Accept"},
+	// forward-suppressed: one event per redundant data frame declined, via
+	// the Deps.ObserveSuppressed choke point shared with the baselines.
+	"OnForwardSuppressed": {"bbcast/internal/core.Deps.ObserveSuppressed"},
 	// role: committed overlay role transitions only.
 	"OnRoleChange": {"bbcast/internal/core.Protocol.applyRole"},
 	// suspicion: the detector hooks wired up in core.New.

@@ -18,17 +18,23 @@ type Deps struct {
 	Obs obsv.Observer
 }
 
-func (d Deps) Accept(at time.Duration, id wire.MsgID, payload []byte) {
-	d.Obs.OnAccept(at, d.ID, id, payload) // designated source: allowed
+func (d Deps) Accept(at time.Duration, id wire.MsgID, payload []byte, meta wire.Meta) {
+	d.Obs.OnAccept(at, d.ID, id, payload, meta) // designated source: allowed
 	emit := func() {
-		d.Obs.OnAccept(at, d.ID, id, payload) // closures count as Deps.Accept
+		d.Obs.OnAccept(at, d.ID, id, payload, meta) // closures count as Deps.Accept
 	}
 	emit()
 	d.Obs.OnInject(at, d.ID, id) // want `obsv\.Observer\.OnInject emitted outside its designated source`
 }
 
+// ObserveSuppressed is OnForwardSuppressed's designated source.
+func (d Deps) ObserveSuppressed(at time.Duration, id wire.MsgID, meta wire.Meta) {
+	d.Obs.OnForwardSuppressed(at, d.ID, id, meta) // designated source: allowed
+}
+
 func leak(at time.Duration, obs obsv.Observer, node wire.NodeID, id wire.MsgID) {
-	obs.OnAccept(at, node, id, nil) // want `obsv\.Observer\.OnAccept emitted outside its designated source`
+	obs.OnAccept(at, node, id, nil, wire.Meta{})      // want `obsv\.Observer\.OnAccept emitted outside its designated source`
+	obs.OnForwardSuppressed(at, node, id, wire.Meta{}) // want `obsv\.Observer\.OnForwardSuppressed emitted outside its designated source`
 }
 
 // tee fans out to a second observer. It implements obsv.Observer through the
@@ -62,7 +68,7 @@ type loud struct {
 
 func (l loud) OnInject(at time.Duration, node wire.NodeID, id wire.MsgID) {
 	l.Observer.OnInject(at, node, id)
-	l.Observer.OnAccept(at, node, id, nil) // want `obsv\.Observer\.OnAccept emitted outside its designated source`
+	l.Observer.OnAccept(at, node, id, nil, wire.Meta{}) // want `obsv\.Observer\.OnAccept emitted outside its designated source`
 }
 
 // Protocol mirrors the real protocol's adaptive-timing chokepoints:

@@ -43,6 +43,7 @@ func (f *Flooding) Broadcast(payload []byte) wire.MsgID {
 	body := make([]byte, len(payload))
 	copy(body, payload)
 	f.seen[id] = true
+	digest := wire.Digest(body)
 	f.deps.Send(&wire.Packet{
 		Kind:    wire.KindData,
 		Sender:  f.deps.ID,
@@ -52,10 +53,11 @@ func (f *Flooding) Broadcast(payload []byte) wire.MsgID {
 		Seq:     id.Seq,
 		Payload: body,
 		Sig:     f.deps.Scheme.Sign(uint32(f.deps.ID), wire.DataSigBytes(id, body)),
+		Meta:    wire.Meta{Hops: 1, Cause: wire.CauseOrigin, Digest: digest},
 	})
 	if f.deps.Deliver != nil {
 		f.stats.Accepted++
-		f.deps.Accept(id, body)
+		f.deps.Accept(id, body, wire.Meta{Cause: wire.CauseOrigin, Digest: digest})
 	}
 	return id
 }
@@ -72,6 +74,7 @@ func (f *Flooding) HandlePacket(pkt *wire.Packet) {
 	id := pkt.ID()
 	if f.seen[id] {
 		f.stats.Duplicates++
+		f.deps.ObserveSuppressed(id, pkt.Meta)
 		return
 	}
 	if !f.deps.Scheme.Verify(uint32(id.Origin), wire.DataSigBytes(id, pkt.Payload), pkt.Sig) {
@@ -80,10 +83,17 @@ func (f *Flooding) HandlePacket(pkt *wire.Packet) {
 	}
 	f.seen[id] = true
 	f.stats.Accepted++
-	f.deps.Accept(id, pkt.Payload)
+	f.deps.Accept(id, pkt.Payload, pkt.Meta)
 	f.stats.Forwarded++
 	fwd := pkt.Clone()
 	fwd.Sender = f.deps.ID
+	fwd.Meta = wire.Meta{
+		Parent:    pkt.Meta.Frame,
+		Hops:      pkt.Meta.Hops + 1,
+		Cause:     wire.CauseOriginRelay,
+		Digest:    pkt.Meta.Digest,
+		Recovered: pkt.Meta.Recovered,
+	}
 	if f.jitter > 0 {
 		f.deps.Clock.After(time.Duration(f.deps.Rand.Int63n(int64(f.jitter))), func() {
 			f.deps.Send(fwd)

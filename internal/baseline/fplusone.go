@@ -81,11 +81,12 @@ func (p *FPlusOne) Broadcast(payload []byte) wire.MsgID {
 			Seq:     id.Seq,
 			Payload: body,
 			Sig:     p.deps.Scheme.Sign(uint32(p.deps.ID), wire.DataSigBytes(id, body)),
+			Meta:    wire.Meta{Hops: 1, Cause: wire.CauseOrigin, Digest: wire.Digest(body)},
 		})
 	}
 	if p.deps.Deliver != nil {
 		p.stats.Accepted++
-		p.deps.Accept(id, payload)
+		p.deps.Accept(id, payload, wire.Meta{Cause: wire.CauseOrigin, Digest: wire.Digest(payload)})
 	}
 	return id
 }
@@ -112,9 +113,10 @@ func (p *FPlusOne) HandlePacket(pkt *wire.Packet) {
 	if !p.seen[id] {
 		p.seen[id] = true
 		p.stats.Accepted++
-		p.deps.Accept(id, pkt.Payload[1:])
+		p.deps.Accept(id, pkt.Payload[1:], pkt.Meta)
 	} else {
 		p.stats.Duplicates++
+		p.deps.ObserveSuppressed(id, pkt.Meta)
 	}
 	key := chanMsg{id: id, c: c}
 	if p.member[c] && !p.forwarded[key] {
@@ -122,6 +124,13 @@ func (p *FPlusOne) HandlePacket(pkt *wire.Packet) {
 		p.stats.Forwarded++
 		fwd := pkt.Clone()
 		fwd.Sender = p.deps.ID
+		fwd.Meta = wire.Meta{
+			Parent:    pkt.Meta.Frame,
+			Hops:      pkt.Meta.Hops + 1,
+			Cause:     wire.CauseOriginRelay,
+			Digest:    pkt.Meta.Digest,
+			Recovered: pkt.Meta.Recovered,
+		}
 		if p.jitter > 0 {
 			p.deps.Clock.After(time.Duration(p.deps.Rand.Int63n(int64(p.jitter))), func() {
 				p.deps.Send(fwd)

@@ -263,6 +263,7 @@ func (p *Protocol) scheduleRetryStep(id wire.MsgID, miss *pendingMiss) {
 			Origin: id.Origin,
 			Seq:    id.Seq,
 			Sig:    miss.headerSig,
+			Meta:   wire.Meta{Parent: miss.srcFrame, Cause: wire.CauseRetry},
 		})
 		p.scheduleRetryStep(id, miss)
 	})

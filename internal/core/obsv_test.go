@@ -30,6 +30,7 @@ type recObserver struct {
 	queues      map[obsv.Queue]int
 	suspRaised  int
 	suspCleared int
+	suppressed  int
 }
 
 func newRecObserver() *recObserver {
@@ -40,22 +41,27 @@ func (r *recObserver) log(format string, args ...any) {
 	r.lines = append(r.lines, fmt.Sprintf(format, args...))
 }
 
-func (r *recObserver) OnPacketTx(at time.Duration, node wire.NodeID, kind wire.Kind, id wire.MsgID) {
-	r.log("tx %s %d %s %v", at, node, kind, id)
+func (r *recObserver) OnPacketTx(at time.Duration, node wire.NodeID, kind wire.Kind, id wire.MsgID, meta wire.Meta) {
+	r.log("tx %s %d %s %v cause=%s hops=%d", at, node, kind, id, meta.Cause, meta.Hops)
 }
 
-func (r *recObserver) OnPacketRx(at time.Duration, node wire.NodeID, kind wire.Kind, id wire.MsgID) {
+func (r *recObserver) OnPacketRx(at time.Duration, node wire.NodeID, kind wire.Kind, id wire.MsgID, meta wire.Meta) {
 	r.rx++
-	r.log("rx %s %d %s %v", at, node, kind, id)
+	r.log("rx %s %d %s %v cause=%s", at, node, kind, id, meta.Cause)
 }
 
 func (r *recObserver) OnInject(at time.Duration, node wire.NodeID, id wire.MsgID) {
 	r.log("inject %s %d %v", at, node, id)
 }
 
-func (r *recObserver) OnAccept(at time.Duration, node wire.NodeID, id wire.MsgID, payload []byte) {
+func (r *recObserver) OnAccept(at time.Duration, node wire.NodeID, id wire.MsgID, payload []byte, meta wire.Meta) {
 	r.accepts = append(r.accepts, id)
-	r.log("accept %s %d %v %q", at, node, id, payload)
+	r.log("accept %s %d %v %q cause=%s hops=%d rec=%v", at, node, id, payload, meta.Cause, meta.Hops, meta.Recovered)
+}
+
+func (r *recObserver) OnForwardSuppressed(at time.Duration, node wire.NodeID, id wire.MsgID, meta wire.Meta) {
+	r.suppressed++
+	r.log("suppress %s %d %v cause=%s", at, node, id, meta.Cause)
 }
 
 func (r *recObserver) OnRoleChange(at time.Duration, node wire.NodeID, role overlay.Role) {
@@ -138,10 +144,14 @@ func TestObserverExactlyOncePerProtocolEvent(t *testing.T) {
 		t.Fatalf("after first data: rx=%d sigs=%d accepts=%d, want 1/1/1",
 			rec.rx, rec.sigs, len(rec.accepts))
 	}
-	// The duplicate is received (an rx event) but must not re-accept.
+	// The duplicate is received (an rx event) but must not re-accept; the
+	// redundant frame is reported as suppressed exactly once.
 	h.p.HandlePacket(data.Clone())
 	if rec.rx != 2 || len(rec.accepts) != 1 {
 		t.Fatalf("after duplicate: rx=%d accepts=%d, want 2/1", rec.rx, len(rec.accepts))
+	}
+	if rec.suppressed != 1 {
+		t.Fatalf("after duplicate: suppressed=%d, want 1", rec.suppressed)
 	}
 	// The node's own broadcast is delivered locally (DeliverOwn) and must
 	// emit exactly one accept too.

@@ -37,20 +37,31 @@ type Deps struct {
 
 // Accept routes one application-level acceptance through the upcall and the
 // observer — the single choke point used by every protocol implementation
-// (the broadcast protocol and the comparison baselines).
-func (d *Deps) Accept(id wire.MsgID, payload []byte) {
+// (the broadcast protocol and the comparison baselines). meta is the causal
+// metadata of the frame that completed delivery (zero Hops and CauseOrigin
+// for an originator's own acceptance).
+func (d *Deps) Accept(id wire.MsgID, payload []byte, meta wire.Meta) {
 	if d.Deliver != nil {
 		d.Deliver(id.Origin, id, payload)
 	}
 	if d.Obs != nil {
-		d.Obs.OnAccept(d.Clock.Now(), d.ID, id, payload)
+		d.Obs.OnAccept(d.Clock.Now(), d.ID, id, payload, meta)
 	}
 }
 
 // ObserveRx reports one received frame to the observer.
 func (d *Deps) ObserveRx(pkt *wire.Packet) {
 	if d.Obs != nil {
-		d.Obs.OnPacketRx(d.Clock.Now(), d.ID, pkt.Kind, pkt.ID())
+		d.Obs.OnPacketRx(d.Clock.Now(), d.ID, pkt.Kind, pkt.ID(), pkt.Meta)
+	}
+}
+
+// ObserveSuppressed reports one redundant data frame that was suppressed
+// instead of forwarded — the shared choke point (and obsvonce designated
+// source) for OnForwardSuppressed across the protocol and the baselines.
+func (d *Deps) ObserveSuppressed(id wire.MsgID, meta wire.Meta) {
+	if d.Obs != nil {
+		d.Obs.OnForwardSuppressed(d.Clock.Now(), d.ID, id, meta)
 	}
 }
 
@@ -67,6 +78,15 @@ type msgState struct {
 	// (stability detection input).
 	//bbvet:bounded-by maxHolders noteHolder refuses growth past the cap; total is maxHolders×MaxStore
 	holders map[wire.NodeID]bool
+
+	// Causal lineage of the local copy: the frame it arrived on, its
+	// data-path hop count, whether gossip recovery repaired any hop of its
+	// journey (sticky downstream), and the payload digest. All zero for a
+	// locally originated message.
+	viaFrame     uint64
+	viaHops      uint32
+	viaRecovered bool
+	digest       uint64
 }
 
 // Per-entry side-table caps. These small maps hang off entries of the
@@ -112,6 +132,9 @@ type pendingMiss struct {
 	firstHeard time.Duration
 	attempts   int  // retransmissions sent so far (first requests excluded)
 	retryArmed bool // the retransmission chain has been started
+	// srcFrame is the gossip frame that first advertised the gap: requests
+	// and retries cite it as their causal parent.
+	srcFrame uint64
 }
 
 // neighborState is what we know about one direct neighbour. It doubles as
@@ -337,12 +360,14 @@ func (p *Protocol) Broadcast(payload []byte) wire.MsgID {
 	copy(body, payload)
 	dataSig := p.deps.Scheme.Sign(uint32(p.deps.ID), wire.DataSigBytes(id, body))
 	headerSig := p.deps.Scheme.Sign(uint32(p.deps.ID), wire.HeaderSigBytes(id))
+	digest := wire.Digest(body)
 	p.enforceStoreCap()
 	p.store[id] = &msgState{
 		payload:    body,
 		dataSig:    dataSig,
 		headerSig:  headerSig,
 		receivedAt: p.deps.Clock.Now(),
+		digest:     digest,
 	}
 	p.send(&wire.Packet{
 		Kind:    wire.KindData,
@@ -352,10 +377,11 @@ func (p *Protocol) Broadcast(payload []byte) wire.MsgID {
 		Seq:     id.Seq,
 		Payload: body,
 		Sig:     dataSig,
+		Meta:    wire.Meta{Hops: 1, Cause: wire.CauseOrigin, Digest: digest},
 	})
 	if p.cfg.DeliverOwn && p.deps.Deliver != nil {
 		p.stats.Accepted++
-		p.deps.Accept(id, body)
+		p.deps.Accept(id, body, wire.Meta{Cause: wire.CauseOrigin, Digest: digest})
 	}
 	return id
 }
@@ -419,6 +445,7 @@ func (p *Protocol) handleData(pkt *wire.Packet) {
 	id := pkt.ID()
 	if st, ok := p.store[id]; ok && !st.purged {
 		p.stats.Duplicates++
+		p.deps.ObserveSuppressed(id, pkt.Meta)
 		// A duplicate still proves the sender transmitted the expected
 		// header: without this, expectations armed after the first copy
 		// arrived could never be fulfilled and correct overlay neighbours
@@ -449,7 +476,12 @@ func (p *Protocol) handleData(pkt *wire.Packet) {
 		st.dataSig = pkt.Sig
 		st.purged = false
 		st.receivedAt = p.deps.Clock.Now()
+		st.viaFrame = pkt.Meta.Frame
+		st.viaHops = pkt.Meta.Hops
+		st.viaRecovered = pkt.Meta.Recovered
+		st.digest = dataDigest(pkt)
 		p.stats.Duplicates++
+		p.deps.ObserveSuppressed(id, pkt.Meta)
 		if p.cfg.EnableFDs {
 			p.mute.Fulfill(fd.ExpectKey{Kind: wire.KindData, ID: id}, pkt.Sender)
 		}
@@ -467,9 +499,13 @@ func (p *Protocol) handleData(pkt *wire.Packet) {
 	}
 
 	st := &msgState{
-		payload:    pkt.Payload,
-		dataSig:    pkt.Sig,
-		receivedAt: p.deps.Clock.Now(),
+		payload:      pkt.Payload,
+		dataSig:      pkt.Sig,
+		receivedAt:   p.deps.Clock.Now(),
+		viaFrame:     pkt.Meta.Frame,
+		viaHops:      pkt.Meta.Hops,
+		viaRecovered: pkt.Meta.Recovered,
+		digest:       dataDigest(pkt),
 	}
 	p.enforceStoreCap()
 	p.store[id] = st
@@ -477,7 +513,9 @@ func (p *Protocol) handleData(pkt *wire.Packet) {
 	// satisfied, so its per-requester counts need not be retained.
 	delete(p.reqSeen, id)
 	p.stats.Accepted++
-	p.deps.Accept(id, pkt.Payload)
+	acceptMeta := pkt.Meta
+	acceptMeta.Digest = st.digest
+	p.deps.Accept(id, pkt.Payload, acceptMeta)
 
 	if p.cfg.EnableFDs {
 		// Any pending expectation for this data is satisfied by this sender.
@@ -496,11 +534,11 @@ func (p *Protocol) handleData(pkt *wire.Packet) {
 		// §3.2 lines 12–13: overlay nodes forward (after a random
 		// assessment delay so co-located relays do not collide).
 		p.stats.Forwarded++
-		p.forwardDataJittered(id, 1, wire.NoNode)
+		p.forwardDataJittered(id, 1, wire.NoNode, wire.CauseOriginRelay)
 	case pkt.TTL >= 2:
 		// §3.2 lines 15–17: recovery floods travel two hops.
 		p.stats.Forwarded++
-		p.forwardDataJittered(id, pkt.TTL-1, pkt.Target)
+		p.forwardDataJittered(id, pkt.TTL-1, pkt.Target, wire.CauseGossipRecovery)
 	}
 
 	// §3.2 lines 19–21: if we had heard a gossip for it while missing,
@@ -514,13 +552,13 @@ func (p *Protocol) handleData(pkt *wire.Packet) {
 
 // forwardDataJittered re-broadcasts after a random assessment delay; the
 // message is re-read from the store at fire time (it may have been purged).
-func (p *Protocol) forwardDataJittered(id wire.MsgID, ttl uint8, target wire.NodeID) {
+func (p *Protocol) forwardDataJittered(id wire.MsgID, ttl uint8, target wire.NodeID, cause wire.Cause) {
 	send := func() {
 		st, ok := p.store[id]
 		if !ok || st.purged || p.stopped {
 			return
 		}
-		p.forwardData(id, st, ttl, target)
+		p.forwardData(id, st, ttl, target, cause)
 	}
 	if p.cfg.ForwardJitter <= 0 {
 		send()
@@ -529,7 +567,7 @@ func (p *Protocol) forwardDataJittered(id wire.MsgID, ttl uint8, target wire.Nod
 	p.deps.Clock.After(time.Duration(p.deps.Rand.Int63n(int64(p.cfg.ForwardJitter))), send)
 }
 
-func (p *Protocol) forwardData(id wire.MsgID, st *msgState, ttl uint8, target wire.NodeID) {
+func (p *Protocol) forwardData(id wire.MsgID, st *msgState, ttl uint8, target wire.NodeID, cause wire.Cause) {
 	p.send(&wire.Packet{
 		Kind:    wire.KindData,
 		TTL:     ttl,
@@ -538,7 +576,26 @@ func (p *Protocol) forwardData(id wire.MsgID, st *msgState, ttl uint8, target wi
 		Seq:     id.Seq,
 		Payload: st.payload,
 		Sig:     st.dataSig,
+		Meta: wire.Meta{
+			Parent: st.viaFrame,
+			Hops:   st.viaHops + 1,
+			Cause:  cause,
+			Digest: st.digest,
+			// A recovery transmission marks the chain: every delivery
+			// downstream of one repair is attributed to recovery.
+			Recovered: st.viaRecovered || cause == wire.CauseGossipRecovery,
+		},
 	})
+}
+
+// dataDigest returns the payload digest of a data frame, trusting the
+// sender's precomputed Meta.Digest when present (simulation) and hashing
+// locally otherwise (live transport, where Meta does not cross the wire).
+func dataDigest(pkt *wire.Packet) uint64 {
+	if pkt.Meta.Digest != 0 {
+		return pkt.Meta.Digest
+	}
+	return wire.Digest(pkt.Payload)
 }
 
 // handleGossip implements §3.2 lines 26–41, batched. Two admission guards
@@ -579,7 +636,7 @@ func (p *Protocol) handleGossip(pkt *wire.Packet) {
 			}
 			continue
 		}
-		p.noteMissing(entry.ID, entry.Sig, pkt.Sender)
+		p.noteMissing(entry.ID, entry.Sig, pkt.Sender, pkt.Meta.Frame)
 	}
 }
 
@@ -587,7 +644,7 @@ func (p *Protocol) handleGossip(pkt *wire.Packet) {
 // schedules its recovery (§3.2 lines 27–33). Every distinct gossiper is
 // armed in MUTE (it has the message and must supply it when asked) and asked
 // once; later gossip rounds repeat the process until the message arrives.
-func (p *Protocol) noteMissing(id wire.MsgID, headerSig []byte, gossiper wire.NodeID) {
+func (p *Protocol) noteMissing(id wire.MsgID, headerSig []byte, gossiper wire.NodeID, srcFrame uint64) {
 	if !p.cfg.EnableRecovery {
 		return
 	}
@@ -604,6 +661,7 @@ func (p *Protocol) noteMissing(id wire.MsgID, headerSig []byte, gossiper wire.No
 			headerSig:  headerSig,
 			gossipers:  make(map[wire.NodeID]int, 4),
 			firstHeard: p.deps.Clock.Now(),
+			srcFrame:   srcFrame,
 		}
 		p.missing[id] = miss
 	}
@@ -655,6 +713,7 @@ func (p *Protocol) scheduleRequest(id wire.MsgID, miss *pendingMiss, gossiper wi
 			Origin: id.Origin,
 			Seq:    id.Seq,
 			Sig:    miss.headerSig,
+			Meta:   wire.Meta{Parent: miss.srcFrame, Cause: wire.CauseRequest},
 		})
 		// The data did not arrive by itself: beyond the per-gossiper first
 		// requests, start the bounded retransmission chain (once per entry).
@@ -694,7 +753,7 @@ func (p *Protocol) handleRequest(pkt *wire.Packet) {
 			}
 		}
 		p.stats.RecoveredByData++
-		p.forwardData(id, st, 1, requester) // line 48
+		p.forwardData(id, st, 1, requester, wire.CauseGossipRecovery) // line 48
 		return
 	}
 
@@ -716,6 +775,7 @@ func (p *Protocol) handleRequest(pkt *wire.Packet) {
 			Origin: id.Origin,
 			Seq:    id.Seq,
 			Sig:    pkt.Sig,
+			Meta:   wire.Meta{Parent: pkt.Meta.Frame, Cause: wire.CauseFind},
 		})
 	}
 }
@@ -737,6 +797,7 @@ func (p *Protocol) handleFindMissing(pkt *wire.Packet) {
 		if pkt.TTL >= 2 {
 			fwd := pkt.Clone()
 			fwd.TTL = pkt.TTL - 1
+			fwd.Meta = wire.Meta{Parent: pkt.Meta.Frame, Cause: wire.CauseFind}
 			p.send(fwd)
 		}
 		return
@@ -752,9 +813,9 @@ func (p *Protocol) handleFindMissing(pkt *wire.Packet) {
 				p.verbose.Indict(pkt.Sender)
 			}
 		}
-		p.forwardData(id, st, 1, pkt.Sender) // line 73
+		p.forwardData(id, st, 1, pkt.Sender, wire.CauseGossipRecovery) // line 73
 	} else {
-		p.forwardData(id, st, 2, pkt.Sender) // line 75
+		p.forwardData(id, st, 2, pkt.Sender, wire.CauseGossipRecovery) // line 75
 	}
 }
 

@@ -67,6 +67,7 @@ func (p *Protocol) sendGossipWithState(entries []wire.GossipEntry) {
 				Target: wire.NoNode,
 				Origin: wire.NoNode,
 				Gossip: []wire.GossipEntry{e},
+				Meta:   wire.Meta{Cause: wire.CauseGossip},
 			}
 			if i == 0 {
 				pkt.State = state
@@ -86,6 +87,7 @@ func (p *Protocol) sendGossipWithState(entries []wire.GossipEntry) {
 		Gossip:   entries,
 		State:    state,
 		StateSig: stateSig,
+		Meta:     wire.Meta{Cause: wire.CauseGossip},
 	})
 }
 
@@ -101,6 +103,7 @@ func (p *Protocol) sendGossip(entries []wire.GossipEntry) {
 		Target: wire.NoNode,
 		Origin: wire.NoNode,
 		Gossip: entries,
+		Meta:   wire.Meta{Cause: wire.CauseGossip},
 	})
 }
 
@@ -158,6 +161,7 @@ func (p *Protocol) maintenanceTick() {
 			Origin:   wire.NoNode,
 			State:    state,
 			StateSig: p.deps.Scheme.Sign(uint32(p.deps.ID), wire.StateSigBytes(p.deps.ID, state)),
+			Meta:     wire.Meta{Cause: wire.CauseState},
 		})
 	}
 	p.sampleQueues()

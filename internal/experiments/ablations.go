@@ -176,8 +176,10 @@ func A6Tamper(c Config) Table {
 	return t
 }
 
-// All runs the complete suite in order.
+// All runs the complete suite in order. The E15 arms are simulated once and
+// rendered as two tables (headline + lineage attribution).
 func All(c Config) []Table {
+	e15, e15l := e15HostileTables(c)
 	return []Table{
 		E1MessageOverhead(c),
 		E2Delivery(c),
@@ -202,7 +204,8 @@ func All(c Config) []Table {
 		E12Churn(c),
 		E13PartitionHeal(c),
 		E14SpamResilience(c),
-		E15HostileLinks(c),
+		e15,
+		e15l,
 	}
 }
 
@@ -214,7 +217,7 @@ func ByID(id string, c Config) (Table, bool) {
 		"E7": E7Breakdown, "E8": E8Mobility, "E9": E9Verbose,
 		"E10": E10FPlusOne, "E11": E11FastPathTimeline,
 		"E12": E12Churn, "E13": E13PartitionHeal, "E14": E14SpamResilience,
-		"E15": E15HostileLinks,
+		"E15": E15HostileLinks, "E15L": E15Lineage,
 		"A1":  A1GossipAggregation, "A2": A2Recovery, "A3": A3FindMissing,
 		"A4": A4Signatures, "A5": A5RateSweep, "A6": A6Tamper,
 		"A7": A7FDClasses, "A8": A8Poisson, "A9": A9Capture,
@@ -229,5 +232,5 @@ func ByID(id string, c Config) (Table, bool) {
 // IDs lists the experiment identifiers in canonical order.
 func IDs() []string {
 	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
-		"E12", "E13", "E14", "E15", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9"}
+		"E12", "E13", "E14", "E15", "E15L", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9"}
 }

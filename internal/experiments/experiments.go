@@ -140,7 +140,7 @@ func E1MessageOverhead(c Config) Table {
 		ID:     "E1",
 		Title:  "message overhead vs. network size (failure-free)",
 		Params: "1000x1000 m, range 250 m, rate 1 msg/s, f=2",
-		Header: []string{"n", "protocol", "tx/msg", "data/msg", "gossip/msg", "bytes/msg", "delivery"},
+		Header: []string{"n", "protocol", "tx/msg", "data/msg", "gossip/msg", "bytes/msg", "delivery", "hops-p50", "rec-share"},
 	}
 	for _, n := range c.nSweep() {
 		for _, proto := range []runner.Protocol{runner.ProtoByzCast, runner.ProtoFlooding, runner.ProtoFPlusOne} {
@@ -155,6 +155,7 @@ func E1MessageOverhead(c Config) Table {
 				perMsg(res.TxByKind[wire.KindGossip], res.Injected),
 				perMsg(res.BytesOnAir, res.Injected),
 				f3(res.DeliveryRatio),
+				f1(res.HopP50), f3(res.RecoveryShare),
 			})
 		}
 	}

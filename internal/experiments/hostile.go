@@ -18,11 +18,37 @@ import (
 // is graceful degradation: under burst loss the adaptive arm holds delivery
 // where the static baseline collapses.
 func E15HostileLinks(c Config) Table {
+	t, _ := e15HostileTables(c)
+	return t
+}
+
+// E15Lineage is the delivery-forensics companion to E15: the same arms, but
+// every delivery attributed to its path. "data-path" deliveries arrived
+// purely over the overlay relay chain; "recovery" deliveries carry the
+// sticky recovered bit (the payload crossed a gossip-repair hop somewhere
+// upstream), and rec-share is their fraction of remote deliveries. The hop
+// columns summarize the accepting frame's relay depth per arm. Expected
+// shape: hostile conditions push rec-share up and stretch the hop tail, and
+// the adaptive arm converts would-be losses into recovery deliveries.
+func E15Lineage(c Config) Table {
+	_, t := e15HostileTables(c)
+	return t
+}
+
+// e15HostileTables runs the E15 arms once and renders both views of the same
+// results (headline degradation table, lineage attribution table).
+func e15HostileTables(c Config) (Table, Table) {
 	t := Table{
 		ID:     "E15",
 		Title:  "hostile links: adaptive vs static timing under burst loss, jitter and asymmetry",
 		Params: "n=75, GE blackout bursts ~2s, ~74% mean loss, invariants + timer bounds on",
 		Header: []string{"condition", "timing", "delivery", "lat-p95(ms)", "adaptations", "retries", "abandoned", "violations"},
+	}
+	lt := Table{
+		ID:     "E15L",
+		Title:  "hostile links: delivery lineage — data-path vs gossip-recovery attribution per arm",
+		Params: "as E15; counts are per-seed means over remote deliveries",
+		Header: []string{"condition", "timing", "deliveries", "data-path", "recovery", "rec-share", "hops-mean", "hops-p50", "hops-p95", "hops-max"},
 	}
 	type condition struct {
 		label  string
@@ -66,9 +92,17 @@ func E15HostileLinks(c Config) Table {
 				u64(res.Node.Adaptations), u64(res.Node.RetriesSent),
 				u64(res.Node.RetriesAbandoned), itoa(len(res.Violations)),
 			})
+			lt.Rows = append(lt.Rows, []string{
+				cond.label, label,
+				u64(res.RemoteDeliveries),
+				u64(res.RemoteDeliveries - res.RecoveryDeliveries),
+				u64(res.RecoveryDeliveries),
+				f3(res.RecoveryShare),
+				f1(res.HopMean), f1(res.HopP50), f1(res.HopP95), f1(res.HopMax),
+			})
 		}
 	}
-	return t
+	return t, lt
 }
 
 // hostileEvents builds the fault-plan events for one E15 condition: each

@@ -30,7 +30,7 @@ func (o observer) OnInject(at time.Duration, node wire.NodeID, id wire.MsgID) {
 }
 
 // OnAccept implements obsv.Observer.
-func (o observer) OnAccept(_ time.Duration, node wire.NodeID, id wire.MsgID, payload []byte) {
+func (o observer) OnAccept(_ time.Duration, node wire.NodeID, id wire.MsgID, payload []byte, _ wire.Meta) {
 	o.c.OnDeliver(node, id, payload)
 }
 

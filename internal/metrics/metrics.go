@@ -21,12 +21,20 @@ type Collector struct {
 
 	txByKind  map[wire.Kind]uint64
 	injected  map[wire.MsgID]injection
-	delivered map[wire.MsgID]map[wire.NodeID]time.Duration
+	delivered map[wire.MsgID]map[wire.NodeID]delivery
 }
 
 type injection struct {
 	at     time.Duration
 	origin wire.NodeID
+}
+
+// delivery is one node's first acceptance of a message, with the lineage of
+// the frame that completed it.
+type delivery struct {
+	at        time.Duration
+	hops      uint32
+	recovered bool
 }
 
 var _ obsv.Observer = (*Collector)(nil)
@@ -36,12 +44,12 @@ func NewCollector() *Collector {
 	return &Collector{
 		txByKind:  make(map[wire.Kind]uint64),
 		injected:  make(map[wire.MsgID]injection),
-		delivered: make(map[wire.MsgID]map[wire.NodeID]time.Duration),
+		delivered: make(map[wire.MsgID]map[wire.NodeID]delivery),
 	}
 }
 
 // OnPacketTx records a frame put on the air.
-func (c *Collector) OnPacketTx(_ time.Duration, _ wire.NodeID, kind wire.Kind, _ wire.MsgID) {
+func (c *Collector) OnPacketTx(_ time.Duration, _ wire.NodeID, kind wire.Kind, _ wire.MsgID, _ wire.Meta) {
 	c.txByKind[kind]++
 }
 
@@ -50,16 +58,17 @@ func (c *Collector) OnInject(at time.Duration, node wire.NodeID, id wire.MsgID) 
 	c.injected[id] = injection{at: at, origin: node}
 }
 
-// OnAccept records that node accepted message id at the given time. Repeat
+// OnAccept records that node accepted message id at the given time, along
+// with the accepting frame's hop count and recovery attribution. Repeat
 // accepts for the same (node, id) are ignored.
-func (c *Collector) OnAccept(at time.Duration, node wire.NodeID, id wire.MsgID, _ []byte) {
+func (c *Collector) OnAccept(at time.Duration, node wire.NodeID, id wire.MsgID, _ []byte, meta wire.Meta) {
 	m := c.delivered[id]
 	if m == nil {
-		m = make(map[wire.NodeID]time.Duration)
+		m = make(map[wire.NodeID]delivery)
 		c.delivered[id] = m
 	}
 	if _, ok := m[node]; !ok {
-		m[node] = at
+		m[node] = delivery{at: at, hops: meta.Hops, recovered: meta.Recovered}
 	}
 }
 
@@ -91,6 +100,21 @@ type Results struct {
 	// OverlaySize is the number of overlay-active nodes at the end of the
 	// run (zero for protocols without an overlay).
 	OverlaySize int
+
+	// Lineage summary over remote deliveries (the originator's own excluded).
+	// Hop statistics cover deliveries whose accepting frame carried a hop
+	// count (always, under simulation).
+	HopMean float64
+	HopP50  float64
+	HopP95  float64
+	HopMax  float64
+	// RemoteDeliveries counts deliveries at nodes other than the originator.
+	// RecoveryDeliveries counts those whose payload travelled through gossip
+	// recovery at any hop; RecoveryShare is their fraction of all remote
+	// deliveries (the rest arrived purely on the data path).
+	RemoteDeliveries   uint64
+	RecoveryDeliveries uint64
+	RecoveryShare      float64
 }
 
 // Summarize computes results. receivers maps each message's eligible
@@ -119,6 +143,8 @@ func (c *Collector) Summarize(protocol string, n int, eligible func(origin wire.
 
 	var ratioSum float64
 	var lats []time.Duration
+	var hops []float64
+	var remote uint64
 	for _, id := range ids {
 		inj := c.injected[id]
 		want := eligible(inj.origin)
@@ -127,12 +153,19 @@ func (c *Collector) Summarize(protocol string, n int, eligible func(origin wire.
 			continue
 		}
 		got := 0
-		for node, at := range c.delivered[id] {
+		for node, d := range c.delivered[id] {
 			if node == inj.origin {
 				continue
 			}
 			got++
-			lats = append(lats, at-inj.at)
+			lats = append(lats, d.at-inj.at)
+			remote++
+			if d.hops > 0 {
+				hops = append(hops, float64(d.hops))
+			}
+			if d.recovered {
+				r.RecoveryDeliveries++
+			}
 		}
 		ratioSum += float64(got) / float64(want)
 	}
@@ -149,6 +182,21 @@ func (c *Collector) Summarize(protocol string, n int, eligible func(origin wire.
 		r.LatP50 = percentile(lats, 0.50)
 		r.LatP95 = percentile(lats, 0.95)
 		r.LatMax = lats[len(lats)-1]
+	}
+	if len(hops) > 0 {
+		sort.Float64s(hops)
+		var sum float64
+		for _, h := range hops {
+			sum += h
+		}
+		r.HopMean = sum / float64(len(hops))
+		r.HopP50 = percentileF(hops, 0.50)
+		r.HopP95 = percentileF(hops, 0.95)
+		r.HopMax = hops[len(hops)-1]
+	}
+	r.RemoteDeliveries = remote
+	if remote > 0 {
+		r.RecoveryShare = float64(r.RecoveryDeliveries) / float64(remote)
 	}
 	return r
 }
@@ -175,11 +223,11 @@ func (c *Collector) Timeline(bucket time.Duration) []Bucket {
 		if idx > maxIdx {
 			maxIdx = idx
 		}
-		for node, at := range c.delivered[id] {
+		for node, d := range c.delivered[id] {
 			if node == inj.origin {
 				continue
 			}
-			byBucket[idx] = append(byBucket[idx], at-inj.at)
+			byBucket[idx] = append(byBucket[idx], d.at-inj.at)
 		}
 	}
 	out := make([]Bucket, 0, maxIdx+1)
@@ -198,6 +246,21 @@ func (c *Collector) Timeline(bucket time.Duration) []Bucket {
 		out = append(out, b)
 	}
 	return out
+}
+
+// percentileF returns the q-quantile of sorted float samples (nearest-rank).
+func percentileF(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }
 
 // percentile returns the q-quantile of sorted samples (nearest-rank).

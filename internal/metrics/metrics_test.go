@@ -9,7 +9,7 @@ import (
 )
 
 func tx(c *Collector, kind wire.Kind) {
-	c.OnPacketTx(0, 0, kind, wire.MsgID{})
+	c.OnPacketTx(0, 0, kind, wire.MsgID{}, wire.Meta{})
 }
 
 func TestTransmissionCounting(t *testing.T) {
@@ -30,9 +30,9 @@ func TestDeliveryRatioPerMessage(t *testing.T) {
 	c.OnInject(0, 0, id1)
 	c.OnInject(0, 0, id2)
 	// id1 reaches both receivers, id2 reaches one of two.
-	c.OnAccept(time.Second, 1, id1, nil)
-	c.OnAccept(time.Second, 2, id1, nil)
-	c.OnAccept(time.Second, 1, id2, nil)
+	c.OnAccept(time.Second, 1, id1, nil, wire.Meta{})
+	c.OnAccept(time.Second, 2, id1, nil, wire.Meta{})
+	c.OnAccept(time.Second, 1, id2, nil, wire.Meta{})
 	r := c.Summarize("p", 3, func(wire.NodeID) int { return 2 })
 	if r.DeliveryRatio != 0.75 {
 		t.Fatalf("delivery = %v, want 0.75", r.DeliveryRatio)
@@ -46,7 +46,7 @@ func TestOriginatorAcceptExcluded(t *testing.T) {
 	c := NewCollector()
 	id := wire.MsgID{Origin: 0, Seq: 1}
 	c.OnInject(0, 0, id)
-	c.OnAccept(0, 0, id, nil) // own delivery must not count toward the ratio
+	c.OnAccept(0, 0, id, nil, wire.Meta{}) // own delivery must not count toward the ratio
 	r := c.Summarize("p", 2, func(wire.NodeID) int { return 1 })
 	if r.DeliveryRatio != 0 {
 		t.Fatalf("delivery = %v, want 0", r.DeliveryRatio)
@@ -57,8 +57,8 @@ func TestRepeatAcceptIgnored(t *testing.T) {
 	c := NewCollector()
 	id := wire.MsgID{Origin: 0, Seq: 1}
 	c.OnInject(0, 0, id)
-	c.OnAccept(time.Second, 1, id, nil)
-	c.OnAccept(2*time.Second, 1, id, nil) // later duplicate: first timestamp wins
+	c.OnAccept(time.Second, 1, id, nil, wire.Meta{})
+	c.OnAccept(2*time.Second, 1, id, nil, wire.Meta{}) // later duplicate: first timestamp wins
 	r := c.Summarize("p", 2, func(wire.NodeID) int { return 1 })
 	if r.DeliveryRatio != 1 {
 		t.Fatalf("delivery = %v", r.DeliveryRatio)
@@ -73,7 +73,7 @@ func TestLatencyPercentiles(t *testing.T) {
 	id := wire.MsgID{Origin: 0, Seq: 1}
 	c.OnInject(0, 0, id)
 	for i := 1; i <= 100; i++ {
-		c.OnAccept(time.Duration(i)*time.Millisecond, wire.NodeID(i), id, nil)
+		c.OnAccept(time.Duration(i)*time.Millisecond, wire.NodeID(i), id, nil, wire.Meta{})
 	}
 	r := c.Summarize("p", 101, func(wire.NodeID) int { return 100 })
 	if r.LatP50 != 50*time.Millisecond {
@@ -166,10 +166,10 @@ func TestTimelineBucketsLatencies(t *testing.T) {
 	id2 := wire.MsgID{Origin: 0, Seq: 2} // injected in bucket 2
 	c.OnInject(1*time.Second, 0, id1)
 	c.OnInject(25*time.Second, 0, id2)
-	c.OnAccept(1500*time.Millisecond, 1, id1, nil) // 500 ms
-	c.OnAccept(2*time.Second, 2, id1, nil)         // 1 s
-	c.OnAccept(1100*time.Millisecond, 0, id1, nil) // originator: excluded
-	c.OnAccept(26*time.Second, 1, id2, nil)        // 1 s
+	c.OnAccept(1500*time.Millisecond, 1, id1, nil, wire.Meta{}) // 500 ms
+	c.OnAccept(2*time.Second, 2, id1, nil, wire.Meta{})         // 1 s
+	c.OnAccept(1100*time.Millisecond, 0, id1, nil, wire.Meta{}) // originator: excluded
+	c.OnAccept(26*time.Second, 1, id2, nil, wire.Meta{})        // 1 s
 	tl := c.Timeline(10 * time.Second)
 	if len(tl) != 3 {
 		t.Fatalf("buckets = %d, want 3", len(tl))

@@ -15,6 +15,8 @@
 //   - accept: the protocol emits one event per application-level acceptance
 //     (the paper's accept() upcall), including the originator's own when
 //     DeliverOwn is set;
+//   - forward suppressed: the protocol emits one event per redundant data
+//     frame it suppressed (already held or tombstoned) instead of forwarding;
 //   - role change: the protocol emits one event per committed overlay role
 //     transition;
 //   - suspicion: the MUTE/VERBOSE detectors emit raise and clear
@@ -119,15 +121,25 @@ const (
 // the emitting goroutine: single-threaded under simulation, under the node
 // lock on a live transport.
 type Observer interface {
-	// OnPacketTx is one frame put on the air by node.
-	OnPacketTx(at time.Duration, node wire.NodeID, kind wire.Kind, id wire.MsgID)
-	// OnPacketRx is one frame the host delivered to node's protocol.
-	OnPacketRx(at time.Duration, node wire.NodeID, kind wire.Kind, id wire.MsgID)
+	// OnPacketTx is one frame put on the air by node. meta carries the
+	// frame's causal metadata: its frame id, the reception that caused it,
+	// the cause tag and (for data) hop count and payload digest.
+	OnPacketTx(at time.Duration, node wire.NodeID, kind wire.Kind, id wire.MsgID, meta wire.Meta)
+	// OnPacketRx is one frame the host delivered to node's protocol. Under
+	// simulation meta is the transmitter's; on a live transport it is zero
+	// (causal metadata does not cross the wire).
+	OnPacketRx(at time.Duration, node wire.NodeID, kind wire.Kind, id wire.MsgID, meta wire.Meta)
 	// OnInject is one application message originated at node.
 	OnInject(at time.Duration, node wire.NodeID, id wire.MsgID)
 	// OnAccept is one application-level acceptance at node. The payload is
-	// only valid for the duration of the call.
-	OnAccept(at time.Duration, node wire.NodeID, id wire.MsgID, payload []byte)
+	// only valid for the duration of the call. meta is the metadata of the
+	// frame that completed delivery (hops, recovery attribution, digest); an
+	// originator's own acceptance carries Hops 0 and CauseOrigin.
+	OnAccept(at time.Duration, node wire.NodeID, id wire.MsgID, payload []byte, meta wire.Meta)
+	// OnForwardSuppressed is one data frame node received for a message it
+	// already held (or had purged): the redundant arrival was suppressed
+	// rather than re-forwarded. meta is the suppressed frame's metadata.
+	OnForwardSuppressed(at time.Duration, node wire.NodeID, id wire.MsgID, meta wire.Meta)
 	// OnRoleChange is one committed overlay role transition at node.
 	OnRoleChange(at time.Duration, node wire.NodeID, role overlay.Role)
 	// OnSuspicion is a suspicion transition: node's detector started
@@ -156,16 +168,19 @@ type Observer interface {
 type Nop struct{}
 
 // OnPacketTx implements Observer.
-func (Nop) OnPacketTx(time.Duration, wire.NodeID, wire.Kind, wire.MsgID) {}
+func (Nop) OnPacketTx(time.Duration, wire.NodeID, wire.Kind, wire.MsgID, wire.Meta) {}
 
 // OnPacketRx implements Observer.
-func (Nop) OnPacketRx(time.Duration, wire.NodeID, wire.Kind, wire.MsgID) {}
+func (Nop) OnPacketRx(time.Duration, wire.NodeID, wire.Kind, wire.MsgID, wire.Meta) {}
 
 // OnInject implements Observer.
 func (Nop) OnInject(time.Duration, wire.NodeID, wire.MsgID) {}
 
 // OnAccept implements Observer.
-func (Nop) OnAccept(time.Duration, wire.NodeID, wire.MsgID, []byte) {}
+func (Nop) OnAccept(time.Duration, wire.NodeID, wire.MsgID, []byte, wire.Meta) {}
+
+// OnForwardSuppressed implements Observer.
+func (Nop) OnForwardSuppressed(time.Duration, wire.NodeID, wire.MsgID, wire.Meta) {}
 
 // OnRoleChange implements Observer.
 func (Nop) OnRoleChange(time.Duration, wire.NodeID, overlay.Role) {}
@@ -211,15 +226,15 @@ func Multi(obs ...Observer) Observer {
 	}
 }
 
-func (m multi) OnPacketTx(at time.Duration, node wire.NodeID, kind wire.Kind, id wire.MsgID) {
+func (m multi) OnPacketTx(at time.Duration, node wire.NodeID, kind wire.Kind, id wire.MsgID, meta wire.Meta) {
 	for _, o := range m {
-		o.OnPacketTx(at, node, kind, id)
+		o.OnPacketTx(at, node, kind, id, meta)
 	}
 }
 
-func (m multi) OnPacketRx(at time.Duration, node wire.NodeID, kind wire.Kind, id wire.MsgID) {
+func (m multi) OnPacketRx(at time.Duration, node wire.NodeID, kind wire.Kind, id wire.MsgID, meta wire.Meta) {
 	for _, o := range m {
-		o.OnPacketRx(at, node, kind, id)
+		o.OnPacketRx(at, node, kind, id, meta)
 	}
 }
 
@@ -229,9 +244,15 @@ func (m multi) OnInject(at time.Duration, node wire.NodeID, id wire.MsgID) {
 	}
 }
 
-func (m multi) OnAccept(at time.Duration, node wire.NodeID, id wire.MsgID, payload []byte) {
+func (m multi) OnAccept(at time.Duration, node wire.NodeID, id wire.MsgID, payload []byte, meta wire.Meta) {
 	for _, o := range m {
-		o.OnAccept(at, node, id, payload)
+		o.OnAccept(at, node, id, payload, meta)
+	}
+}
+
+func (m multi) OnForwardSuppressed(at time.Duration, node wire.NodeID, id wire.MsgID, meta wire.Meta) {
+	for _, o := range m {
+		o.OnForwardSuppressed(at, node, id, meta)
 	}
 }
 
@@ -281,7 +302,7 @@ func (m multi) OnRetry(at time.Duration, node wire.NodeID, id wire.MsgID, attemp
 // not count, e.g. Byzantine nodes in a measured simulation).
 type skipAccepts struct{ Observer }
 
-func (skipAccepts) OnAccept(time.Duration, wire.NodeID, wire.MsgID, []byte) {}
+func (skipAccepts) OnAccept(time.Duration, wire.NodeID, wire.MsgID, []byte, wire.Meta) {}
 
 // SkipAccepts wraps o so accept events are dropped; every other event passes
 // through. Returns nil for a nil o.

@@ -2,6 +2,7 @@ package obsv
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -18,20 +19,24 @@ func (r *recorder) add(format string, args ...any) {
 	r.events = append(r.events, fmt.Sprintf(format, args...))
 }
 
-func (r *recorder) OnPacketTx(at time.Duration, node wire.NodeID, kind wire.Kind, id wire.MsgID) {
-	r.add("tx %s %d %s %v", at, node, kind, id)
+func (r *recorder) OnPacketTx(at time.Duration, node wire.NodeID, kind wire.Kind, id wire.MsgID, meta wire.Meta) {
+	r.add("tx %s %d %s %v f=%d", at, node, kind, id, meta.Frame)
 }
 
-func (r *recorder) OnPacketRx(at time.Duration, node wire.NodeID, kind wire.Kind, id wire.MsgID) {
-	r.add("rx %s %d %s %v", at, node, kind, id)
+func (r *recorder) OnPacketRx(at time.Duration, node wire.NodeID, kind wire.Kind, id wire.MsgID, meta wire.Meta) {
+	r.add("rx %s %d %s %v f=%d", at, node, kind, id, meta.Frame)
 }
 
 func (r *recorder) OnInject(at time.Duration, node wire.NodeID, id wire.MsgID) {
 	r.add("inject %s %d %v", at, node, id)
 }
 
-func (r *recorder) OnAccept(at time.Duration, node wire.NodeID, id wire.MsgID, payload []byte) {
-	r.add("accept %s %d %v %q", at, node, id, payload)
+func (r *recorder) OnAccept(at time.Duration, node wire.NodeID, id wire.MsgID, payload []byte, meta wire.Meta) {
+	r.add("accept %s %d %v %q hops=%d rec=%v", at, node, id, payload, meta.Hops, meta.Recovered)
+}
+
+func (r *recorder) OnForwardSuppressed(at time.Duration, node wire.NodeID, id wire.MsgID, meta wire.Meta) {
+	r.add("suppress %s %d %v f=%d", at, node, id, meta.Frame)
 }
 
 func (r *recorder) OnRoleChange(at time.Duration, node wire.NodeID, role overlay.Role) {
@@ -64,10 +69,11 @@ func (r *recorder) OnRetry(at time.Duration, node wire.NodeID, id wire.MsgID, at
 
 // emitAll fires one of each event at o.
 func emitAll(o Observer) {
-	o.OnPacketTx(1, 2, wire.KindData, wire.MsgID{Origin: 3, Seq: 4})
-	o.OnPacketRx(1, 2, wire.KindGossip, wire.MsgID{})
+	o.OnPacketTx(1, 2, wire.KindData, wire.MsgID{Origin: 3, Seq: 4}, wire.Meta{Frame: 1, Hops: 1, Cause: wire.CauseOrigin})
+	o.OnPacketRx(1, 2, wire.KindGossip, wire.MsgID{}, wire.Meta{Frame: 1})
 	o.OnInject(2, 3, wire.MsgID{Origin: 3, Seq: 1})
-	o.OnAccept(3, 4, wire.MsgID{Origin: 3, Seq: 1}, []byte("p"))
+	o.OnAccept(3, 4, wire.MsgID{Origin: 3, Seq: 1}, []byte("p"), wire.Meta{Hops: 2, Recovered: true})
+	o.OnForwardSuppressed(3, 5, wire.MsgID{Origin: 3, Seq: 1}, wire.Meta{Frame: 2})
 	o.OnRoleChange(4, 5, overlay.Dominator)
 	o.OnSuspicion(5, 6, 7, DetectorMute, true)
 	o.OnSigVerify(6, 8, false, time.Microsecond)
@@ -81,8 +87,8 @@ func TestMultiFansOutEveryEvent(t *testing.T) {
 	a, b := &recorder{}, &recorder{}
 	m := Multi(a, nil, b)
 	emitAll(m)
-	if len(a.events) != 11 || len(b.events) != 11 {
-		t.Fatalf("fan-out counts = %d, %d, want 11 each", len(a.events), len(b.events))
+	if len(a.events) != 12 || len(b.events) != 12 {
+		t.Fatalf("fan-out counts = %d, %d, want 12 each", len(a.events), len(b.events))
 	}
 	for i := range a.events {
 		if a.events[i] != b.events[i] {
@@ -110,11 +116,11 @@ func TestSkipAccepts(t *testing.T) {
 	}
 	r := &recorder{}
 	emitAll(SkipAccepts(r))
-	if len(r.events) != 10 {
-		t.Fatalf("events = %d, want 10 (accept dropped)", len(r.events))
+	if len(r.events) != 11 {
+		t.Fatalf("events = %d, want 11 (accept dropped)", len(r.events))
 	}
 	for _, e := range r.events {
-		if e[:6] == "accept" {
+		if strings.HasPrefix(e, "accept") {
 			t.Fatalf("accept leaked through: %q", e)
 		}
 	}

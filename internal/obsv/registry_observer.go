@@ -26,6 +26,15 @@ const (
 	MetricAdmissionTotal  = "bbcast_admission_total"
 	MetricAdaptationTotal = "bbcast_adaptation_total"
 	MetricRetryTotal      = "bbcast_retry_total"
+	// MetricAcceptHops summarizes the data-path hop count of each remote
+	// acceptance (the originator's own delivery, hops 0, is excluded).
+	MetricAcceptHops = "bbcast_accept_hops"
+	// MetricRecoveryDeliveries counts remote acceptances whose payload
+	// travelled through gossip recovery at any hop.
+	MetricRecoveryDeliveries = "bbcast_recovery_deliveries_total"
+	// MetricSuppressedTotal counts redundant data frames suppressed instead
+	// of forwarded.
+	MetricSuppressedTotal = "bbcast_forward_suppressed_total"
 )
 
 // maxTrackedInjects bounds the inject-time map used to derive delivery
@@ -67,7 +76,10 @@ type RegistryObserver struct {
 	retriesSent    *Counter
 	retriesGivenUp *Counter
 
-	latency *Summary
+	latency            *Summary
+	acceptHops         *Summary
+	recoveryDeliveries *Counter
+	suppressed         *Counter
 
 	mu        sync.Mutex
 	active    map[wire.NodeID]bool
@@ -96,7 +108,10 @@ func NewRegistryObserver(r *Registry) *RegistryObserver {
 		adaptations:    make(map[AdaptiveTimer]*Counter, 2),
 		retriesSent:    r.Counter(labelled(MetricRetryTotal, "event", "sent")),
 		retriesGivenUp: r.Counter(labelled(MetricRetryTotal, "event", "abandoned")),
-		latency:        r.Summary(MetricDeliveryLatency, 0),
+		latency:            r.Summary(MetricDeliveryLatency, 0),
+		acceptHops:         r.Summary(MetricAcceptHops, 0),
+		recoveryDeliveries: r.Counter(MetricRecoveryDeliveries),
+		suppressed:         r.Counter(MetricSuppressedTotal),
 		active:         make(map[wire.NodeID]bool),
 		suspected:      make(map[suspicionKey]struct{}),
 		queues:         make(map[Queue]map[wire.NodeID]int, 4),
@@ -138,12 +153,12 @@ func (o *RegistryObserver) kindCounter(set *[wire.NumKinds + 1]*Counter, kind wi
 }
 
 // OnPacketTx implements Observer.
-func (o *RegistryObserver) OnPacketTx(_ time.Duration, _ wire.NodeID, kind wire.Kind, _ wire.MsgID) {
+func (o *RegistryObserver) OnPacketTx(_ time.Duration, _ wire.NodeID, kind wire.Kind, _ wire.MsgID, _ wire.Meta) {
 	o.kindCounter(&o.tx, kind).Inc()
 }
 
 // OnPacketRx implements Observer.
-func (o *RegistryObserver) OnPacketRx(_ time.Duration, _ wire.NodeID, kind wire.Kind, _ wire.MsgID) {
+func (o *RegistryObserver) OnPacketRx(_ time.Duration, _ wire.NodeID, kind wire.Kind, _ wire.MsgID, _ wire.Meta) {
 	o.kindCounter(&o.rx, kind).Inc()
 }
 
@@ -158,10 +173,16 @@ func (o *RegistryObserver) OnInject(at time.Duration, _ wire.NodeID, id wire.Msg
 }
 
 // OnAccept implements Observer.
-func (o *RegistryObserver) OnAccept(at time.Duration, node wire.NodeID, id wire.MsgID, _ []byte) {
+func (o *RegistryObserver) OnAccept(at time.Duration, node wire.NodeID, id wire.MsgID, _ []byte, meta wire.Meta) {
 	o.accepts.Inc()
 	if node == id.Origin {
 		return // own delivery: zero latency by construction, excluded like in metrics.Summarize
+	}
+	if meta.Hops > 0 {
+		o.acceptHops.Observe(float64(meta.Hops))
+	}
+	if meta.Recovered {
+		o.recoveryDeliveries.Inc()
 	}
 	o.mu.Lock()
 	t0, ok := o.injectAt[id]
@@ -169,6 +190,11 @@ func (o *RegistryObserver) OnAccept(at time.Duration, node wire.NodeID, id wire.
 	if ok {
 		o.latency.Observe((at - t0).Seconds())
 	}
+}
+
+// OnForwardSuppressed implements Observer.
+func (o *RegistryObserver) OnForwardSuppressed(_ time.Duration, _ wire.NodeID, _ wire.MsgID, _ wire.Meta) {
+	o.suppressed.Inc()
 }
 
 // OnRoleChange implements Observer.

@@ -11,10 +11,10 @@ import (
 func TestRegistryObserverCountsByKind(t *testing.T) {
 	r := NewRegistry()
 	o := NewRegistryObserver(r)
-	o.OnPacketTx(0, 1, wire.KindData, wire.MsgID{})
-	o.OnPacketTx(0, 1, wire.KindData, wire.MsgID{})
-	o.OnPacketRx(0, 2, wire.KindGossip, wire.MsgID{})
-	o.OnPacketRx(0, 2, wire.Kind(99), wire.MsgID{}) // out of range → "unknown"
+	o.OnPacketTx(0, 1, wire.KindData, wire.MsgID{}, wire.Meta{})
+	o.OnPacketTx(0, 1, wire.KindData, wire.MsgID{}, wire.Meta{})
+	o.OnPacketRx(0, 2, wire.KindGossip, wire.MsgID{}, wire.Meta{})
+	o.OnPacketRx(0, 2, wire.Kind(99), wire.MsgID{}, wire.Meta{}) // out of range → "unknown"
 	if got := r.Counter(`bbcast_tx_total{kind="data"}`).Value(); got != 2 {
 		t.Fatalf("tx data = %d", got)
 	}
@@ -31,10 +31,10 @@ func TestRegistryObserverDeliveryLatency(t *testing.T) {
 	o := NewRegistryObserver(r)
 	id := wire.MsgID{Origin: 1, Seq: 1}
 	o.OnInject(time.Second, 1, id)
-	o.OnAccept(time.Second, 1, id, nil)                  // originator: excluded
-	o.OnAccept(1500*time.Millisecond, 2, id, nil)        // 0.5 s
-	o.OnAccept(3*time.Second, 3, id, nil)                // 2 s
-	o.OnAccept(0, 4, wire.MsgID{Origin: 9, Seq: 9}, nil) // unknown inject: counted, no latency
+	o.OnAccept(time.Second, 1, id, nil, wire.Meta{})                  // originator: excluded
+	o.OnAccept(1500*time.Millisecond, 2, id, nil, wire.Meta{})        // 0.5 s
+	o.OnAccept(3*time.Second, 3, id, nil, wire.Meta{})                // 2 s
+	o.OnAccept(0, 4, wire.MsgID{Origin: 9, Seq: 9}, nil, wire.Meta{}) // unknown inject: counted, no latency
 	if got := r.Counter(MetricInjectsTotal).Value(); got != 1 {
 		t.Fatalf("injects = %d", got)
 	}
@@ -44,6 +44,27 @@ func TestRegistryObserverDeliveryLatency(t *testing.T) {
 	st := r.Summary(MetricDeliveryLatency, 0).Stats()
 	if st.Count != 2 || st.Sum != 2.5 {
 		t.Fatalf("latency = %+v, want count 2 sum 2.5", st)
+	}
+}
+
+func TestRegistryObserverLineageMetrics(t *testing.T) {
+	r := NewRegistry()
+	o := NewRegistryObserver(r)
+	id := wire.MsgID{Origin: 1, Seq: 1}
+	o.OnInject(time.Second, 1, id)
+	o.OnAccept(time.Second, 1, id, nil, wire.Meta{})                             // own delivery: no hop sample
+	o.OnAccept(2*time.Second, 2, id, nil, wire.Meta{Hops: 2})                    // data path
+	o.OnAccept(3*time.Second, 3, id, nil, wire.Meta{Hops: 4, Recovered: true})   // via recovery
+	o.OnForwardSuppressed(3*time.Second, 2, id, wire.Meta{Frame: 7})
+	st := r.Summary(MetricAcceptHops, 0).Stats()
+	if st.Count != 2 || st.Sum != 6 {
+		t.Fatalf("accept hops = %+v, want count 2 sum 6", st)
+	}
+	if got := r.Counter(MetricRecoveryDeliveries).Value(); got != 1 {
+		t.Fatalf("recovery deliveries = %d, want 1", got)
+	}
+	if got := r.Counter(MetricSuppressedTotal).Value(); got != 1 {
+		t.Fatalf("suppressed = %d, want 1", got)
 	}
 }
 
@@ -111,6 +132,7 @@ func TestRegistryObserverExposesFullSchemaWhenIdle(t *testing.T) {
 	for _, name := range []string{
 		`bbcast_tx_total{kind="data"}`, `bbcast_rx_total{kind="overlay-state"}`,
 		MetricAcceptsTotal, MetricInjectsTotal, MetricRoleChanges, MetricSigVerifyFails,
+		MetricRecoveryDeliveries, MetricSuppressedTotal,
 	} {
 		if _, ok := d.Counters[name]; !ok {
 			t.Fatalf("idle schema missing counter %q", name)
@@ -123,7 +145,7 @@ func TestRegistryObserverExposesFullSchemaWhenIdle(t *testing.T) {
 			t.Fatalf("idle schema missing gauge %q", name)
 		}
 	}
-	for _, name := range []string{MetricDeliveryLatency, MetricSigVerifySecs} {
+	for _, name := range []string{MetricDeliveryLatency, MetricSigVerifySecs, MetricAcceptHops} {
 		if _, ok := d.Summaries[name]; !ok {
 			t.Fatalf("idle schema missing summary %q", name)
 		}

@@ -165,6 +165,13 @@ type Medium struct {
 	// OnTransmit, if non-nil, observes every frame put on the air.
 	OnTransmit func(from wire.NodeID, pkt *wire.Packet)
 
+	// frameSeq numbers frames in transmission order: Broadcast stamps each
+	// packet's Meta.Frame before OnTransmit fires, so lineage events can
+	// reference a frame receivers will see under the same id (clones carry
+	// the Meta by value). Transmission order is deterministic under the
+	// simulation engine, so frame ids are reproducible across runs.
+	frameSeq uint64
+
 	scratch     []uint32
 	freeRecs    []*reception
 	freeBatches []*txBatch
@@ -507,7 +514,8 @@ func (m *Medium) allocBatch() *txBatch {
 // Broadcast puts pkt on the air from node `from`. Delivery to each in-range
 // node is scheduled after airtime + propagation delay, subject to collision,
 // fringe-loss, noise and half-duplex rules. The caller must have set
-// pkt.Sender; the medium does not alter the packet.
+// pkt.Sender; the medium alters only pkt.Meta.Frame (the lineage frame id),
+// never any on-wire field.
 func (m *Medium) Broadcast(from wire.NodeID, pkt *wire.Packet) {
 	if m.IsDown(from) {
 		return // radio is off the air; the frame vanishes
@@ -517,6 +525,8 @@ func (m *Medium) Broadcast(from wire.NodeID, pkt *wire.Packet) {
 	dur := m.Airtime(size)
 	m.stats.Transmissions++
 	m.stats.BytesOnAir += uint64(size)
+	m.frameSeq++
+	pkt.Meta.Frame = m.frameSeq
 	if m.OnTransmit != nil {
 		m.OnTransmit(from, pkt)
 	}

@@ -147,6 +147,8 @@ func Average(rs []Result) Result {
 	un := uint64(len(rs))
 	var delivery, txPerMsg float64
 	var latMean, latP50, latP95, latMax time.Duration
+	var hopMean, hopP50, hopP95, hopMax, recoveryShare float64
+	var remoteDeliveries, recoveryDeliveries uint64
 	var totalTx, bytes, collisions, events uint64
 	var overlaySize, detected, injected int
 	byKind := make(map[wire.Kind]uint64)
@@ -160,6 +162,13 @@ func Average(rs []Result) Result {
 		latP50 += r.LatP50
 		latP95 += r.LatP95
 		latMax += r.LatMax
+		hopMean += r.HopMean
+		hopP50 += r.HopP50
+		hopP95 += r.HopP95
+		hopMax += r.HopMax
+		recoveryShare += r.RecoveryShare
+		remoteDeliveries += r.RemoteDeliveries
+		recoveryDeliveries += r.RecoveryDeliveries
 		totalTx += r.TotalTx
 		bytes += r.BytesOnAir
 		collisions += r.Collisions
@@ -196,6 +205,13 @@ func Average(rs []Result) Result {
 	out.LatP50 = latP50 / time.Duration(len(rs))
 	out.LatP95 = latP95 / time.Duration(len(rs))
 	out.LatMax = latMax / time.Duration(len(rs))
+	out.HopMean = hopMean / n
+	out.HopP50 = hopP50 / n
+	out.HopP95 = hopP95 / n
+	out.HopMax = hopMax / n
+	out.RecoveryShare = recoveryShare / n
+	out.RemoteDeliveries = remoteDeliveries / un
+	out.RecoveryDeliveries = recoveryDeliveries / un
 	out.TotalTx = totalTx / un
 	out.BytesOnAir = bytes / un
 	out.Collisions = collisions / un

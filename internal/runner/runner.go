@@ -343,7 +343,7 @@ func Run(sc Scenario) (Result, error) {
 	obs := obsv.Multi(collector, traceObs, invariant.AsObserver(chk), sc.Observer)
 	advObs := obsv.SkipAccepts(obs)
 	medium.OnTransmit = func(from wire.NodeID, pkt *wire.Packet) {
-		obs.OnPacketTx(eng.Now(), from, pkt.Kind, pkt.ID())
+		obs.OnPacketTx(eng.Now(), from, pkt.Kind, pkt.ID(), pkt.Meta)
 	}
 
 	// Behaviour ticks run for t=0 adversaries and for any node a fault plan

@@ -70,10 +70,65 @@ type Analysis struct {
 	Suspicions map[string]SuspicionStats
 	// Faults lists fault-plan events with accept counts around each.
 	Faults []FaultStat
+	// Undecodable counts lines that failed to decode; FirstBadOffset is the
+	// byte offset of the first such line (-1 when every line decoded).
+	Undecodable    int
+	FirstBadOffset int64
+}
+
+// DecodeStats reports trace decoding health: how many lines decoded, how
+// many could not, and where the first undecodable line starts.
+type DecodeStats struct {
+	Decoded     int
+	Undecodable int
+	// FirstBadOffset is the byte offset of the first undecodable line, or -1
+	// when every line decoded.
+	FirstBadOffset int64
+}
+
+// decodeLines scans a JSONL trace, invoking fn for every decoded event.
+// Undecodable lines are counted, and the byte offset of the first one is
+// retained, so callers can report a truncated or corrupt trace instead of
+// silently producing an empty digest.
+func decodeLines(r io.Reader, fn func(Event)) (DecodeStats, error) {
+	st := DecodeStats{FirstBadOffset: -1}
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var offset int64
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		lineStart := offset
+		offset += int64(len(line)) + 1 // +1 for the newline the scanner strips
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			st.Undecodable++
+			if st.FirstBadOffset < 0 {
+				st.FirstBadOffset = lineStart
+			}
+			continue
+		}
+		st.Decoded++
+		fn(ev)
+	}
+	if err := scanner.Err(); err != nil {
+		return st, fmt.Errorf("trace: scan: %w", err)
+	}
+	return st, nil
+}
+
+// Decode reads a whole JSONL trace into memory. Undecodable lines are
+// reported through DecodeStats rather than failing the read.
+func Decode(r io.Reader) ([]Event, DecodeStats, error) {
+	var evs []Event
+	st, err := decodeLines(r, func(ev Event) { evs = append(evs, ev) })
+	return evs, st, err
 }
 
 // Analyze reads a JSONL trace and digests it. Unparseable lines are counted
-// but otherwise skipped.
+// (with the first one's byte offset) but otherwise skipped.
 func Analyze(r io.Reader) (Analysis, error) {
 	a := Analysis{
 		TxByKind:    make(map[string]int),
@@ -93,17 +148,7 @@ func Analyze(r io.Reader) (Analysis, error) {
 	suspSum := map[string]time.Duration{}
 	suspDone := map[string]int{}
 
-	scanner := bufio.NewScanner(r)
-	scanner.Buffer(make([]byte, 1<<20), 1<<20)
-	for scanner.Scan() {
-		line := scanner.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var ev Event
-		if err := json.Unmarshal(line, &ev); err != nil {
-			continue
-		}
+	dec, scanErr := decodeLines(r, func(ev Event) {
 		a.Events++
 		switch ev.Type {
 		case TypeTx:
@@ -143,9 +188,11 @@ func Analyze(r io.Reader) (Analysis, error) {
 				At: time.Duration(ev.T), Name: ev.Detail,
 			})
 		}
-	}
-	if err := scanner.Err(); err != nil {
-		return a, fmt.Errorf("trace: scan: %w", err)
+	})
+	a.Undecodable = dec.Undecodable
+	a.FirstBadOffset = dec.FirstBadOffset
+	if scanErr != nil {
+		return a, scanErr
 	}
 
 	msgs := make([]string, 0, len(injected))

@@ -23,14 +23,25 @@ func NewObserver(w *Writer) *Observer {
 	return &Observer{w: w}
 }
 
+// causal copies a frame's lineage metadata into a trace record.
+func causal(ev Event, meta wire.Meta) Event {
+	ev.Frame = meta.Frame
+	ev.Parent = meta.Parent
+	ev.Hops = meta.Hops
+	ev.Cause = meta.Cause.String()
+	ev.Digest = meta.Digest
+	ev.Rec = meta.Recovered
+	return ev
+}
+
 // OnPacketTx implements obsv.Observer.
-func (o *Observer) OnPacketTx(at time.Duration, node wire.NodeID, kind wire.Kind, id wire.MsgID) {
-	o.w.Emit(Event{T: At(at), Node: node, Type: TypeTx, Kind: kind.String(), Msg: id.String()})
+func (o *Observer) OnPacketTx(at time.Duration, node wire.NodeID, kind wire.Kind, id wire.MsgID, meta wire.Meta) {
+	o.w.Emit(causal(Event{T: At(at), Node: node, Type: TypeTx, Kind: kind.String(), Msg: id.String()}, meta))
 }
 
 // OnPacketRx implements obsv.Observer.
-func (o *Observer) OnPacketRx(at time.Duration, node wire.NodeID, kind wire.Kind, id wire.MsgID) {
-	o.w.Emit(Event{T: At(at), Node: node, Type: TypeRx, Kind: kind.String(), Msg: id.String()})
+func (o *Observer) OnPacketRx(at time.Duration, node wire.NodeID, kind wire.Kind, id wire.MsgID, meta wire.Meta) {
+	o.w.Emit(causal(Event{T: At(at), Node: node, Type: TypeRx, Kind: kind.String(), Msg: id.String()}, meta))
 }
 
 // OnInject implements obsv.Observer.
@@ -39,8 +50,13 @@ func (o *Observer) OnInject(at time.Duration, node wire.NodeID, id wire.MsgID) {
 }
 
 // OnAccept implements obsv.Observer.
-func (o *Observer) OnAccept(at time.Duration, node wire.NodeID, id wire.MsgID, _ []byte) {
-	o.w.Emit(Event{T: At(at), Node: node, Type: TypeAccept, Msg: id.String()})
+func (o *Observer) OnAccept(at time.Duration, node wire.NodeID, id wire.MsgID, _ []byte, meta wire.Meta) {
+	o.w.Emit(causal(Event{T: At(at), Node: node, Type: TypeAccept, Msg: id.String()}, meta))
+}
+
+// OnForwardSuppressed implements obsv.Observer.
+func (o *Observer) OnForwardSuppressed(at time.Duration, node wire.NodeID, id wire.MsgID, meta wire.Meta) {
+	o.w.Emit(causal(Event{T: At(at), Node: node, Type: TypeSuppress, Msg: id.String()}, meta))
 }
 
 // OnRoleChange implements obsv.Observer.

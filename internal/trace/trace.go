@@ -22,6 +22,9 @@ const (
 	TypeRx Type = "rx"
 	// TypeAccept is an application-level message acceptance.
 	TypeAccept Type = "accept"
+	// TypeSuppress is a redundant data frame suppressed instead of
+	// forwarded (the receiver already held or had delivered the message).
+	TypeSuppress Type = "suppress"
 	// TypeRole is an overlay role change.
 	TypeRole Type = "role"
 	// TypeInject is a workload origination.
@@ -52,6 +55,18 @@ type Event struct {
 	Peer wire.NodeID `json:"peer,omitempty"`
 	// Detail carries event-specific text (e.g. the new role).
 	Detail string `json:"detail,omitempty"`
+
+	// Causal correlation (tx/rx/accept/suppress events). Frame is the
+	// transmission's unique id; Parent is the frame that caused it (0 for
+	// origin sends); Cause tags why the frame was sent; Hops and Digest
+	// describe data frames; Rec marks payloads repaired by gossip recovery
+	// at some hop.
+	Frame  uint64 `json:"frame,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
+	Hops   uint32 `json:"hops,omitempty"`
+	Cause  string `json:"cause,omitempty"`
+	Digest uint64 `json:"digest,omitempty"`
+	Rec    bool   `json:"rec,omitempty"`
 }
 
 // Writer serializes events as JSON lines. Not safe for concurrent use (the
@@ -64,7 +79,21 @@ type Writer struct {
 
 // NewWriter wraps w.
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{enc: json.NewEncoder(w)}
+	return &Writer{enc: json.NewEncoder(fullWriter{w})}
+}
+
+// fullWriter turns short writes into io.ErrShortWrite. encoding/json ignores
+// the byte count its sink returns, so without this a backpressured sink that
+// accepts partial writes would corrupt the trace with no error recorded in
+// Err — a silent drop.
+type fullWriter struct{ w io.Writer }
+
+func (f fullWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	if err == nil && n < len(p) {
+		err = io.ErrShortWrite
+	}
+	return n, err
 }
 
 // Emit writes one event. Encoding errors never abort a run: the event is

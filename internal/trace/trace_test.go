@@ -89,3 +89,41 @@ func TestWriterRetainsFirstError(t *testing.T) {
 		t.Fatal("nil writer Err should be nil")
 	}
 }
+
+// TestWriterNoSilentDrops checks the accounting contract a lossy-trace
+// warning depends on: every Emit either increments Count or sets Err, so
+// Count == attempts exactly when Err is nil. A drop can never hide.
+func TestWriterNoSilentDrops(t *testing.T) {
+	sink := &failAfter{n: 3}
+	w := NewWriter(sink)
+	attempts := 10
+	for i := 0; i < attempts; i++ {
+		w.Emit(Event{Type: TypeTx, T: int64(i)})
+		if w.Err() == nil && w.Count() != i+1 {
+			t.Fatalf("silent drop: %d attempts, Count %d, Err nil", i+1, w.Count())
+		}
+	}
+	if w.Err() == nil {
+		t.Fatal("failing sink never surfaced through Err")
+	}
+	if w.Count() != 3 {
+		t.Fatalf("Count = %d, want the 3 successful writes", w.Count())
+	}
+}
+
+// shortWriter accepts only half of every write — a blocking/backpressured
+// sink as seen by the encoder.
+type shortWriter struct{}
+
+func (shortWriter) Write(p []byte) (int, error) { return len(p) / 2, nil }
+
+func TestWriterShortWriteSetsErr(t *testing.T) {
+	w := NewWriter(shortWriter{})
+	w.Emit(Event{Type: TypeAccept, Msg: "1/1"})
+	if w.Err() == nil {
+		t.Fatal("short write did not set Err — the trace would be silently corrupt")
+	}
+	if w.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", w.Count())
+	}
+}

@@ -79,6 +79,10 @@ type UDPNode struct {
 
 	mu    sync.Mutex // serializes all protocol access
 	peers []*net.UDPAddr
+	// txFrames numbers frames this node put on the wire (under mu), giving
+	// lineage events a local frame id. Meta does not cross the wire, so
+	// received frames carry a zero Meta on a live transport.
+	txFrames uint64
 
 	deliver func(origin wire.NodeID, id wire.MsgID, payload []byte)
 
@@ -275,7 +279,9 @@ func (n *UDPNode) send(pkt *wire.Packet) {
 	buf := pkt.Marshal()
 	// One tx event per frame put on the air, not per peer: the peer loop
 	// emulates a single radio broadcast.
-	n.obs.OnPacketTx(n.clock.Now(), n.id, pkt.Kind, pkt.ID())
+	n.txFrames++
+	pkt.Meta.Frame = n.txFrames
+	n.obs.OnPacketTx(n.clock.Now(), n.id, pkt.Kind, pkt.ID(), pkt.Meta)
 	for _, peer := range n.peers {
 		// Best-effort datagrams: losses are the protocol's problem by
 		// design, so write errors are intentionally dropped.

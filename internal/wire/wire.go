@@ -109,6 +109,84 @@ type OverlayState struct {
 	Suspects           []NodeID
 }
 
+// Cause tags why a frame was transmitted, for causal lineage tracing. It is
+// observability metadata: never serialized, never consulted by the protocol.
+type Cause uint8
+
+// Forward causes. CauseNone marks a frame whose sender predates lineage
+// tracing (or a live rx, where Meta does not cross the wire).
+const (
+	CauseNone           Cause = iota
+	CauseOrigin               // the originator's initial data transmission
+	CauseOriginRelay          // overlay data-path relay of a freshly accepted message
+	CauseGossipRecovery       // data (re)sent to repair a gap: request service, find service, TTL-flood
+	CauseRetry                // bounded-retransmission request (adaptive retry chain)
+	CauseGossip               // periodic gossip advertisement round
+	CauseRequest              // first REQUEST_MSG for a gossip-advertised gap
+	CauseFind                 // FIND_MISSING_MSG overlay search (dispatch or relay)
+	CauseState                // standalone overlay-maintenance record
+)
+
+// String implements fmt.Stringer.
+func (c Cause) String() string {
+	switch c {
+	case CauseNone:
+		return ""
+	case CauseOrigin:
+		return "origin"
+	case CauseOriginRelay:
+		return "origin-relay"
+	case CauseGossipRecovery:
+		return "gossip-recovery"
+	case CauseRetry:
+		return "retry"
+	case CauseGossip:
+		return "gossip"
+	case CauseRequest:
+		return "request"
+	case CauseFind:
+		return "find"
+	case CauseState:
+		return "state"
+	default:
+		return fmt.Sprintf("cause(%d)", uint8(c))
+	}
+}
+
+// Meta is per-frame causal metadata carried alongside a Packet in memory. It
+// is not part of the wire format: the simulated medium hands each receiver a
+// clone that keeps the sender's Meta, while a live transport decodes frames
+// with a zero Meta (rx causality is a simulation-only capability). Frame ids
+// are assigned by the transmitting layer; Parent is the frame id of the
+// reception that caused this transmission (0 for origin sends).
+type Meta struct {
+	Frame  uint64 // unique id of this transmission, assigned at tx
+	Parent uint64 // frame id this transmission was caused by, or 0
+	Hops   uint32 // data frames: path length from the originator (origin tx = 1)
+	Cause  Cause  // why this frame was sent
+	Digest uint64 // data frames: FNV-64a of the payload
+	// Recovered marks a data frame whose payload reached the sender through
+	// gossip recovery at some hop (sticky along the forward chain), so every
+	// delivery downstream of one repair is attributed to recovery.
+	Recovered bool
+}
+
+// Digest returns the payload fingerprint carried in lineage events: FNV-64a
+// over the raw payload bytes. Zero-length payloads hash to the FNV offset
+// basis, never 0, so 0 reads as "no digest".
+func Digest(payload []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range payload {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
 // Packet is one radio transmission.
 type Packet struct {
 	Kind   Kind
@@ -125,6 +203,11 @@ type Packet struct {
 
 	State    *OverlayState // OverlayState, or piggybacked on any kind
 	StateSig []byte        // sender's signature over the state record
+
+	// Meta is in-memory causal metadata (see Meta). Excluded from
+	// Marshal/Unmarshal; Clone's value copy carries it to receivers under
+	// simulation.
+	Meta Meta
 }
 
 // ID returns the message identifier the packet concerns.
