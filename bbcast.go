@@ -42,6 +42,7 @@ import (
 	"bbcast/internal/faultplan"
 	"bbcast/internal/geo"
 	"bbcast/internal/invariant"
+	"bbcast/internal/loadgen"
 	"bbcast/internal/mac"
 	"bbcast/internal/metrics"
 	"bbcast/internal/obsv"
@@ -241,6 +242,34 @@ func ParseFaultPlan(data []byte) (*FaultPlan, error) { return faultplan.Parse(da
 
 // LoadFaultPlan reads and decodes a JSON fault-plan file.
 func LoadFaultPlan(path string) (*FaultPlan, error) { return faultplan.Load(path) }
+
+// LoadGenConfig is a deterministic load-generator schedule: ramped or
+// stepped offered load over concurrent senders with a payload-size sweep,
+// under open-loop (periodic/Poisson) or closed-loop arrivals. Attached to
+// Scenario.LoadGen it replaces the fixed-rate Workload; it round-trips
+// through JSON (see ParseLoadGen) for use with `bbsim -load`.
+type LoadGenConfig = loadgen.Config
+
+// LoadGenStep is one segment of a LoadGenConfig schedule: an offered rate
+// (optionally ramping linearly to EndRate) held for a duration.
+type LoadGenStep = loadgen.Step
+
+// Load-generator arrival models.
+const (
+	// ArrivalPeriodic injects at evenly spaced intervals.
+	ArrivalPeriodic = loadgen.Periodic
+	// ArrivalPoisson draws open-loop Poisson arrivals at the scheduled rate.
+	ArrivalPoisson = loadgen.Poisson
+	// ArrivalClosedLoop keeps a window of messages outstanding per sender,
+	// injecting the next when a quorum of nodes delivers the previous.
+	ArrivalClosedLoop = loadgen.ClosedLoop
+)
+
+// ParseLoadGen decodes and validates a JSON load-generator schedule.
+func ParseLoadGen(data []byte) (*LoadGenConfig, error) { return loadgen.Parse(data) }
+
+// LoadLoadGen reads and decodes a JSON load-generator schedule file.
+func LoadLoadGen(path string) (*LoadGenConfig, error) { return loadgen.Load(path) }
 
 // DefaultInvariantConfig enables the full invariant set with default
 // windows; DefaultScenario already includes it.

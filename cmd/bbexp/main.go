@@ -43,9 +43,10 @@ func run(args []string) error {
 	list := fs.Bool("list", false, "list experiment ids")
 	seed := fs.Int64("seed", 1, "base random seed")
 	parallel := fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS); per-replicate results are identical at any setting")
-	bench := fs.String("bench", "", "write a machine-readable benchmark report (events/sec, ns/event, allocs/event, sweep speedup) to this path ('-' for stdout)")
+	bench := fs.String("bench", "", "write a machine-readable benchmark report (events/sec, ns/event, allocs/event, sweep speedup, knee) to this path ('-' for stdout)")
 	benchN := fs.Int("bench-replicates", 32, "replicates for the -bench sweep")
 	benchDur := fs.Duration("bench-duration", 30*time.Second, "simulated duration per -bench replicate")
+	benchKnee := fs.Bool("bench-knee", true, "include the offered-load knee sweep in the -bench report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,7 +54,7 @@ func run(args []string) error {
 
 	switch {
 	case *bench != "":
-		return runBench(*bench, *seed, *benchN, *benchDur, *parallel)
+		return runBench(*bench, *seed, *benchN, *benchDur, *parallel, *benchKnee)
 	case *list:
 		fmt.Println(strings.Join(experiments.IDs(), " "))
 		return nil
@@ -76,15 +77,22 @@ func run(args []string) error {
 }
 
 // runBench measures simulator throughput on the default scenario: a serial
-// sweep and a parallel sweep over identical replicates, reported as JSON
+// sweep and a parallel sweep over identical replicates, the simulated-second
+// figure, and (unless disabled) the offered-load knee sweep, reported as JSON
 // (the BENCH_<pr>.json schema; see EXPERIMENTS.md).
-func runBench(path string, seed int64, replicates int, dur time.Duration, workers int) error {
+func runBench(path string, seed int64, replicates int, dur time.Duration, workers int, knee bool) error {
 	sc := runner.DefaultScenario()
 	sc.Name = "bench-default"
 	sc.Seed = seed
 	sc.Duration = dur
 	sc.Workload.End = dur - 5*time.Second
-	report, err := runner.Bench(sc, replicates, workers)
+	var kneeOpt *runner.KneeOptions
+	if knee {
+		o := runner.DefaultKneeOptions(seed)
+		o.Workers = workers
+		kneeOpt = &o
+	}
+	report, err := runner.FullBench(sc, replicates, workers, kneeOpt)
 	if err != nil {
 		return err
 	}

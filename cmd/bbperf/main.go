@@ -1,0 +1,192 @@
+// Command bbperf measures simulator performance and gates it against the
+// committed BENCH_*.json trajectory.
+//
+//	bbperf measure -o report.json          # run the bench + knee sweep, emit bbcast-bench/v2
+//	bbperf gate                            # measure, compare vs latest BENCH_<n>.json, exit 1 on regression
+//	bbperf gate -baseline BENCH_8.json     # pin the baseline file
+//	bbperf gate -current report.json       # gate a pre-measured report (no run)
+//	bbperf gate -quick                     # CI shape: fewer replicates, same knee sweep
+//
+// The gate compares the serial arm's ns/event, allocs/event and bytes/event,
+// the simulated-second figure, and the knee sweep's wall-clock and located
+// knee rate. Tolerances come from internal/perfgate defaults, overridable via
+// BBPERF_TOL_* environment variables ("off" disables a metric) — see that
+// package for the metric classes and rationale.
+//
+// Exit status: 0 gate passes, 1 regressions found, 2 usage/measurement error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"bbcast/internal/perfgate"
+	"bbcast/internal/runner"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "measure":
+		return runMeasure(args[1:], stdout, stderr)
+	case "gate":
+		return runGate(args[1:], stdout, stderr)
+	case "-h", "-help", "--help", "help":
+		usage(stderr)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "bbperf: unknown subcommand %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage:
+  bbperf measure [-o path] [-seed n] [-replicates n] [-duration d] [-parallel n] [-quick]
+  bbperf gate    [-baseline path] [-current path] [-seed n] [-replicates n] [-quick]
+
+measure runs the benchmark harness (serial/parallel sweep, simulated-second,
+offered-load knee) and writes a bbcast-bench/v2 JSON report. gate measures
+(or loads -current) and compares against the committed BENCH_<n>.json
+trajectory, exiting 1 if any metric regressed past its tolerance
+(BBPERF_TOL_* env vars override; "off" disables a metric).
+`)
+}
+
+// measureFlags are shared between measure and gate's measuring path.
+type measureFlags struct {
+	seed       int64
+	replicates int
+	duration   time.Duration
+	parallel   int
+	quick      bool
+}
+
+func (m *measureFlags) register(fs *flag.FlagSet) {
+	fs.Int64Var(&m.seed, "seed", 1, "base random seed")
+	fs.IntVar(&m.replicates, "replicates", 32, "replicates per sweep arm")
+	fs.DurationVar(&m.duration, "duration", 30*time.Second, "simulated duration per replicate")
+	fs.IntVar(&m.parallel, "parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	fs.BoolVar(&m.quick, "quick", false, "CI shape: 8 replicates of 10s (knee sweep shape unchanged)")
+}
+
+// measure runs the full v2 bench. The knee sweep always uses the
+// gate-standard DefaultKneeOptions shape so wall-clock stays comparable with
+// committed baselines; -quick only shrinks the replicate arms.
+func (m measureFlags) measure() (runner.BenchReport, error) {
+	if m.quick {
+		m.replicates = 8
+		m.duration = 10 * time.Second
+	}
+	sc := runner.DefaultScenario()
+	sc.Name = "bench-default"
+	sc.Seed = m.seed
+	sc.Duration = m.duration
+	sc.Workload.End = m.duration - 5*time.Second
+	knee := runner.DefaultKneeOptions(m.seed)
+	knee.Workers = m.parallel
+	return runner.FullBench(sc, m.replicates, m.parallel, &knee)
+}
+
+func runMeasure(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bbperf measure", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var m measureFlags
+	m.register(fs)
+	out := fs.String("o", "-", "output path ('-' for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	report, err := m.measure()
+	if err != nil {
+		fmt.Fprintln(stderr, "bbperf:", err)
+		return 2
+	}
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "bbperf:", err)
+		return 2
+	}
+	raw = append(raw, '\n')
+	if *out == "-" {
+		stdout.Write(raw)
+		return 0
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fmt.Fprintln(stderr, "bbperf:", err)
+		return 2
+	}
+	return 0
+}
+
+func runGate(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bbperf gate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var m measureFlags
+	m.register(fs)
+	baseline := fs.String("baseline", "", "baseline report or BENCH_<n>.json wrapper (default: highest-numbered BENCH_*.json in -dir)")
+	dir := fs.String("dir", ".", "directory scanned for BENCH_*.json when -baseline is unset")
+	current := fs.String("current", "", "pre-measured current report to gate instead of running the bench")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	basePath := *baseline
+	if basePath == "" {
+		var err error
+		if basePath, err = perfgate.LatestBaseline(*dir); err != nil {
+			fmt.Fprintln(stderr, "bbperf:", err)
+			return 2
+		}
+	}
+	base, err := perfgate.LoadBaseline(basePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "bbperf:", err)
+		return 2
+	}
+
+	var cur runner.BenchReport
+	if *current != "" {
+		if cur, err = perfgate.LoadBaseline(*current); err != nil {
+			fmt.Fprintln(stderr, "bbperf:", err)
+			return 2
+		}
+	} else {
+		fmt.Fprintf(stderr, "bbperf: measuring (baseline %s)...\n", basePath)
+		if cur, err = m.measure(); err != nil {
+			fmt.Fprintln(stderr, "bbperf:", err)
+			return 2
+		}
+	}
+
+	tol, err := perfgate.FromEnv(os.Getenv)
+	if err != nil {
+		fmt.Fprintln(stderr, "bbperf:", err)
+		return 2
+	}
+	regs := perfgate.Compare(base, cur, tol)
+	fmt.Fprintf(stdout, "baseline %s: serial %.0f ns/event, %.1f allocs/event; current: %.0f ns/event, %.1f allocs/event\n",
+		basePath, base.Serial.NsPerEvent, base.Serial.AllocsPerEvent,
+		cur.Serial.NsPerEvent, cur.Serial.AllocsPerEvent)
+	if len(regs) == 0 {
+		fmt.Fprintln(stdout, "perf gate: PASS")
+		return 0
+	}
+	fmt.Fprintf(stdout, "perf gate: FAIL (%d regression(s))\n", len(regs))
+	for _, r := range regs {
+		fmt.Fprintln(stdout, "  "+r.String())
+	}
+	return 1
+}

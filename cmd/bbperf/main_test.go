@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bbcast/internal/runner"
+)
+
+// fakeReport writes a v2 report file with the given serial figures and
+// returns its path.
+func fakeReport(t *testing.T, dir, name string, ns, allocs float64) string {
+	t.Helper()
+	rep := runner.BenchReport{
+		Schema: runner.BenchSchema,
+		Serial: runner.BenchArm{
+			Workers: 1, Replicates: 8, Events: 50000,
+			NsPerEvent: ns, AllocsPerEvent: allocs, BytesPerEvent: allocs * 100,
+		},
+		SimMSPerSimS: ns / 2000,
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestGateExitCodes drives the gate end to end with pre-measured reports:
+// identical reports pass (exit 0), a synthetically slowed current report
+// fails (exit 1), garbage is a usage error (exit 2).
+func TestGateExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	base := fakeReport(t, dir, "BENCH_7.json", 5000, 20)
+	same := fakeReport(t, dir, "same.json", 5000, 20)
+	slow := fakeReport(t, dir, "slow.json", 12000, 31)
+
+	var out, errw bytes.Buffer
+	if code := run([]string{"gate", "-baseline", base, "-current", same}, &out, &errw); code != 0 {
+		t.Fatalf("identical reports: exit %d, stderr %s stdout %s", code, errw.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Errorf("pass output should say PASS, got %q", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"gate", "-baseline", base, "-current", slow}, &out, &errw); code != 1 {
+		t.Fatalf("slowed report: exit %d, want 1; stdout %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") || !strings.Contains(out.String(), "serial.ns_per_event") {
+		t.Errorf("fail output should name the regressed metric, got %q", out.String())
+	}
+
+	if code := run([]string{"gate", "-baseline", filepath.Join(dir, "missing.json"), "-current", same}, &out, &errw); code != 2 {
+		t.Errorf("missing baseline: exit %d, want 2", code)
+	}
+}
+
+// TestGateFindsLatestBaseline: with no -baseline, the highest-numbered
+// BENCH_<n>.json in -dir is used.
+func TestGateFindsLatestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	fakeReport(t, dir, "BENCH_2.json", 100, 20) // older and absurdly fast: would fail
+	fakeReport(t, dir, "BENCH_9.json", 5000, 20)
+	cur := fakeReport(t, dir, "cur.json", 5000, 20)
+
+	var out, errw bytes.Buffer
+	if code := run([]string{"gate", "-dir", dir, "-current", cur}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d, want 0 (should compare against BENCH_9, not BENCH_2); stdout %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "BENCH_9.json") {
+		t.Errorf("output should name the chosen baseline, got %q", out.String())
+	}
+}
+
+// TestGateEnvOverride: widening the tolerance via BBPERF_TOL_* turns a
+// failing gate into a passing one.
+func TestGateEnvOverride(t *testing.T) {
+	dir := t.TempDir()
+	base := fakeReport(t, dir, "BENCH_1.json", 5000, 20)
+	slower := fakeReport(t, dir, "slower.json", 8000, 20) // +60% ns/event, same allocs
+
+	var out, errw bytes.Buffer
+	if code := run([]string{"gate", "-baseline", base, "-current", slower}, &out, &errw); code != 1 {
+		t.Fatalf("without override: exit %d, want 1", code)
+	}
+	t.Setenv("BBPERF_TOL_NS_PER_EVENT", "1.0")
+	t.Setenv("BBPERF_TOL_SIM_MS", "off")
+	out.Reset()
+	if code := run([]string{"gate", "-baseline", base, "-current", slower}, &out, &errw); code != 0 {
+		t.Fatalf("with 100%% tolerance: exit %d, want 0; stdout %s", code, out.String())
+	}
+}
+
+func TestUsageAndUnknown(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(nil, &out, &errw); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"help"}, &out, &errw); code != 0 {
+		t.Errorf("help: exit %d, want 0", code)
+	}
+	if code := run([]string{"frobnicate"}, &out, &errw); code != 2 {
+		t.Errorf("unknown subcommand: exit %d, want 2", code)
+	}
+}

@@ -68,6 +68,7 @@ func run(args []string) error {
 		placement  = fs.String("placement", "spread", "adversary placement: spread | dominators")
 
 		faults = fs.String("faults", "", "fault plan: a JSON file path, or inline JSON starting with '{'")
+		load   = fs.String("load", "", "load-generator schedule replacing the fixed-rate workload: a JSON file path, or inline JSON starting with '{'")
 		noInv  = fs.Bool("no-invariants", false, "disable the runtime invariant checker")
 
 		mobility = fs.String("mobility", "grid", "mobility: grid | uniform | waypoint | walk | gauss-markov | ferry")
@@ -117,6 +118,23 @@ func run(args []string) error {
 			return err
 		}
 		sc.FaultPlan = plan
+	}
+	if *load != "" {
+		var lg *bbcast.LoadGenConfig
+		var err error
+		if strings.HasPrefix(strings.TrimSpace(*load), "{") {
+			lg, err = bbcast.ParseLoadGen([]byte(*load))
+		} else {
+			lg, err = bbcast.LoadLoadGen(*load)
+		}
+		if err != nil {
+			return err
+		}
+		sc.LoadGen = lg
+		sc.Workload = bbcast.Workload{}
+		if sc.Duration < lg.End()+*drain {
+			sc.Duration = lg.End() + *drain
+		}
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)

@@ -49,6 +49,7 @@ var DetPackages = map[string]bool{
 	"bbcast/internal/runner":      true,
 	"bbcast/internal/experiments": true,
 	"bbcast/internal/wire":        true,
+	"bbcast/internal/loadgen":     true,
 }
 
 // forbiddenTime are the wall-clock entry points of package time. Simulation

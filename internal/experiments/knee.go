@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"bbcast/internal/invariant"
+	"bbcast/internal/loadgen"
+	"bbcast/internal/runner"
+)
+
+// KneeThreshold is the delivery ratio an offered load must sustain to count
+// as below the knee: the knee is the highest swept rate still at or above it.
+const KneeThreshold = 0.95
+
+// kneeRates is the offered-load sweep in messages/second network-wide.
+func (c Config) kneeRates() []float64 {
+	if c.Quick {
+		return []float64{2, 8, 32}
+	}
+	return []float64{1, 2, 4, 8, 16, 32, 64, 128}
+}
+
+// kneeScenario builds the load-generator scenario for one offered rate. The
+// runtime invariant checker is disabled: saturating the channel on purpose
+// violates liveness-style invariants by design, and the measurement of
+// interest is delivery/latency degradation, not protocol correctness.
+func (c Config) kneeScenario(rate float64, arrival loadgen.Arrival) runner.Scenario {
+	sc := c.base()
+	sc.Name = fmt.Sprintf("knee-%s-%g", arrival, rate)
+	sc.N = 50
+	sc.Invariants = invariant.Config{}
+	window := 30 * time.Second
+	drain := 15 * time.Second
+	senders := 25
+	if c.Quick {
+		sc.N = 40
+		window = 15 * time.Second
+		drain = 10 * time.Second
+		senders = 20
+	}
+	start := 15 * time.Second
+	sc.LoadGen = &loadgen.Config{
+		Senders:      senders,
+		PayloadSizes: []int{256},
+		Arrival:      arrival,
+		Start:        start,
+		Steps:        []loadgen.Step{{Rate: rate, Duration: window}},
+		Window:       2,
+		Quorum:       KneeThreshold,
+		Timeout:      5 * time.Second,
+	}
+	sc.Workload = runner.Workload{} // loadgen replaces the fixed-rate workload
+	sc.Duration = start + window + drain
+	return sc
+}
+
+// KneePoint is one measured offered-load level of the knee sweep.
+type KneePoint struct {
+	OfferedRate   float64 // msgs/s network-wide (0 for the closed-loop arm)
+	Arrival       string
+	Injected      int
+	DeliveryRatio float64
+	GoodputMsgS   float64 // delivered msgs/s: injected × delivery / window
+	LatP50        time.Duration
+	LatP99        time.Duration
+	BytesPerMsg   float64
+}
+
+// kneeSweep runs the offered-load sweep plus a closed-loop reference arm and
+// returns the measured points. The closed-loop arm self-clocks (each sender
+// keeps two messages outstanding, completing at 95% coverage), so its goodput
+// reads out the sustainable throughput directly.
+func (c Config) kneeSweep() []KneePoint {
+	var points []KneePoint
+	measure := func(rate float64, arrival loadgen.Arrival) {
+		sc := c.kneeScenario(rate, arrival)
+		window := sc.LoadGen.End() - sc.LoadGen.Start
+		res := c.run(sc)
+		p := KneePoint{
+			OfferedRate:   rate,
+			Arrival:       arrival.String(),
+			Injected:      res.Injected,
+			DeliveryRatio: res.DeliveryRatio,
+			GoodputMsgS:   float64(res.Injected) * res.DeliveryRatio / window.Seconds(),
+			LatP50:        res.LatP50,
+			LatP99:        res.LatP99,
+		}
+		if res.Injected > 0 {
+			p.BytesPerMsg = float64(res.BytesOnAir) / float64(res.Injected)
+		}
+		points = append(points, p)
+	}
+	for _, rate := range c.kneeRates() {
+		measure(rate, loadgen.Poisson)
+	}
+	measure(0, loadgen.ClosedLoop)
+	return points
+}
+
+// LocateKnee returns the index of the knee point: the highest open-loop
+// offered rate whose delivery ratio is still at or above the threshold
+// (-1 when even the lowest rate is below it).
+func LocateKnee(points []KneePoint, threshold float64) int {
+	knee := -1
+	for i, p := range points {
+		if p.OfferedRate > 0 && p.DeliveryRatio >= threshold {
+			if knee < 0 || p.OfferedRate > points[knee].OfferedRate {
+				knee = i
+			}
+		}
+	}
+	return knee
+}
+
+// E16Knee sweeps offered load with the load generator to locate the
+// protocol's throughput knee: delivery stays ≈1 and goodput tracks offered
+// load up to a point, past which delivery degrades and p99 latency blows up.
+// A closed-loop arm (senders self-clocked by delivery) reads out the maximum
+// sustained delivery throughput directly.
+func E16Knee(c Config) Table {
+	points := c.kneeSweep()
+	knee := LocateKnee(points, KneeThreshold)
+	t := Table{
+		ID:    "E16",
+		Title: "throughput knee: delivery and latency vs offered load",
+		Params: fmt.Sprintf("poisson arrivals over concurrent senders, payload 256 B; knee = highest offered load sustaining delivery >= %.2f",
+			KneeThreshold),
+		Header: []string{"offered(msg/s)", "arrival", "injected", "delivery", "goodput(msg/s)", "lat-p50(ms)", "lat-p99(ms)", "bytes/msg", "knee"},
+	}
+	for i, p := range points {
+		offered := f1(p.OfferedRate)
+		if p.OfferedRate == 0 {
+			offered = "self-clocked"
+		}
+		mark := ""
+		if i == knee {
+			mark = "<= knee"
+		}
+		t.Rows = append(t.Rows, []string{
+			offered, p.Arrival, itoa(p.Injected), f3(p.DeliveryRatio), f1(p.GoodputMsgS),
+			ms(p.LatP50), ms(p.LatP99), f1(p.BytesPerMsg), mark,
+		})
+	}
+	return t
+}

@@ -1,0 +1,116 @@
+package loadgen
+
+import (
+	"time"
+
+	"bbcast/internal/obsv"
+	"bbcast/internal/wire"
+)
+
+// Driver runs the closed-loop arrival model inside a simulation. It is an
+// obsv.Observer: the runner places it on the run's composite observer chain
+// so it sees every accept at a correct node, and it keeps Window messages
+// outstanding per sender slot — injecting the next one as soon as the
+// previous reaches quorum coverage (or times out). Everything is scheduled
+// through the engine, so closed-loop runs replay bit-identically.
+//
+// Wiring order: NewDriver before the observer chain is assembled, Bind once
+// the injection closure exists, Start before the engine runs.
+type Driver struct {
+	obsv.Nop
+
+	cfg  Config
+	need int // accepts that complete a message
+
+	now      func() time.Duration
+	schedule func(at time.Duration, fn func())
+	inject   func(slot int) (wire.MsgID, wire.NodeID)
+
+	inflight map[wire.MsgID]*flight
+	injected int
+}
+
+// flight is one outstanding closed-loop message.
+type flight struct {
+	slot   int
+	origin wire.NodeID
+	got    int
+}
+
+var _ obsv.Observer = (*Driver)(nil)
+
+// NewDriver returns a driver for the given closed-loop config. eligible is
+// the number of receivers that count towards quorum (correct nodes minus the
+// originator); the driver completes a message once ceil(quorum × eligible)
+// of them accepted it.
+func NewDriver(cfg Config, eligible int) *Driver {
+	need := int(cfg.EffectiveQuorum()*float64(eligible) + 0.999999)
+	if need < 1 {
+		need = 1
+	}
+	return &Driver{
+		cfg:      cfg,
+		need:     need,
+		inflight: make(map[wire.MsgID]*flight),
+	}
+}
+
+// Bind supplies the runtime hooks: the simulation clock, the event scheduler
+// and the injection closure (which originates one message at the sender for
+// the given slot and reports its id and origin).
+func (d *Driver) Bind(now func() time.Duration, schedule func(at time.Duration, fn func()), inject func(slot int) (wire.MsgID, wire.NodeID)) {
+	d.now = now
+	d.schedule = schedule
+	d.inject = inject
+}
+
+// Start schedules the initial window: Window injections per sender slot at
+// the schedule's start time.
+func (d *Driver) Start() {
+	window := d.cfg.EffectiveWindow()
+	for s := 0; s < d.cfg.Senders; s++ {
+		for w := 0; w < window; w++ {
+			slot := s
+			d.schedule(d.cfg.Start, func() { d.launch(slot) })
+		}
+	}
+}
+
+// Injected reports how many messages the driver originated.
+func (d *Driver) Injected() int { return d.injected }
+
+// launch originates the next message for a sender slot, unless the schedule
+// window has closed.
+func (d *Driver) launch(slot int) {
+	if d.now() >= d.cfg.End() {
+		return
+	}
+	id, origin := d.inject(slot)
+	d.injected++
+	d.inflight[id] = &flight{slot: slot, origin: origin}
+	d.schedule(d.now()+d.cfg.EffectiveTimeout(), func() { d.complete(id) })
+}
+
+// complete retires an outstanding message and schedules the slot's next
+// injection. Late timeout firings for already-completed messages are no-ops.
+func (d *Driver) complete(id wire.MsgID) {
+	f, ok := d.inflight[id]
+	if !ok {
+		return
+	}
+	delete(d.inflight, id)
+	d.schedule(d.now(), func() { d.launch(f.slot) })
+}
+
+// OnAccept counts quorum progress for outstanding messages. The runner's
+// observer chain only routes correct-node accepts here.
+func (d *Driver) OnAccept(_ time.Duration, node wire.NodeID, id wire.MsgID, _ []byte, _ wire.Meta) {
+	f, ok := d.inflight[id]
+	if !ok || node == f.origin {
+		return
+	}
+	f.got++
+	if f.got >= d.need {
+		d.complete(id)
+	}
+}

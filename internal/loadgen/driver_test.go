@@ -1,0 +1,239 @@
+package loadgen
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"bbcast/internal/wire"
+)
+
+// fakeSim is a minimal deterministic event loop standing in for the engine:
+// events fire in (time, insertion) order, the only ordering the driver may
+// rely on.
+type fakeSim struct {
+	t     time.Duration
+	seq   int
+	queue []fakeEvent
+}
+
+type fakeEvent struct {
+	at  time.Duration
+	seq int
+	fn  func()
+}
+
+func (s *fakeSim) now() time.Duration { return s.t }
+
+func (s *fakeSim) schedule(at time.Duration, fn func()) {
+	if at < s.t {
+		at = s.t
+	}
+	s.queue = append(s.queue, fakeEvent{at: at, seq: s.seq, fn: fn})
+	s.seq++
+}
+
+// runUntil fires every event scheduled up to and including t.
+func (s *fakeSim) runUntil(until time.Duration) {
+	for {
+		sort.SliceStable(s.queue, func(i, j int) bool {
+			if s.queue[i].at != s.queue[j].at {
+				return s.queue[i].at < s.queue[j].at
+			}
+			return s.queue[i].seq < s.queue[j].seq
+		})
+		if len(s.queue) == 0 || s.queue[0].at > until {
+			s.t = until
+			return
+		}
+		ev := s.queue[0]
+		s.queue = s.queue[1:]
+		s.t = ev.at
+		ev.fn()
+	}
+}
+
+// closedCfg is a 2-sender, window-1 closed-loop schedule: quorum 0.5 of 4
+// eligible receivers (need 2 accepts), 2s timeout, injection window [0, 10s).
+func closedCfg() Config {
+	return Config{
+		Senders:      2,
+		PayloadSizes: []int{64},
+		Arrival:      ClosedLoop,
+		Steps:        []Step{{Duration: 10 * time.Second}},
+		Window:       1,
+		Quorum:       0.5,
+		Timeout:      2 * time.Second,
+	}
+}
+
+// mid builds a message id.
+func mid(origin, seq int) wire.MsgID {
+	return wire.MsgID{Origin: wire.NodeID(origin), Seq: wire.Seq(seq)}
+}
+
+// harness wires a driver to the fake sim. The nth injection (1-based) gets
+// id mid(slot, n): the sender slot as origin, a global sequence number.
+func harness(cfg Config) (*Driver, *fakeSim, *[]int) {
+	sim := &fakeSim{}
+	var slots []int
+	d := NewDriver(cfg, 4) // need = ceil(0.5*4) = 2
+	nextID := 0
+	d.Bind(sim.now, sim.schedule, func(slot int) (wire.MsgID, wire.NodeID) {
+		nextID++
+		slots = append(slots, slot)
+		return mid(slot, nextID), wire.NodeID(slot)
+	})
+	return d, sim, &slots
+}
+
+func accept(d *Driver, node int, id wire.MsgID) {
+	d.OnAccept(0, wire.NodeID(node), id, nil, wire.Meta{})
+}
+
+// TestDriverQuorumClocksNextInjection: a message completing at quorum
+// triggers the slot's next launch; the other slot stays outstanding.
+func TestDriverQuorumClocksNextInjection(t *testing.T) {
+	d, sim, slots := harness(closedCfg())
+	d.Start()
+	sim.runUntil(0)
+	if d.Injected() != 2 {
+		t.Fatalf("after start: injected %d, want 2 (window 1 × 2 senders)", d.Injected())
+	}
+
+	accept(d, 10, mid(0, 1)) // 1 of 2 needed
+	sim.runUntil(100 * time.Millisecond)
+	if d.Injected() != 2 {
+		t.Fatalf("below quorum must not relaunch: injected %d", d.Injected())
+	}
+	accept(d, 11, mid(0, 1)) // quorum
+	sim.runUntil(200 * time.Millisecond)
+	if d.Injected() != 3 {
+		t.Fatalf("quorum must clock the next injection: injected %d, want 3", d.Injected())
+	}
+	if got := (*slots)[2]; got != (*slots)[0] {
+		t.Errorf("relaunch went to slot %d, want the completed slot %d", got, (*slots)[0])
+	}
+
+	// Extra accepts for the retired message must not double-launch.
+	accept(d, 12, mid(0, 1))
+	accept(d, 13, mid(0, 1))
+	sim.runUntil(300 * time.Millisecond)
+	if d.Injected() != 3 {
+		t.Errorf("late accepts for a completed message relaunched: injected %d", d.Injected())
+	}
+}
+
+// TestDriverOriginAcceptDoesNotCount: the originator's own accept is not
+// quorum progress.
+func TestDriverOriginAcceptDoesNotCount(t *testing.T) {
+	d, sim, _ := harness(closedCfg())
+	d.Start()
+	sim.runUntil(0)
+	accept(d, 0, mid(0, 1)) // slot 0's origin is NodeID(0)
+	accept(d, 10, mid(0, 1))
+	sim.runUntil(time.Second)
+	if d.Injected() != 2 {
+		t.Fatalf("origin accept counted towards quorum: injected %d, want 2", d.Injected())
+	}
+	accept(d, 11, mid(0, 1))
+	sim.runUntil(time.Second)
+	if d.Injected() != 3 {
+		t.Fatalf("two non-origin accepts must complete: injected %d, want 3", d.Injected())
+	}
+}
+
+// TestDriverTimeoutUnsticksSlot: a message that never reaches quorum is
+// force-completed at the timeout so the slot keeps clocking.
+func TestDriverTimeoutUnsticksSlot(t *testing.T) {
+	d, sim, _ := harness(closedCfg())
+	d.Start()
+	sim.runUntil(0)
+	sim.runUntil(1900 * time.Millisecond)
+	if d.Injected() != 2 {
+		t.Fatalf("before timeout: injected %d, want 2", d.Injected())
+	}
+	sim.runUntil(2100 * time.Millisecond)
+	if d.Injected() != 4 {
+		t.Fatalf("both slots must relaunch at the 2s timeout: injected %d, want 4", d.Injected())
+	}
+}
+
+// TestDriverStopsAtScheduleEnd: no injections at or past End, even with
+// completions still arriving; late timeouts for completed ids are no-ops.
+func TestDriverStopsAtScheduleEnd(t *testing.T) {
+	cfg := closedCfg()
+	d, sim, _ := harness(cfg)
+	d.Start()
+	// 2s timeout, window [0,10s): each slot launches at 0,2,4,6,8 = 5 times.
+	sim.runUntil(30 * time.Second)
+	if d.Injected() != 10 {
+		t.Fatalf("injected %d, want 10 (5 timeout rounds × 2 slots, none past End)", d.Injected())
+	}
+	accept(d, 10, mid(0, 9))
+	accept(d, 11, mid(0, 9))
+	sim.runUntil(31 * time.Second)
+	if d.Injected() != 10 {
+		t.Errorf("completion after End relaunched: injected %d", d.Injected())
+	}
+}
+
+// TestDriverWindowKeepsNOutstanding: window 2 keeps two messages in flight
+// per sender slot.
+func TestDriverWindowKeepsNOutstanding(t *testing.T) {
+	cfg := closedCfg()
+	cfg.Senders = 1
+	cfg.Window = 2
+	d, sim, slots := harness(cfg)
+	d.Start()
+	sim.runUntil(0)
+	if d.Injected() != 2 {
+		t.Fatalf("window 2 must open with 2 outstanding: injected %d", d.Injected())
+	}
+	accept(d, 10, mid(0, 2))
+	accept(d, 11, mid(0, 2))
+	sim.runUntil(time.Second)
+	if d.Injected() != 3 {
+		t.Fatalf("completing one of two must top the window back up: injected %d", d.Injected())
+	}
+	for _, s := range *slots {
+		if s != 0 {
+			t.Errorf("single-sender run injected on slot %d", s)
+		}
+	}
+}
+
+// TestDriverUnknownIDIgnored: accepts for messages the driver did not
+// originate (legacy workload traffic) are ignored.
+func TestDriverUnknownIDIgnored(t *testing.T) {
+	d, sim, _ := harness(closedCfg())
+	d.Start()
+	sim.runUntil(0)
+	accept(d, 10, mid(99, 12345))
+	accept(d, 11, mid(99, 12345))
+	sim.runUntil(time.Second)
+	if d.Injected() != 2 {
+		t.Errorf("foreign id advanced the loop: injected %d, want 2", d.Injected())
+	}
+}
+
+func TestNewDriverQuorumRounding(t *testing.T) {
+	cases := []struct {
+		quorum   float64
+		eligible int
+		need     int
+	}{
+		{0.9, 10, 9},
+		{0.5, 4, 2},
+		{0.5, 5, 3},  // ceil
+		{0.95, 3, 3}, // ceil(2.85)
+		{0.9, 0, 1},  // floor of 1: a lone node still completes
+	}
+	for _, tc := range cases {
+		cfg := closedCfg()
+		cfg.Quorum = tc.quorum
+		if d := NewDriver(cfg, tc.eligible); d.need != tc.need {
+			t.Errorf("quorum %v of %d: need %d, want %d", tc.quorum, tc.eligible, d.need, tc.need)
+		}
+	}
+}

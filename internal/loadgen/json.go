@@ -1,0 +1,129 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// jsonConfig is the wire form of a Config: durations as strings ("30s"), the
+// arrival model by name. Unknown fields are rejected so typos in a config
+// file fail loudly instead of silently defaulting.
+type jsonConfig struct {
+	Senders      int        `json:"senders"`
+	PayloadSizes []int      `json:"payloadSizes,omitempty"`
+	Arrival      string     `json:"arrival"`
+	Start        string     `json:"start,omitempty"`
+	Steps        []jsonStep `json:"steps"`
+	Window       int        `json:"window,omitempty"`
+	Quorum       float64    `json:"quorum,omitempty"`
+	Timeout      string     `json:"timeout,omitempty"`
+}
+
+type jsonStep struct {
+	Rate     float64 `json:"rate"`
+	EndRate  float64 `json:"endRate,omitempty"`
+	Duration string  `json:"duration"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (c Config) MarshalJSON() ([]byte, error) {
+	j := jsonConfig{
+		Senders:      c.Senders,
+		PayloadSizes: c.PayloadSizes,
+		Arrival:      c.Arrival.String(),
+		Window:       c.Window,
+		Quorum:       c.Quorum,
+	}
+	if c.Start > 0 {
+		j.Start = c.Start.String()
+	}
+	if c.Timeout > 0 {
+		j.Timeout = c.Timeout.String()
+	}
+	for _, s := range c.Steps {
+		j.Steps = append(j.Steps, jsonStep{Rate: s.Rate, EndRate: s.EndRate, Duration: s.Duration.String()})
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON implements json.Unmarshaler. Decoding errors name the
+// offending field.
+func (c *Config) UnmarshalJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var j jsonConfig
+	if err := dec.Decode(&j); err != nil {
+		return fmt.Errorf("loadgen: %w", err)
+	}
+	out := Config{
+		Senders:      j.Senders,
+		PayloadSizes: j.PayloadSizes,
+		Window:       j.Window,
+		Quorum:       j.Quorum,
+	}
+	switch j.Arrival {
+	case "periodic", "":
+		out.Arrival = Periodic
+	case "poisson":
+		out.Arrival = Poisson
+	case "closed-loop":
+		out.Arrival = ClosedLoop
+	default:
+		return fmt.Errorf("loadgen: arrival: unknown model %q (want periodic, poisson or closed-loop)", j.Arrival)
+	}
+	var err error
+	if out.Start, err = parseDur("start", j.Start); err != nil {
+		return err
+	}
+	if out.Timeout, err = parseDur("timeout", j.Timeout); err != nil {
+		return err
+	}
+	for i, s := range j.Steps {
+		d, err := parseDur(fmt.Sprintf("steps[%d].duration", i), s.Duration)
+		if err != nil {
+			return err
+		}
+		out.Steps = append(out.Steps, Step{Rate: s.Rate, EndRate: s.EndRate, Duration: d})
+	}
+	*c = out
+	return nil
+}
+
+func parseDur(field, s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("loadgen: %s: %v", field, err)
+	}
+	return d, nil
+}
+
+// Parse decodes and validates a JSON config. PayloadSizes defaults to
+// a single 256-byte payload when omitted.
+func Parse(data []byte) (*Config, error) {
+	var c Config
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, err
+	}
+	if len(c.PayloadSizes) == 0 {
+		c.PayloadSizes = []int{256}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Load reads and parses a JSON config file.
+func Load(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}

@@ -1,0 +1,139 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	in := Config{
+		Senders:      8,
+		PayloadSizes: []int{128, 1024},
+		Arrival:      Poisson,
+		Start:        15 * time.Second,
+		Steps: []Step{
+			{Rate: 2, Duration: 20 * time.Second},
+			{Rate: 2, EndRate: 50, Duration: 30 * time.Second},
+		},
+		Window:  3,
+		Quorum:  0.8,
+		Timeout: 5 * time.Second,
+	}
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, *out) {
+		t.Errorf("round trip changed the config:\n in: %+v\nout: %+v", in, *out)
+	}
+}
+
+// TestParseErrorsNameField: malformed inputs must say which field is wrong.
+func TestParseErrorsNameField(t *testing.T) {
+	cases := []struct {
+		name, in, field string
+	}{
+		{"bad step duration", `{"senders":1,"steps":[{"rate":1,"duration":"fast"}]}`, "steps[0].duration"},
+		{"zero step duration", `{"senders":1,"steps":[{"rate":1,"duration":"0s"}]}`, "steps[0].duration"},
+		{"negative rate", `{"senders":1,"steps":[{"rate":-2,"duration":"10s"}]}`, "steps[0].rate"},
+		{"bad ramp", `{"senders":1,"steps":[{"rate":1,"endRate":-5,"duration":"10s"}]}`, "steps[0].endRate"},
+		{"bad start", `{"senders":1,"start":"soon","steps":[{"rate":1,"duration":"10s"}]}`, "start"},
+		{"bad arrival", `{"senders":1,"arrival":"bursty","steps":[{"rate":1,"duration":"10s"}]}`, "arrival"},
+		{"no senders", `{"steps":[{"rate":1,"duration":"10s"}]}`, "senders"},
+		{"no steps", `{"senders":1,"steps":[]}`, "steps"},
+		{"unknown field", `{"senders":1,"stepz":[]}`, "stepz"},
+		{"bad quorum", `{"senders":1,"quorum":2,"steps":[{"rate":1,"duration":"10s"}]}`, "quorum"},
+		{"bad timeout", `{"senders":1,"timeout":"-3s","steps":[{"rate":1,"duration":"10s"}]}`, "timeout"},
+	}
+	for _, tc := range cases {
+		_, err := Parse([]byte(tc.in))
+		if err == nil {
+			t.Errorf("%s: Parse accepted %s", tc.name, tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.field) {
+			t.Errorf("%s: error %q does not name %q", tc.name, err, tc.field)
+		}
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	c, err := Parse([]byte(`{"senders":2,"steps":[{"rate":1,"duration":"10s"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Arrival != Periodic {
+		t.Errorf("default arrival = %v, want periodic", c.Arrival)
+	}
+	if !reflect.DeepEqual(c.PayloadSizes, []int{256}) {
+		t.Errorf("default payloadSizes = %v, want [256]", c.PayloadSizes)
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "load.json")
+	body := `{"senders":4,"arrival":"closed-loop","steps":[{"duration":"30s"}],"window":2}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Arrival != ClosedLoop || c.Window != 2 {
+		t.Errorf("loaded %+v", c)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+// FuzzParse hardens the config parser: no panic on any input, and every
+// accepted config must satisfy its own validation contract (so downstream
+// code can trust Parse's output blindly).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`{"senders":4,"arrival":"poisson","start":"10s","steps":[{"rate":2,"duration":"30s"}]}`,
+		`{"senders":1,"steps":[{"rate":1,"endRate":100,"duration":"5s"}]}`,
+		`{"senders":8,"arrival":"closed-loop","steps":[{"duration":"20s"}],"window":3,"quorum":0.8,"timeout":"2s"}`,
+		// Bad ramps, zero-duration steps, negative rates: must reject, not hang.
+		`{"senders":1,"steps":[{"rate":1,"endRate":-1,"duration":"5s"}]}`,
+		`{"senders":1,"steps":[{"rate":5,"duration":"0s"}]}`,
+		`{"senders":1,"steps":[{"rate":-3,"duration":"5s"}]}`,
+		`{"senders":-1,"steps":[{"rate":1,"duration":"5s"}]}`,
+		`{"senders":1,"steps":[{"rate":1e308,"duration":"5s"}]}`,
+		`{"senders":1,"start":"-5s","steps":[{"rate":1,"duration":"5s"}]}`,
+		`{"senders":1,"steps":[{"rate":1,"duration":"9999999h"}]}`,
+		`{}`, `[]`, `null`, `"periodic"`, `{"unknown":true}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("Parse accepted a config its own Validate rejects: %v\nconfig: %+v", verr, c)
+		}
+		// Accepted configs must round-trip and re-validate.
+		raw, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("accepted config does not marshal: %v", err)
+		}
+		if _, err := Parse(raw); err != nil {
+			t.Fatalf("accepted config does not re-parse: %v\njson: %s", err, raw)
+		}
+	})
+}

@@ -1,0 +1,308 @@
+// Package loadgen generates deterministic offered-load workloads for the
+// simulator: stepped and ramped offered-load schedules over many concurrent
+// senders, payload-size sweeps, and open-loop (periodic, Poisson) or
+// closed-loop arrival models. All randomness is drawn from rng streams the
+// caller derives from the engine seed, so a load-generated run is a pure
+// function of (scenario, seed) and replays bit-identically serial vs pool.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Arrival selects the inter-arrival process.
+type Arrival int
+
+// Arrival models.
+const (
+	// Periodic spaces injections evenly at the instantaneous offered rate
+	// (open loop: injections never wait for the network).
+	Periodic Arrival = iota + 1
+	// Poisson draws exponential inter-arrival gaps at the instantaneous
+	// offered rate (open loop; ramps use Lewis–Shedler thinning, so the
+	// realized process is exactly the inhomogeneous Poisson process of the
+	// schedule's rate curve).
+	Poisson
+	// ClosedLoop gates each sender's next injection on delivery of its
+	// previous message (Window outstanding per sender, completion at Quorum
+	// coverage or Timeout). The schedule's rates are ignored; its total
+	// duration bounds the injection window. Closed-loop load self-clocks to
+	// the network's sustainable throughput instead of overrunning it.
+	ClosedLoop
+)
+
+// String implements fmt.Stringer.
+func (a Arrival) String() string {
+	switch a {
+	case Periodic:
+		return "periodic"
+	case Poisson:
+		return "poisson"
+	case ClosedLoop:
+		return "closed-loop"
+	default:
+		return fmt.Sprintf("arrival(%d)", int(a))
+	}
+}
+
+// Step is one segment of the offered-load schedule.
+type Step struct {
+	// Rate is the network-wide offered load in messages/second at the start
+	// of the step.
+	Rate float64
+	// EndRate, when positive, ramps the offered rate linearly from Rate to
+	// EndRate across the step. Zero means a flat step at Rate.
+	EndRate float64
+	// Duration is the step length.
+	Duration time.Duration
+}
+
+// rateAt interpolates the step's offered rate at offset dt into the step.
+func (s Step) rateAt(dt time.Duration) float64 {
+	if s.EndRate <= 0 || s.EndRate == s.Rate || s.Duration <= 0 {
+		return s.Rate
+	}
+	frac := float64(dt) / float64(s.Duration)
+	return s.Rate + (s.EndRate-s.Rate)*frac
+}
+
+// integral is the expected injection count over the whole step: the area
+// under the (linear) rate curve.
+func (s Step) integral() float64 {
+	end := s.EndRate
+	if end <= 0 {
+		end = s.Rate
+	}
+	return (s.Rate + end) / 2 * s.Duration.Seconds()
+}
+
+// maxRate is the step's peak offered rate.
+func (s Step) maxRate() float64 {
+	return math.Max(s.Rate, s.EndRate)
+}
+
+// Config describes a load-generation workload. The zero value is invalid;
+// construct explicitly (or via Parse) and Validate before use.
+type Config struct {
+	// Senders is how many distinct correct nodes originate messages
+	// (round-robin over injections; the runner takes them from the lowest
+	// correct ids).
+	Senders int
+	// PayloadSizes is cycled per injection, enabling payload-size sweeps
+	// within one run. A single entry fixes the size.
+	PayloadSizes []int
+	// Arrival selects the inter-arrival process.
+	Arrival Arrival
+	// Start is when the first step begins.
+	Start time.Duration
+	// Steps is the offered-load schedule, executed back to back from Start.
+	Steps []Step
+
+	// Window is the number of outstanding messages per sender (closed loop
+	// only; defaults to 1 when zero).
+	Window int
+	// Quorum is the fraction of eligible receivers whose acceptance
+	// completes a closed-loop message (0 defaults to 0.9).
+	Quorum float64
+	// Timeout force-completes a closed-loop message that never reaches
+	// quorum, so saturation losses cannot deadlock the loop (0 defaults to
+	// 10s).
+	Timeout time.Duration
+}
+
+// Defaults for the closed-loop knobs.
+const (
+	DefaultQuorum  = 0.9
+	DefaultTimeout = 10 * time.Second
+)
+
+// MaxOfferedRate bounds a step's offered rate (messages/second). Beyond it
+// the periodic inter-arrival gap would round below the engine's nanosecond
+// resolution.
+const MaxOfferedRate = 1e6
+
+// End is when the schedule's last step finishes.
+func (c Config) End() time.Duration {
+	t := c.Start
+	for _, s := range c.Steps {
+		t += s.Duration
+	}
+	return t
+}
+
+// RateAt returns the offered rate (messages/second) at absolute time t: zero
+// before Start and after End, the step's (interpolated) rate inside.
+func (c Config) RateAt(t time.Duration) float64 {
+	if t < c.Start {
+		return 0
+	}
+	off := t - c.Start
+	for _, s := range c.Steps {
+		if off < s.Duration {
+			return s.rateAt(off)
+		}
+		off -= s.Duration
+	}
+	return 0
+}
+
+// ExpectedCount is the integral of the offered-load curve: the expected
+// number of injections for the open-loop arrival models.
+func (c Config) ExpectedCount() float64 {
+	var sum float64
+	for _, s := range c.Steps {
+		sum += s.integral()
+	}
+	return sum
+}
+
+// MaxRate is the schedule's peak offered rate.
+func (c Config) MaxRate() float64 {
+	var m float64
+	for _, s := range c.Steps {
+		m = math.Max(m, s.maxRate())
+	}
+	return m
+}
+
+// EffectiveWindow, EffectiveQuorum and EffectiveTimeout apply the closed-loop
+// defaults.
+func (c Config) EffectiveWindow() int {
+	if c.Window <= 0 {
+		return 1
+	}
+	return c.Window
+}
+
+// EffectiveQuorum applies the closed-loop quorum default.
+func (c Config) EffectiveQuorum() float64 {
+	if c.Quorum <= 0 {
+		return DefaultQuorum
+	}
+	return c.Quorum
+}
+
+// EffectiveTimeout applies the closed-loop timeout default.
+func (c Config) EffectiveTimeout() time.Duration {
+	if c.Timeout <= 0 {
+		return DefaultTimeout
+	}
+	return c.Timeout
+}
+
+// Validate checks the configuration, naming the offending field in every
+// error.
+func (c Config) Validate() error {
+	if c.Senders < 1 {
+		return fmt.Errorf("loadgen: senders: must be >= 1, got %d", c.Senders)
+	}
+	if len(c.PayloadSizes) == 0 {
+		return fmt.Errorf("loadgen: payloadSizes: at least one size required")
+	}
+	for i, sz := range c.PayloadSizes {
+		if sz < 1 {
+			return fmt.Errorf("loadgen: payloadSizes[%d]: must be >= 1, got %d", i, sz)
+		}
+	}
+	switch c.Arrival {
+	case Periodic, Poisson, ClosedLoop:
+	default:
+		return fmt.Errorf("loadgen: arrival: unknown model %d (want periodic, poisson or closed-loop)", int(c.Arrival))
+	}
+	if c.Start < 0 {
+		return fmt.Errorf("loadgen: start: must be >= 0, got %s", c.Start)
+	}
+	if len(c.Steps) == 0 {
+		return fmt.Errorf("loadgen: steps: at least one step required")
+	}
+	for i, s := range c.Steps {
+		if s.Duration <= 0 {
+			return fmt.Errorf("loadgen: steps[%d].duration: must be > 0, got %s", i, s.Duration)
+		}
+		if c.Arrival == ClosedLoop {
+			// Closed-loop ignores rates; only the durations matter.
+			continue
+		}
+		if s.Rate <= 0 {
+			return fmt.Errorf("loadgen: steps[%d].rate: must be > 0, got %g", i, s.Rate)
+		}
+		if s.Rate > MaxOfferedRate {
+			return fmt.Errorf("loadgen: steps[%d].rate: must be <= %g msg/s, got %g", i, float64(MaxOfferedRate), s.Rate)
+		}
+		if s.EndRate < 0 {
+			return fmt.Errorf("loadgen: steps[%d].endRate: must be >= 0 (zero means flat), got %g", i, s.EndRate)
+		}
+		if s.EndRate > MaxOfferedRate {
+			return fmt.Errorf("loadgen: steps[%d].endRate: must be <= %g msg/s, got %g", i, float64(MaxOfferedRate), s.EndRate)
+		}
+	}
+	if c.Window < 0 {
+		return fmt.Errorf("loadgen: window: must be >= 0 (zero defaults to 1), got %d", c.Window)
+	}
+	if c.Quorum < 0 || c.Quorum > 1 {
+		return fmt.Errorf("loadgen: quorum: must be in [0,1] (zero defaults to %g), got %g", DefaultQuorum, c.Quorum)
+	}
+	if c.Timeout < 0 {
+		return fmt.Errorf("loadgen: timeout: must be >= 0 (zero defaults to %s), got %s", DefaultTimeout, c.Timeout)
+	}
+	return nil
+}
+
+// Times materializes the open-loop injection schedule, deterministically
+// derived from rng (pass a dedicated substream, e.g. eng.SubRand). Periodic
+// spaces injections at the instantaneous rate; Poisson realizes the
+// inhomogeneous Poisson process of the rate curve by Lewis–Shedler thinning:
+// candidates are drawn at the schedule's peak rate and accepted with
+// probability rate(t)/peak, so the expected count equals ExpectedCount.
+// Calling Times on a closed-loop config panics: closed-loop arrivals are
+// produced at run time by the Driver.
+func (c Config) Times(rng *rand.Rand) []time.Duration {
+	switch c.Arrival {
+	case Periodic:
+		return c.periodicTimes()
+	case Poisson:
+		return c.poissonTimes(rng)
+	default:
+		panic(fmt.Sprintf("loadgen: Times called on %s config", c.Arrival))
+	}
+}
+
+func (c Config) periodicTimes() []time.Duration {
+	var out []time.Duration
+	end := c.End()
+	for t := c.Start; t < end; {
+		r := c.RateAt(t)
+		if r <= 0 {
+			break
+		}
+		out = append(out, t)
+		gap := time.Duration(float64(time.Second) / r)
+		if gap <= 0 {
+			gap = time.Nanosecond
+		}
+		t += gap
+	}
+	return out
+}
+
+func (c Config) poissonTimes(rng *rand.Rand) []time.Duration {
+	peak := c.MaxRate()
+	if peak <= 0 {
+		return nil
+	}
+	var out []time.Duration
+	end := c.End()
+	for t := c.Start; ; {
+		t += time.Duration(rng.ExpFloat64() / peak * float64(time.Second))
+		if t >= end {
+			break
+		}
+		if rng.Float64()*peak <= c.RateAt(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}

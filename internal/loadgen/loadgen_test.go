@@ -1,0 +1,258 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ramp is a three-segment schedule exercising flat, up-ramp and down-ramp
+// steps: 2 msg/s for 10s, 2→10 msg/s over 10s, then 10→1 msg/s over 5s.
+// Integral: 20 + 60 + 27.5 = 107.5.
+func ramp(arrival Arrival) Config {
+	return Config{
+		Senders:      4,
+		PayloadSizes: []int{256},
+		Arrival:      arrival,
+		Start:        5 * time.Second,
+		Steps: []Step{
+			{Rate: 2, Duration: 10 * time.Second},
+			{Rate: 2, EndRate: 10, Duration: 10 * time.Second},
+			{Rate: 10, EndRate: 1, Duration: 5 * time.Second},
+		},
+	}
+}
+
+func TestExpectedCountIsCurveIntegral(t *testing.T) {
+	c := ramp(Periodic)
+	if got, want := c.ExpectedCount(), 107.5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("ExpectedCount = %v, want %v (trapezoid areas 20+60+27.5)", got, want)
+	}
+	if got, want := c.End(), 30*time.Second; got != want {
+		t.Errorf("End = %v, want %v", got, want)
+	}
+	if got := c.MaxRate(); got != 10 {
+		t.Errorf("MaxRate = %v, want 10", got)
+	}
+}
+
+func TestRateAtCurve(t *testing.T) {
+	c := ramp(Periodic)
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 0},                          // before start
+		{5 * time.Second, 2},            // flat step
+		{14 * time.Second, 2},           // still flat
+		{20 * time.Second, 6},           // midpoint of the 2→10 ramp
+		{27500 * time.Millisecond, 5.5}, // midpoint of the 10→1 ramp
+		{30 * time.Second, 0},           // after end
+		{time.Hour, 0},
+	}
+	for _, tc := range cases {
+		if got := c.RateAt(tc.at); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("RateAt(%v) = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+}
+
+// TestPeriodicCountMatchesIntegral: for every seed-independent periodic
+// schedule, the materialized injection count equals the integral of the
+// offered-load curve up to per-step quantization.
+func TestPeriodicCountMatchesIntegral(t *testing.T) {
+	configs := []Config{
+		ramp(Periodic),
+		{Senders: 1, PayloadSizes: []int{64}, Arrival: Periodic,
+			Steps: []Step{{Rate: 7, Duration: 13 * time.Second}}},
+		{Senders: 2, PayloadSizes: []int{64}, Arrival: Periodic, Start: time.Second,
+			Steps: []Step{{Rate: 0.5, Duration: 60 * time.Second}, {Rate: 20, Duration: 3 * time.Second}}},
+	}
+	for _, c := range configs {
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		times := c.Times(rand.New(rand.NewSource(1)))
+		got, want := float64(len(times)), c.ExpectedCount()
+		// Each step can over/under-shoot by one interval at its boundary.
+		slack := float64(len(c.Steps)) + 1
+		if math.Abs(got-want) > slack {
+			t.Errorf("%+v: periodic count %v, want %v ± %v", c.Steps, got, want, slack)
+		}
+		for i, at := range times {
+			if at < c.Start || at >= c.End() {
+				t.Fatalf("times[%d] = %v outside schedule [%v, %v)", i, at, c.Start, c.End())
+			}
+			if i > 0 && at < times[i-1] {
+				t.Fatalf("times[%d] = %v not monotonic (prev %v)", i, at, times[i-1])
+			}
+		}
+	}
+}
+
+// TestPoissonCountMatchesIntegral: the thinned inhomogeneous Poisson process
+// must realize the schedule's rate curve — per seed the count is within wide
+// statistical bounds, and the mean over many seeds converges to the integral.
+func TestPoissonCountMatchesIntegral(t *testing.T) {
+	c := ramp(Poisson)
+	want := c.ExpectedCount() // 107.5
+	const seeds = 300
+	var sum float64
+	sigma := math.Sqrt(want)
+	for seed := int64(0); seed < seeds; seed++ {
+		n := float64(len(c.Times(rand.New(rand.NewSource(seed)))))
+		sum += n
+		if math.Abs(n-want) > 6*sigma {
+			t.Errorf("seed %d: count %v, want %v ± %v (6σ)", seed, n, want, 6*sigma)
+		}
+	}
+	mean := sum / seeds
+	// Standard error of the mean: σ/√seeds ≈ 0.6; allow 5σ_mean.
+	if tol := 5 * sigma / math.Sqrt(seeds); math.Abs(mean-want) > tol {
+		t.Errorf("mean count over %d seeds = %v, want %v ± %v", seeds, mean, want, tol)
+	}
+}
+
+// TestPoissonRampShape: thinning must concentrate arrivals where the rate is
+// high — the up-ramp step (integral 60) gets ~3x the flat step's (20).
+func TestPoissonRampShape(t *testing.T) {
+	c := ramp(Poisson)
+	var flat, up, down float64
+	for seed := int64(0); seed < 200; seed++ {
+		for _, at := range c.Times(rand.New(rand.NewSource(seed))) {
+			switch {
+			case at < 15*time.Second:
+				flat++
+			case at < 25*time.Second:
+				up++
+			default:
+				down++
+			}
+		}
+	}
+	if ratio := up / flat; ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("up-ramp/flat arrival ratio = %v, want ≈ 3 (integrals 60 vs 20)", ratio)
+	}
+	if ratio := down / flat; ratio < 1.1 || ratio > 1.7 {
+		t.Errorf("down-ramp/flat arrival ratio = %v, want ≈ 1.375 (integrals 27.5 vs 20)", ratio)
+	}
+}
+
+// TestTimesDeterministic: identical seeds give identical schedules; distinct
+// seeds differ (for Poisson).
+func TestTimesDeterministic(t *testing.T) {
+	c := ramp(Poisson)
+	a := c.Times(rand.New(rand.NewSource(42)))
+	b := c.Times(rand.New(rand.NewSource(42)))
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different times[%d]: %v vs %v", i, a[i], b[i])
+		}
+	}
+	other := c.Times(rand.New(rand.NewSource(43)))
+	if len(other) == len(a) {
+		same := true
+		for i := range a {
+			if a[i] != other[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical Poisson schedules")
+		}
+	}
+}
+
+func TestTimesPanicsOnClosedLoop(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Times on a closed-loop config must panic")
+		}
+	}()
+	ramp(ClosedLoop).Times(rand.New(rand.NewSource(1)))
+}
+
+// TestPeriodicExtremeRateTerminates: rates at the validation bound must not
+// loop forever on a zero-rounded gap.
+func TestPeriodicExtremeRateTerminates(t *testing.T) {
+	c := Config{Senders: 1, PayloadSizes: []int{1}, Arrival: Periodic,
+		Steps: []Step{{Rate: MaxOfferedRate, Duration: time.Millisecond}}}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(c.Times(nil)), 1000; got != want {
+		t.Errorf("count at max rate = %d, want %d", got, want)
+	}
+}
+
+// TestValidateNamesOffendingField: every rejection must say which field is
+// wrong (the contract the fuzz harness also enforces).
+func TestValidateNamesOffendingField(t *testing.T) {
+	valid := ramp(Poisson)
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		field  string
+	}{
+		{"no senders", func(c *Config) { c.Senders = 0 }, "senders"},
+		{"no payloads", func(c *Config) { c.PayloadSizes = nil }, "payloadSizes"},
+		{"zero payload", func(c *Config) { c.PayloadSizes = []int{256, 0} }, "payloadSizes[1]"},
+		{"bad arrival", func(c *Config) { c.Arrival = 99 }, "arrival"},
+		{"negative start", func(c *Config) { c.Start = -time.Second }, "start"},
+		{"no steps", func(c *Config) { c.Steps = nil }, "steps"},
+		{"zero duration", func(c *Config) { c.Steps[1].Duration = 0 }, "steps[1].duration"},
+		{"negative rate", func(c *Config) { c.Steps[2].Rate = -3 }, "steps[2].rate"},
+		{"huge rate", func(c *Config) { c.Steps[0].Rate = 2e6 }, "steps[0].rate"},
+		{"negative end rate", func(c *Config) { c.Steps[0].EndRate = -1 }, "steps[0].endRate"},
+		{"huge end rate", func(c *Config) { c.Steps[0].EndRate = 2e6 }, "steps[0].endRate"},
+		{"negative window", func(c *Config) { c.Window = -1 }, "window"},
+		{"quorum over 1", func(c *Config) { c.Quorum = 1.5 }, "quorum"},
+		{"negative timeout", func(c *Config) { c.Timeout = -time.Second }, "timeout"},
+	}
+	for _, tc := range cases {
+		c := valid
+		c.Steps = append([]Step(nil), valid.Steps...)
+		c.PayloadSizes = append([]int(nil), valid.PayloadSizes...)
+		tc.mutate(&c)
+		err := c.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted an invalid config", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.field) {
+			t.Errorf("%s: error %q does not name field %q", tc.name, err, tc.field)
+		}
+	}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	// Closed-loop ignores rates entirely: a rate-less schedule is fine.
+	cl := Config{Senders: 2, PayloadSizes: []int{64}, Arrival: ClosedLoop,
+		Steps: []Step{{Duration: 10 * time.Second}}}
+	if err := cl.Validate(); err != nil {
+		t.Errorf("closed-loop config with no rates rejected: %v", err)
+	}
+}
+
+func TestEffectiveDefaults(t *testing.T) {
+	var c Config
+	if got := c.EffectiveWindow(); got != 1 {
+		t.Errorf("EffectiveWindow() zero value = %d, want 1", got)
+	}
+	if got := c.EffectiveQuorum(); got != DefaultQuorum {
+		t.Errorf("EffectiveQuorum() zero value = %v, want %v", got, DefaultQuorum)
+	}
+	if got := c.EffectiveTimeout(); got != DefaultTimeout {
+		t.Errorf("EffectiveTimeout() zero value = %v, want %v", got, DefaultTimeout)
+	}
+	c.Window, c.Quorum, c.Timeout = 3, 0.5, time.Second
+	if c.EffectiveWindow() != 3 || c.EffectiveQuorum() != 0.5 || c.EffectiveTimeout() != time.Second {
+		t.Error("explicit closed-loop knobs must pass through unchanged")
+	}
+}

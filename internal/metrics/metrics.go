@@ -88,6 +88,7 @@ type Results struct {
 	LatMean time.Duration
 	LatP50  time.Duration
 	LatP95  time.Duration
+	LatP99  time.Duration
 	LatMax  time.Duration
 
 	TotalTx    uint64
@@ -181,6 +182,7 @@ func (c *Collector) Summarize(protocol string, n int, eligible func(origin wire.
 		r.LatMean = sum / time.Duration(len(lats))
 		r.LatP50 = percentile(lats, 0.50)
 		r.LatP95 = percentile(lats, 0.95)
+		r.LatP99 = percentile(lats, 0.99)
 		r.LatMax = lats[len(lats)-1]
 	}
 	if len(hops) > 0 {

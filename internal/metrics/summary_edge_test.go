@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"bbcast/internal/wire"
+)
+
+// accepts replays a latency list for one injected message through a fresh
+// collector and returns the summarized results.
+func summarizeLatencies(lats []time.Duration) Results {
+	c := NewCollector()
+	id := wire.MsgID{Origin: 0, Seq: 1}
+	c.OnInject(0, 0, id)
+	for i, lat := range lats {
+		c.OnAccept(lat, wire.NodeID(i+1), id, nil, wire.Meta{})
+	}
+	return c.Summarize("p", len(lats)+1, func(wire.NodeID) int { return len(lats) })
+}
+
+// TestLatencyDigestEdgeTable: boundary shapes of the latency digest,
+// including the p99 column the knee experiment reports.
+func TestLatencyDigestEdgeTable(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	cases := []struct {
+		name               string
+		lats               []time.Duration
+		p50, p95, p99, max time.Duration
+	}{
+		{"no accepts", nil, 0, 0, 0, 0},
+		{"single accept", []time.Duration{ms(30)}, ms(30), ms(30), ms(30), ms(30)},
+		{"two accepts", []time.Duration{ms(10), ms(20)}, ms(10), ms(20), ms(20), ms(20)},
+		{"hundred accepts", func() []time.Duration {
+			var out []time.Duration
+			for i := 1; i <= 100; i++ {
+				out = append(out, ms(i))
+			}
+			return out
+		}(), ms(50), ms(95), ms(99), ms(100)},
+		{"identical accepts", []time.Duration{ms(5), ms(5), ms(5)}, ms(5), ms(5), ms(5), ms(5)},
+	}
+	for _, tc := range cases {
+		r := summarizeLatencies(tc.lats)
+		if r.LatP50 != tc.p50 || r.LatP95 != tc.p95 || r.LatP99 != tc.p99 || r.LatMax != tc.max {
+			t.Errorf("%s: p50/p95/p99/max = %v/%v/%v/%v, want %v/%v/%v/%v",
+				tc.name, r.LatP50, r.LatP95, r.LatP99, r.LatMax, tc.p50, tc.p95, tc.p99, tc.max)
+		}
+	}
+}
+
+// TestLatencyQuantilesMonotonic: p50 ≤ p95 ≤ p99 ≤ max for arbitrary
+// latency distributions.
+func TestLatencyQuantilesMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(150)
+		lats := make([]time.Duration, n)
+		for i := range lats {
+			lats[i] = time.Duration(rng.Intn(10_000_000)) // up to 10ms
+		}
+		r := summarizeLatencies(lats)
+		if !(r.LatP50 <= r.LatP95 && r.LatP95 <= r.LatP99 && r.LatP99 <= r.LatMax) {
+			t.Fatalf("trial %d (n=%d): quantiles not monotonic: p50=%v p95=%v p99=%v max=%v",
+				trial, n, r.LatP50, r.LatP95, r.LatP99, r.LatMax)
+		}
+	}
+}

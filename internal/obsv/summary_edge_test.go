@@ -1,0 +1,103 @@
+package obsv
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSummaryStatsEdgeTable drives the Summary digest through its boundary
+// shapes in one table: empty, single sample, exactly-full ring, wraparound
+// at capacity, and a deep wrap where the retained window is a small suffix.
+func TestSummaryStatsEdgeTable(t *testing.T) {
+	seq := func(from, to int) []float64 {
+		var out []float64
+		for i := from; i <= to; i++ {
+			out = append(out, float64(i))
+		}
+		return out
+	}
+	cases := []struct {
+		name    string
+		cap     int
+		samples []float64
+		want    SummaryStats
+	}{
+		{
+			name: "empty", cap: 8,
+			want: SummaryStats{},
+		},
+		{
+			name: "single sample", cap: 8, samples: []float64{42},
+			// Every quantile of a singleton is the sample itself.
+			want: SummaryStats{Count: 1, Sum: 42, P50: 42, P95: 42, P99: 42},
+		},
+		{
+			name: "two samples", cap: 8, samples: []float64{10, 20},
+			// Nearest rank: round(0.5*2)=1 → first; round(0.95*2)=2 → second.
+			want: SummaryStats{Count: 2, Sum: 30, P50: 10, P95: 20, P99: 20},
+		},
+		{
+			name: "exactly at capacity", cap: 4, samples: seq(1, 4),
+			want: SummaryStats{Count: 4, Sum: 10, P50: 2, P95: 4, P99: 4},
+		},
+		{
+			name: "one past capacity", cap: 4, samples: seq(1, 5),
+			// Ring retains 2..5; count and sum still cover everything.
+			want: SummaryStats{Count: 5, Sum: 15, P50: 3, P95: 5, P99: 5},
+		},
+		{
+			name: "deep wraparound", cap: 4, samples: seq(1, 100),
+			// Retained window is 97..100.
+			want: SummaryStats{Count: 100, Sum: 5050, P50: 98, P95: 100, P99: 100},
+		},
+		{
+			name: "identical samples", cap: 4, samples: []float64{7, 7, 7, 7, 7, 7},
+			want: SummaryStats{Count: 6, Sum: 42, P50: 7, P95: 7, P99: 7},
+		},
+		{
+			name: "unsorted input", cap: 8, samples: []float64{9, 1, 5, 3, 7},
+			want: SummaryStats{Count: 5, Sum: 25, P50: 5, P95: 9, P99: 9},
+		},
+	}
+	for _, tc := range cases {
+		s := NewRegistry().Summary(tc.name, tc.cap)
+		for _, v := range tc.samples {
+			s.Observe(v)
+		}
+		if got := s.Stats(); got != tc.want {
+			t.Errorf("%s: stats = %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestSummaryQuantileMonotonic: for any fill pattern, p50 ≤ p95 ≤ p99 ≤ max
+// of the retained window — the digest must never invert its own quantiles.
+func TestSummaryQuantileMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		cap := 1 + rng.Intn(64)
+		n := 1 + rng.Intn(200)
+		s := NewRegistry().Summary("m", cap)
+		var all []float64
+		for i := 0; i < n; i++ {
+			v := rng.NormFloat64() * 100
+			s.Observe(v)
+			all = append(all, v)
+		}
+		retained := all
+		if len(all) > cap {
+			retained = all[len(all)-cap:]
+		}
+		max := retained[0]
+		for _, v := range retained {
+			if v > max {
+				max = v
+			}
+		}
+		st := s.Stats()
+		if !(st.P50 <= st.P95 && st.P95 <= st.P99 && st.P99 <= max) {
+			t.Fatalf("trial %d (cap %d, n %d): quantiles not monotonic: p50=%v p95=%v p99=%v max=%v",
+				trial, cap, n, st.P50, st.P95, st.P99, max)
+		}
+	}
+}

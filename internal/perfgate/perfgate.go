@@ -1,0 +1,239 @@
+// Package perfgate compares a fresh benchmark report against the committed
+// BENCH_*.json trajectory and flags regressions beyond per-metric tolerances.
+//
+// The gate distinguishes two metric classes. Allocator counters
+// (allocs/event, bytes/event) are hardware-independent — the same code on the
+// same Go version allocates identically everywhere — so they get tight
+// default tolerances. Wall-clock figures (ns/event, sim-ms per simulated
+// second, knee sweep wall-clock) vary with the machine, so their defaults are
+// loose and every tolerance can be widened or disabled through BBPERF_TOL_*
+// environment variables (see FromEnv).
+//
+// Baselines are loaded from either a bare bbcast-bench report or the
+// committed PR wrapper ({"schema": "bbcast-bench-pr/...", "before": ...,
+// "after": ...}), in which case the "after" section — the state of the tree
+// at that commit — is the baseline. v1 baselines predate the simulated-second
+// and knee sections; comparisons against fields the baseline lacks are
+// skipped rather than failed, so the gate tightens as the trajectory adopts
+// v2.
+package perfgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"bbcast/internal/runner"
+)
+
+// Tolerances are per-metric allowed relative increases: 0.15 means the
+// current value may exceed the baseline by up to 15%. A tolerance <= 0
+// disables that metric's check.
+type Tolerances struct {
+	// NsPerEvent gates the serial arm's wall-clock cost per simulator event.
+	NsPerEvent float64
+	// AllocsPerEvent gates the serial arm's allocations per event
+	// (hardware-independent; keep tight).
+	AllocsPerEvent float64
+	// BytesPerEvent gates the serial arm's allocated bytes per event
+	// (hardware-independent; keep tight).
+	BytesPerEvent float64
+	// SimMS gates wall-clock ms per simulated second of the default scenario.
+	SimMS float64
+	// KneeWall gates the knee sweep's wall-clock (same sweep shape across
+	// generations; see runner.DefaultKneeOptions).
+	KneeWall float64
+	// KneeRate gates a *decrease* of the located knee rate: the current knee
+	// must be at least baseline*(1-KneeRate). Protects delivered throughput,
+	// not just simulator speed.
+	KneeRate float64
+}
+
+// Default returns the standard gate: tight on allocator counters, loose on
+// wall-clock.
+func Default() Tolerances {
+	return Tolerances{
+		NsPerEvent:     0.35,
+		AllocsPerEvent: 0.10,
+		BytesPerEvent:  0.10,
+		SimMS:          0.50,
+		KneeWall:       0.50,
+		KneeRate:       0.01,
+	}
+}
+
+// envVars maps each tolerance to its override variable. Values are parsed as
+// float fractions ("0.2" = 20%); "off" or "0" disables the metric.
+var envVars = []struct {
+	name  string
+	field func(*Tolerances) *float64
+}{
+	{"BBPERF_TOL_NS_PER_EVENT", func(t *Tolerances) *float64 { return &t.NsPerEvent }},
+	{"BBPERF_TOL_ALLOCS_PER_EVENT", func(t *Tolerances) *float64 { return &t.AllocsPerEvent }},
+	{"BBPERF_TOL_BYTES_PER_EVENT", func(t *Tolerances) *float64 { return &t.BytesPerEvent }},
+	{"BBPERF_TOL_SIM_MS", func(t *Tolerances) *float64 { return &t.SimMS }},
+	{"BBPERF_TOL_KNEE_WALL", func(t *Tolerances) *float64 { return &t.KneeWall }},
+	{"BBPERF_TOL_KNEE_RATE", func(t *Tolerances) *float64 { return &t.KneeRate }},
+}
+
+// FromEnv starts from Default and applies BBPERF_TOL_* overrides via the
+// given lookup (pass os.Getenv). Unset or empty variables keep the default;
+// "off" (or any value <= 0) disables that metric; malformed values are an
+// error so a typo can't silently weaken the gate.
+func FromEnv(getenv func(string) string) (Tolerances, error) {
+	tol := Default()
+	for _, v := range envVars {
+		raw := getenv(v.name)
+		if raw == "" {
+			continue
+		}
+		if raw == "off" {
+			*v.field(&tol) = 0
+			continue
+		}
+		f, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return tol, fmt.Errorf("perfgate: %s: bad tolerance %q: %v", v.name, raw, err)
+		}
+		*v.field(&tol) = f
+	}
+	return tol, nil
+}
+
+// Regression is one gated metric that moved past its tolerance.
+type Regression struct {
+	Metric    string  `json:"metric"`
+	Baseline  float64 `json:"baseline"`
+	Current   float64 `json:"current"`
+	Change    float64 `json:"change"`    // relative: +0.23 = 23% worse
+	Tolerance float64 `json:"tolerance"` // the limit that was exceeded
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.4g -> %.4g (%+.1f%%, tolerance %.0f%%)",
+		r.Metric, r.Baseline, r.Current, 100*r.Change, 100*r.Tolerance)
+}
+
+// check appends a regression when current exceeds baseline by more than tol.
+// Disabled (tol <= 0) and unmeasured (baseline <= 0) metrics are skipped:
+// a v1 baseline without the knee section must not fail a v2 measurement.
+func check(regs []Regression, metric string, baseline, current, tol float64) []Regression {
+	if tol <= 0 || baseline <= 0 || current <= 0 {
+		return regs
+	}
+	change := current/baseline - 1
+	if change > tol {
+		regs = append(regs, Regression{
+			Metric: metric, Baseline: baseline, Current: current,
+			Change: change, Tolerance: tol,
+		})
+	}
+	return regs
+}
+
+// Compare gates the current report against the baseline and returns every
+// metric that regressed past its tolerance (empty slice = gate passes).
+// Wall-clock metrics compare the serial arms — parallel wall-clock depends on
+// core count, which differs between the committing machine and CI. The knee
+// sweep wall-clock is compared only when both reports swept the same shape
+// (n, senders, injection window), since a different sweep costs different
+// work by construction.
+func Compare(baseline, current runner.BenchReport, tol Tolerances) []Regression {
+	var regs []Regression
+	regs = check(regs, "serial.ns_per_event", baseline.Serial.NsPerEvent, current.Serial.NsPerEvent, tol.NsPerEvent)
+	regs = check(regs, "serial.allocs_per_event", baseline.Serial.AllocsPerEvent, current.Serial.AllocsPerEvent, tol.AllocsPerEvent)
+	regs = check(regs, "serial.bytes_per_event", baseline.Serial.BytesPerEvent, current.Serial.BytesPerEvent, tol.BytesPerEvent)
+	regs = check(regs, "sim_ms_per_sim_s", baseline.SimMSPerSimS, current.SimMSPerSimS, tol.SimMS)
+	if b, c := baseline.Knee, current.Knee; b != nil && c != nil {
+		if b.N == c.N && b.Senders == c.Senders && b.InjectS == c.InjectS {
+			regs = check(regs, "knee.wall_clock_ms", b.WallClockMS, c.WallClockMS, tol.KneeWall)
+		}
+		// The knee rate regresses downward; invert so check's ">" applies.
+		if tol.KneeRate > 0 && b.KneeRate > 0 && c.KneeRate < b.KneeRate*(1-tol.KneeRate) {
+			regs = append(regs, Regression{
+				Metric: "knee.offered_msgs_per_s", Baseline: b.KneeRate, Current: c.KneeRate,
+				Change: c.KneeRate/b.KneeRate - 1, Tolerance: tol.KneeRate,
+			})
+		}
+	}
+	return regs
+}
+
+// prWrapper is the committed BENCH_<pr>.json shape: a before/after pair of
+// bench reports plus free-form notes.
+type prWrapper struct {
+	Schema string              `json:"schema"`
+	Before *runner.BenchReport `json:"before"`
+	After  *runner.BenchReport `json:"after"`
+}
+
+// ParseBaseline extracts the baseline report from raw JSON: either a bare
+// bbcast-bench report or a bbcast-bench-pr wrapper (its "after" section).
+func ParseBaseline(data []byte) (runner.BenchReport, error) {
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return runner.BenchReport{}, fmt.Errorf("perfgate: baseline: %v", err)
+	}
+	if len(probe.Schema) >= len("bbcast-bench-pr/") && probe.Schema[:len("bbcast-bench-pr/")] == "bbcast-bench-pr/" {
+		var w prWrapper
+		if err := json.Unmarshal(data, &w); err != nil {
+			return runner.BenchReport{}, fmt.Errorf("perfgate: baseline wrapper: %v", err)
+		}
+		if w.After == nil {
+			return runner.BenchReport{}, fmt.Errorf("perfgate: baseline wrapper (%s) has no \"after\" report", probe.Schema)
+		}
+		return *w.After, nil
+	}
+	var rep runner.BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return runner.BenchReport{}, fmt.Errorf("perfgate: baseline report: %v", err)
+	}
+	if rep.Serial.NsPerEvent == 0 && rep.Serial.Events == 0 {
+		return rep, fmt.Errorf("perfgate: baseline report has no serial arm (schema %q)", probe.Schema)
+	}
+	return rep, nil
+}
+
+// LoadBaseline reads a baseline report from a file (bare or PR-wrapped).
+func LoadBaseline(path string) (runner.BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return runner.BenchReport{}, err
+	}
+	rep, err := ParseBaseline(data)
+	if err != nil {
+		return rep, fmt.Errorf("%s: %v", path, err)
+	}
+	return rep, nil
+}
+
+// LatestBaseline locates the highest-numbered BENCH_<n>.json in dir — the
+// most recent committed point of the perf trajectory.
+func LatestBaseline(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, m := range matches {
+		base := filepath.Base(m)
+		numPart := base[len("BENCH_") : len(base)-len(".json")]
+		n, err := strconv.Atoi(numPart)
+		if err != nil {
+			continue
+		}
+		if n > bestN {
+			best, bestN = m, n
+		}
+	}
+	if best == "" {
+		sort.Strings(matches)
+		return "", fmt.Errorf("perfgate: no BENCH_<n>.json baseline in %s (found %v)", dir, matches)
+	}
+	return best, nil
+}

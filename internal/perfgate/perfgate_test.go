@@ -1,0 +1,201 @@
+package perfgate
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bbcast/internal/runner"
+)
+
+// report builds a v2 bench report with the given serial-arm figures.
+func report(ns, allocs, bytes, simMS float64) runner.BenchReport {
+	return runner.BenchReport{
+		Schema: runner.BenchSchema,
+		Serial: runner.BenchArm{
+			Workers: 1, Replicates: 16, Events: 100000,
+			NsPerEvent: ns, AllocsPerEvent: allocs, BytesPerEvent: bytes,
+			WallClockMS: ns * 100000 / 1e6, EventsPerSec: 1e9 / ns,
+		},
+		SimMSPerSimS: simMS,
+		Knee: &runner.KneeReport{
+			N: 40, Senders: 20, InjectS: 15, Threshold: 0.95,
+			KneeRate: 8, KneeGoodput: 7.5, WallClockMS: 4000,
+		},
+	}
+}
+
+// TestCompareSyntheticRegression is the gate's own gate: a baseline slowed
+// down after the fact must fail Compare, and an identical pair must pass.
+func TestCompareSyntheticRegression(t *testing.T) {
+	base := report(5600, 23.1, 2360, 2.6)
+
+	if regs := Compare(base, base, Default()); len(regs) != 0 {
+		t.Fatalf("identical reports must pass the gate, got %v", regs)
+	}
+
+	// Synthetic regression: the "current" run is 2x slower and 50% more
+	// allocation-heavy than the committed baseline.
+	cur := report(11200, 34.6, 3540, 5.2)
+	cur.Knee.WallClockMS = 9000
+	cur.Knee.KneeRate = 2
+	regs := Compare(base, cur, Default())
+	want := map[string]bool{
+		"serial.ns_per_event":     true,
+		"serial.allocs_per_event": true,
+		"serial.bytes_per_event":  true,
+		"sim_ms_per_sim_s":        true,
+		"knee.wall_clock_ms":      true,
+		"knee.offered_msgs_per_s": true,
+	}
+	if len(regs) != len(want) {
+		t.Fatalf("got %d regressions %v, want %d", len(regs), regs, len(want))
+	}
+	for _, r := range regs {
+		if !want[r.Metric] {
+			t.Errorf("unexpected regression metric %q", r.Metric)
+		}
+		if r.Metric != "knee.offered_msgs_per_s" && r.Change <= 0 {
+			t.Errorf("%s: change %v should be positive", r.Metric, r.Change)
+		}
+		if !strings.Contains(r.String(), r.Metric) {
+			t.Errorf("String() %q should name the metric", r.String())
+		}
+	}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	base := report(5600, 23.1, 2360, 2.6)
+	cur := report(5600*1.2, 23.1*1.05, 2360*1.05, 2.6*1.3) // inside defaults
+	if regs := Compare(base, cur, Default()); len(regs) != 0 {
+		t.Fatalf("within-tolerance drift must pass, got %v", regs)
+	}
+}
+
+// TestCompareSkipsMissingBaselineFields: a v1 baseline (no simulated-second
+// figure, no knee) must not fail a v2 measurement on the fields it lacks.
+func TestCompareSkipsMissingBaselineFields(t *testing.T) {
+	base := report(5600, 23.1, 2360, 0)
+	base.Knee = nil
+	base.Schema = "bbcast-bench/v1"
+	cur := report(5600, 23.1, 2360, 99) // huge sim-ms, but baseline has none
+	if regs := Compare(base, cur, Default()); len(regs) != 0 {
+		t.Fatalf("missing baseline fields must be skipped, got %v", regs)
+	}
+}
+
+// TestCompareKneeShapeMismatch: knee wall-clock only compares like sweeps.
+func TestCompareKneeShapeMismatch(t *testing.T) {
+	base := report(5600, 23.1, 2360, 2.6)
+	cur := report(5600, 23.1, 2360, 2.6)
+	cur.Knee.N = 80 // different sweep shape costs different work
+	cur.Knee.WallClockMS = base.Knee.WallClockMS * 10
+	cur.Knee.KneeRate = base.Knee.KneeRate
+	if regs := Compare(base, cur, Default()); len(regs) != 0 {
+		t.Fatalf("mismatched knee sweep shapes must not be wall-compared, got %v", regs)
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	env := map[string]string{
+		"BBPERF_TOL_NS_PER_EVENT": "0.8",
+		"BBPERF_TOL_SIM_MS":       "off",
+		"BBPERF_TOL_KNEE_WALL":    "0",
+	}
+	tol, err := FromEnv(func(k string) string { return env[k] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tol.NsPerEvent != 0.8 {
+		t.Errorf("NsPerEvent = %v, want 0.8", tol.NsPerEvent)
+	}
+	if tol.SimMS != 0 || tol.KneeWall != 0 {
+		t.Errorf("off/0 must disable: SimMS=%v KneeWall=%v", tol.SimMS, tol.KneeWall)
+	}
+	if tol.AllocsPerEvent != Default().AllocsPerEvent {
+		t.Errorf("unset vars must keep defaults")
+	}
+
+	if _, err := FromEnv(func(string) string { return "fast" }); err == nil {
+		t.Error("malformed tolerance must error, not silently weaken the gate")
+	}
+}
+
+func TestParseBaselineWrapper(t *testing.T) {
+	after := report(5600, 23.1, 2360, 2.6)
+	raw, err := json.Marshal(map[string]any{
+		"schema": "bbcast-bench-pr/v2",
+		"before": report(6000, 25, 2500, 3.0),
+		"after":  after,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ParseBaseline(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Serial.NsPerEvent != after.Serial.NsPerEvent {
+		t.Errorf("wrapper baseline must use the after section: got ns=%v", rep.Serial.NsPerEvent)
+	}
+
+	bare, err := json.Marshal(after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = ParseBaseline(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SimMSPerSimS != 2.6 {
+		t.Errorf("bare baseline: SimMSPerSimS = %v, want 2.6", rep.SimMSPerSimS)
+	}
+
+	if _, err := ParseBaseline([]byte(`{"schema":"bbcast-bench-pr/v1"}`)); err == nil {
+		t.Error("wrapper without after must error")
+	}
+	if _, err := ParseBaseline([]byte(`not json`)); err == nil {
+		t.Error("bad JSON must error")
+	}
+}
+
+// TestParseBaselineCommitted parses every committed BENCH_*.json so the gate
+// can never be wedged by the repository's own trajectory files.
+func TestParseBaselineCommitted(t *testing.T) {
+	matches, err := filepath.Glob("../../BENCH_*.json")
+	if err != nil || len(matches) == 0 {
+		t.Skipf("no committed baselines found: %v", err)
+	}
+	for _, m := range matches {
+		rep, err := LoadBaseline(m)
+		if err != nil {
+			t.Errorf("%s: %v", m, err)
+			continue
+		}
+		if rep.Serial.NsPerEvent <= 0 {
+			t.Errorf("%s: baseline serial ns/event = %v, want > 0", m, rep.Serial.NsPerEvent)
+		}
+	}
+}
+
+func TestLatestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_3.json", "BENCH_10.json", "BENCH_notanumber.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := LatestBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_10.json" {
+		t.Errorf("LatestBaseline = %s, want BENCH_10.json (numeric, not lexical, order)", got)
+	}
+
+	if _, err := LatestBaseline(t.TempDir()); err == nil {
+		t.Error("empty dir must error")
+	}
+}

@@ -5,6 +5,9 @@ package runner
 import (
 	"runtime"
 	"time"
+
+	"bbcast/internal/invariant"
+	"bbcast/internal/loadgen"
 )
 
 // BenchArm is one measured configuration of the benchmark harness: a
@@ -43,10 +46,18 @@ type BenchReport struct {
 	Parallel BenchArm `json:"parallel"`
 	// Speedup is serial wall-clock over parallel wall-clock.
 	Speedup float64 `json:"speedup"`
+
+	// SimMSPerSimS is wall-clock milliseconds per simulated second of the
+	// default scenario (the BenchmarkSimulatedSecond figure of merit), when
+	// measured (v2).
+	SimMSPerSimS float64 `json:"sim_ms_per_sim_s,omitempty"`
+	// Knee is the saturating-load sweep (v2), when measured.
+	Knee *KneeReport `json:"knee,omitempty"`
 }
 
-// BenchSchema identifies the report format.
-const BenchSchema = "bbcast-bench/v1"
+// BenchSchema identifies the report format. v2 adds sim_ms_per_sim_s and the
+// offered-load knee section to v1.
+const BenchSchema = "bbcast-bench/v2"
 
 // benchArm runs count replicates of sc at the given worker count and
 // measures wall-clock, event throughput and allocator traffic.
@@ -109,6 +120,165 @@ func Bench(sc Scenario, replicates, workers int) (BenchReport, error) {
 	}
 	if rep.Parallel.WallClockMS > 0 {
 		rep.Speedup = rep.Serial.WallClockMS / rep.Parallel.WallClockMS
+	}
+	return rep, nil
+}
+
+// SimulatedSecondMS measures wall-clock milliseconds per simulated second of
+// the default scenario — the same figure of merit as BenchmarkSimulatedSecond,
+// reproducible outside `go test` so the perf gate can compare it against the
+// committed trajectory.
+func SimulatedSecondMS(seed int64, simSeconds int) (float64, error) {
+	sc := DefaultScenario()
+	sc.Name = "simulated-second"
+	sc.Seed = seed
+	sc.Duration = time.Duration(simSeconds) * time.Second
+	sc.Workload.End = sc.Duration
+	if _, err := Run(sc); err != nil { // warm-up
+		return 0, err
+	}
+	start := time.Now()
+	if _, err := Run(sc); err != nil {
+		return 0, err
+	}
+	wall := time.Since(start)
+	return float64(wall.Nanoseconds()) / 1e6 / float64(simSeconds), nil
+}
+
+// KneePoint is one measured offered-load level of the bench knee sweep.
+type KneePoint struct {
+	OfferedRate   float64 `json:"offered_msgs_per_s"`
+	Injected      int     `json:"injected"`
+	DeliveryRatio float64 `json:"delivery_ratio"`
+	GoodputMsgS   float64 `json:"goodput_msgs_per_s"`
+	LatP50MS      float64 `json:"lat_p50_ms"`
+	LatP99MS      float64 `json:"lat_p99_ms"`
+	BytesPerMsg   float64 `json:"bytes_per_msg"`
+}
+
+// KneeReport is the saturating-load section of a v2 bench report: the
+// offered-load sweep, the located knee, and the sweep's wall-clock (the
+// E16-shaped workload the perf gate tracks).
+type KneeReport struct {
+	N         int     `json:"n"`
+	Senders   int     `json:"senders"`
+	InjectS   float64 `json:"inject_window_s"`
+	Threshold float64 `json:"delivery_threshold"`
+
+	Points []KneePoint `json:"points"`
+	// KneeRate is the highest swept offered load whose delivery ratio met
+	// the threshold (0 when none did); KneeGoodput is its delivered
+	// throughput.
+	KneeRate    float64 `json:"knee_offered_msgs_per_s"`
+	KneeGoodput float64 `json:"knee_goodput_msgs_per_s"`
+	WallClockMS float64 `json:"wall_clock_ms"`
+}
+
+// KneeOptions configures the bench knee sweep.
+type KneeOptions struct {
+	N         int
+	Senders   int
+	Rates     []float64 // offered loads, msgs/second network-wide
+	Seed      int64
+	Inject    time.Duration // injection window per rate
+	Drain     time.Duration
+	Threshold float64 // delivery ratio that counts as sustained
+	Workers   int     // concurrent simulations; <= 0 means GOMAXPROCS
+}
+
+// DefaultKneeOptions is the gate-standard sweep shape: small enough for CI,
+// wide enough that the top rate sits past the knee. Keeping the shape fixed
+// makes the sweep's wall-clock comparable across BENCH_*.json generations.
+func DefaultKneeOptions(seed int64) KneeOptions {
+	return KneeOptions{
+		N:         40,
+		Senders:   20,
+		Rates:     []float64{2, 8, 32},
+		Seed:      seed,
+		Inject:    15 * time.Second,
+		Drain:     10 * time.Second,
+		Threshold: 0.95,
+	}
+}
+
+// kneeScenario builds the load-generator scenario for one swept rate.
+// Invariants are off: saturation violates liveness-style checks by design.
+func (o KneeOptions) kneeScenario(rate float64) Scenario {
+	sc := DefaultScenario()
+	sc.Name = "bench-knee"
+	sc.Seed = o.Seed
+	sc.N = o.N
+	sc.Invariants = invariant.Config{}
+	sc.Workload = Workload{}
+	start := 15 * time.Second
+	sc.LoadGen = &loadgen.Config{
+		Senders:      o.Senders,
+		PayloadSizes: []int{256},
+		Arrival:      loadgen.Poisson,
+		Start:        start,
+		Steps:        []loadgen.Step{{Rate: rate, Duration: o.Inject}},
+	}
+	sc.Duration = start + o.Inject + o.Drain
+	return sc
+}
+
+// KneeSweep measures delivery, latency and bytes/msg across the offered-load
+// sweep and locates the knee. Runs fan out across the worker pool; each is
+// bit-identical at any worker count, so only the wall-clock depends on
+// parallelism.
+func KneeSweep(o KneeOptions) (KneeReport, error) {
+	rep := KneeReport{
+		N: o.N, Senders: o.Senders,
+		InjectS: o.Inject.Seconds(), Threshold: o.Threshold,
+	}
+	scs := make([]Scenario, len(o.Rates))
+	for i, rate := range o.Rates {
+		scs[i] = o.kneeScenario(rate)
+	}
+	start := time.Now()
+	results, err := Pool{Workers: o.Workers}.RunAll(scs)
+	rep.WallClockMS = float64(time.Since(start).Nanoseconds()) / 1e6
+	if err != nil {
+		return rep, err
+	}
+	for i, res := range results {
+		p := KneePoint{
+			OfferedRate:   o.Rates[i],
+			Injected:      res.Injected,
+			DeliveryRatio: res.DeliveryRatio,
+			GoodputMsgS:   float64(res.Injected) * res.DeliveryRatio / o.Inject.Seconds(),
+			LatP50MS:      float64(res.LatP50.Nanoseconds()) / 1e6,
+			LatP99MS:      float64(res.LatP99.Nanoseconds()) / 1e6,
+		}
+		if res.Injected > 0 {
+			p.BytesPerMsg = float64(res.BytesOnAir) / float64(res.Injected)
+		}
+		rep.Points = append(rep.Points, p)
+		if p.DeliveryRatio >= o.Threshold && p.OfferedRate > rep.KneeRate {
+			rep.KneeRate = p.OfferedRate
+			rep.KneeGoodput = p.GoodputMsgS
+		}
+	}
+	return rep, nil
+}
+
+// FullBench composes the complete v2 report: the serial/parallel replicate
+// arms, the simulated-second figure, and (when knee is non-nil) the
+// offered-load sweep.
+func FullBench(sc Scenario, replicates, workers int, knee *KneeOptions) (BenchReport, error) {
+	rep, err := Bench(sc, replicates, workers)
+	if err != nil {
+		return rep, err
+	}
+	if rep.SimMSPerSimS, err = SimulatedSecondMS(sc.Seed, 10); err != nil {
+		return rep, err
+	}
+	if knee != nil {
+		k, err := KneeSweep(*knee)
+		if err != nil {
+			return rep, err
+		}
+		rep.Knee = &k
 	}
 	return rep, nil
 }

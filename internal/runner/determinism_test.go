@@ -14,16 +14,19 @@ import (
 	"time"
 
 	"bbcast/internal/faultplan"
+	"bbcast/internal/invariant"
+	"bbcast/internal/loadgen"
 )
 
 var updateGoldens = flag.Bool("update", false, "rewrite testdata/trace_goldens.json from the current run")
 
-// goldenConfigs are four representative scenario shapes whose event traces
+// goldenConfigs are five representative scenario shapes whose event traces
 // are pinned by checked-in hashes: the default protocol on a static grid, the
 // protocol under mute adversaries with waypoint mobility, the flooding
-// baseline, and the protocol under bursty loss with the adaptive layer
-// engaged. Anything that perturbs the event schedule — RNG draw order, heap
-// tie-breaking, reception batching — shows up as a hash mismatch here.
+// baseline, the protocol under bursty loss with the adaptive layer engaged,
+// and a load-generated run (Poisson ramp with a payload sweep). Anything that
+// perturbs the event schedule — RNG draw order, heap tie-breaking, reception
+// batching — shows up as a hash mismatch here.
 func goldenConfigs() []Scenario {
 	grid := DefaultScenario()
 	grid.Name = "det-byzcast-grid"
@@ -58,7 +61,27 @@ func goldenConfigs() []Scenario {
 		LossFactor: 0.85, MeanBad: 300 * time.Millisecond, MeanGood: 900 * time.Millisecond,
 	}}}
 
-	return []Scenario{grid, mute, flood, burst}
+	// Load-generator shape (the E16 quick config in miniature): Poisson
+	// arrivals over a ramped offered load with a payload-size sweep. Pins
+	// the loadgen substream derivation and the injection closure's draw
+	// order into the determinism contract.
+	load := grid
+	load.Name = "det-byzcast-loadgen"
+	load.Seed = 19
+	load.Workload = Workload{}
+	load.Invariants = invariant.Config{}
+	load.LoadGen = &loadgen.Config{
+		Senders:      10,
+		PayloadSizes: []int{128, 512},
+		Arrival:      loadgen.Poisson,
+		Start:        5 * time.Second,
+		Steps: []loadgen.Step{
+			{Rate: 2, Duration: 5 * time.Second},
+			{Rate: 2, EndRate: 8, Duration: 10 * time.Second},
+		},
+	}
+
+	return []Scenario{grid, mute, flood, burst, load}
 }
 
 func traceHash(t *testing.T, sc Scenario) (string, Result) {

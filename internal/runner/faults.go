@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
@@ -275,6 +276,11 @@ func ReproCommand(sc Scenario) string {
 	}
 	if drain := sc.Duration - w.End; drain != 10*time.Second {
 		fmt.Fprintf(&b, " -drain %s", drain)
+	}
+	if sc.LoadGen != nil {
+		if data, err := json.Marshal(sc.LoadGen); err == nil {
+			fmt.Fprintf(&b, " -load '%s'", data)
+		}
 	}
 	for _, a := range sc.Adversaries {
 		switch a.Kind {

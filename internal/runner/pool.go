@@ -146,7 +146,7 @@ func Average(rs []Result) Result {
 	n := float64(len(rs))
 	un := uint64(len(rs))
 	var delivery, txPerMsg float64
-	var latMean, latP50, latP95, latMax time.Duration
+	var latMean, latP50, latP95, latP99, latMax time.Duration
 	var hopMean, hopP50, hopP95, hopMax, recoveryShare float64
 	var remoteDeliveries, recoveryDeliveries uint64
 	var totalTx, bytes, collisions, events uint64
@@ -161,6 +161,7 @@ func Average(rs []Result) Result {
 		latMean += r.LatMean
 		latP50 += r.LatP50
 		latP95 += r.LatP95
+		latP99 += r.LatP99
 		latMax += r.LatMax
 		hopMean += r.HopMean
 		hopP50 += r.HopP50
@@ -204,6 +205,7 @@ func Average(rs []Result) Result {
 	out.LatMean = latMean / time.Duration(len(rs))
 	out.LatP50 = latP50 / time.Duration(len(rs))
 	out.LatP95 = latP95 / time.Duration(len(rs))
+	out.LatP99 = latP99 / time.Duration(len(rs))
 	out.LatMax = latMax / time.Duration(len(rs))
 	out.HopMean = hopMean / n
 	out.HopP50 = hopP50 / n

@@ -20,6 +20,7 @@ import (
 	"bbcast/internal/fd"
 	"bbcast/internal/geo"
 	"bbcast/internal/invariant"
+	"bbcast/internal/loadgen"
 	"bbcast/internal/mac"
 	"bbcast/internal/metrics"
 	"bbcast/internal/mobility"
@@ -164,6 +165,11 @@ type Scenario struct {
 	// Placement selects where adversaries are put (see AdversaryPlacement).
 	Placement AdversaryPlacement
 	Workload  Workload
+	// LoadGen, when non-nil, replaces Workload with a load-generator
+	// schedule: stepped/ramped offered load over many senders, payload-size
+	// sweeps, and periodic, Poisson or closed-loop arrivals — all seeded
+	// from the engine so runs stay bit-identical serial vs pool.
+	LoadGen *loadgen.Config
 	// LatencyBucket, when positive, fills Result.Timeline with latency
 	// statistics bucketed by message injection time.
 	LatencyBucket time.Duration
@@ -274,6 +280,11 @@ func Run(sc Scenario) (Result, error) {
 	if sc.Duration <= 0 {
 		return Result{}, fmt.Errorf("runner: scenario needs a positive duration")
 	}
+	if sc.LoadGen != nil {
+		if err := sc.LoadGen.Validate(); err != nil {
+			return Result{}, err
+		}
+	}
 	if sc.Radio.Range <= 0 {
 		sc.Radio = radio.DefaultConfig()
 	}
@@ -337,10 +348,20 @@ func Run(sc Scenario) (Result, error) {
 
 	chk := buildChecker(sc, eng, medium, protos, correct)
 
+	// The closed-loop load driver listens on the observer chain: it counts
+	// correct-node accepts towards per-message quorums and self-clocks the
+	// next injection.
+	var loadDriver *loadgen.Driver
+	var loadObs obsv.Observer
+	if sc.LoadGen != nil && sc.LoadGen.Arrival == loadgen.ClosedLoop {
+		loadDriver = loadgen.NewDriver(*sc.LoadGen, numCorrect-1)
+		loadObs = loadDriver
+	}
+
 	// One composite observer receives every event exactly once from the
 	// emitting layer; accepts at non-correct nodes are filtered out so they
 	// never count towards delivery (mirroring the old per-node wiring).
-	obs := obsv.Multi(collector, traceObs, invariant.AsObserver(chk), sc.Observer)
+	obs := obsv.Multi(collector, traceObs, invariant.AsObserver(chk), loadObs, sc.Observer)
 	advObs := obsv.SkipAccepts(obs)
 	medium.OnTransmit = func(from wire.NodeID, pkt *wire.Packet) {
 		obs.OnPacketTx(eng.Now(), from, pkt.Kind, pkt.ID(), pkt.Meta)
@@ -443,7 +464,7 @@ func Run(sc Scenario) (Result, error) {
 		}
 	}
 
-	scheduleWorkload(sc, eng, protos, correct, obs)
+	scheduleWorkload(sc, eng, protos, correct, obs, loadDriver)
 
 	eng.Run(sc.Duration)
 
@@ -723,8 +744,57 @@ func adjacency(medium *radio.Medium, n int, maxDist float64) [][]bool {
 	return adj
 }
 
-// scheduleWorkload injects messages per the scenario's workload description.
-func scheduleWorkload(sc Scenario, eng *sim.Engine, protos []broadcaster, correct []bool, obs obsv.Observer) {
+// scheduleWorkload injects messages per the scenario's workload description:
+// the load-generator schedule when Scenario.LoadGen is set, the simple
+// fixed-rate workload otherwise. All OnInject emissions live here (and in
+// closures created here) — the obsvonce contract's designated source.
+func scheduleWorkload(sc Scenario, eng *sim.Engine, protos []broadcaster, correct []bool, obs obsv.Observer, loadDriver *loadgen.Driver) {
+	if sc.LoadGen != nil {
+		cfg := *sc.LoadGen
+		var senders []int
+		for i := 0; i < len(protos) && len(senders) < cfg.Senders; i++ {
+			if correct[i] {
+				senders = append(senders, i)
+			}
+		}
+		if len(senders) == 0 {
+			return
+		}
+		// One payload buffer per configured size, cycled per injection so a
+		// single run sweeps payload sizes deterministically.
+		payloads := make([][]byte, len(cfg.PayloadSizes))
+		for i, sz := range cfg.PayloadSizes {
+			p := make([]byte, sz)
+			for j := range p {
+				p[j] = byte(j)
+			}
+			payloads[i] = p
+		}
+		k := 0
+		inject := func(slot int) (wire.MsgID, wire.NodeID) {
+			sender := senders[slot%len(senders)]
+			p := payloads[k%len(payloads)]
+			k++
+			id := protos[sender].Broadcast(p)
+			if obs != nil {
+				obs.OnInject(eng.Now(), wire.NodeID(sender), id)
+			}
+			return id, wire.NodeID(sender)
+		}
+		if cfg.Arrival == loadgen.ClosedLoop {
+			loadDriver.Bind(eng.Now, func(at time.Duration, fn func()) { eng.At(at, fn) }, inject)
+			loadDriver.Start()
+			return
+		}
+		// Open loop: the whole arrival schedule is materialized up front
+		// from a dedicated RNG substream; senders round-robin by arrival.
+		for i, at := range cfg.Times(eng.SubRand(0x10adc3)) {
+			slot := i
+			eng.At(at, func() { inject(slot) })
+		}
+		return
+	}
+
 	w := sc.Workload
 	if w.Rate <= 0 || w.Senders <= 0 {
 		return
