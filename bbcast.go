@@ -47,6 +47,7 @@ import (
 	"bbcast/internal/metrics"
 	"bbcast/internal/obsv"
 	"bbcast/internal/overlay"
+	"bbcast/internal/persist"
 	"bbcast/internal/radio"
 	"bbcast/internal/runner"
 	"bbcast/internal/sig"
@@ -226,7 +227,17 @@ const (
 	FaultDegradeRadio = faultplan.DegradeRadio
 	// FaultSwapBehavior replaces a node's behaviour mid-run.
 	FaultSwapBehavior = faultplan.SwapBehavior
+	// FaultCrashAmnesia crashes a node and wipes its volatile state; on
+	// recovery the node restarts from scratch (plus whatever its durable
+	// store preserved, when ProtocolConfig.Persist is on).
+	FaultCrashAmnesia = faultplan.CrashAmnesia
 )
+
+// PersistCorruption describes deterministic damage applied to an amnesiac
+// node's durable log at recovery time (a torn tail record, flipped bits) to
+// exercise the replay-truncate recovery path. Attach via
+// Scenario.PersistCorrupt.
+type PersistCorruption = persist.Corruption
 
 // InvariantConfig selects the runtime invariant checks (agreement, validity,
 // detector soundness, overlay recovery) a run performs. The zero value

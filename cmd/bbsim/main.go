@@ -9,12 +9,21 @@
 //	bbsim -mobility waypoint -speed 10
 //	bbsim -faults plan.json
 //	bbsim -faults '{"events":[{"at":"30s","kind":"crash","node":7}]}'
+//	bbsim -sync -faults '{"churn":{"rate":0.2,"start":"15s","end":"75s","downtime":"20s","wipe":true}}'
 //
 // With -faults, the plan's events (crashes, recoveries, partitions, radio
 // degradation, behaviour swaps, churn) execute during the run and the
 // runtime invariant checker audits agreement, validity, detector soundness
 // and overlay recovery. Violations fail the run (exit 1) and print a
 // one-line command that reproduces them.
+//
+// Amnesiac crashes (event kind "crash-amnesia", or churn with "wipe": true)
+// wipe the node's volatile state, so on recovery it restarts from scratch.
+// -persist gives every node a durable store an amnesiac rejoiner restores
+// its sequence number, delivered digests and suspicions from; -sync
+// additionally lets it bulk-recover the messages it missed from one
+// neighbour. -persist-tear and -persist-flip damage the durable log at
+// recovery to exercise the replay-truncate and CRC-rejection paths.
 package main
 
 import (
@@ -56,6 +65,11 @@ func run(args []string) error {
 		noFD        = fs.Bool("no-fd", false, "disable the failure detectors")
 		noAdapt     = fs.Bool("no-adapt", false, "disable adaptive timing and bounded retransmission (static timers, no retry chain)")
 		ed25519     = fs.Bool("ed25519", false, "use real Ed25519 signatures")
+
+		persistOn   = fs.Bool("persist", false, "give every node a durable store: amnesiac rejoiners restore their sequence number, delivered-message digests and suspicions instead of restarting blank")
+		syncOn      = fs.Bool("sync", false, "enable rejoin catch-up sync (SYNC-REQ/SYNC-RESP from one neighbour after a wipe); implies -persist")
+		persistTear = fs.Bool("persist-tear", false, "tear the tail record off each amnesiac node's durable log at recovery (exercises replay-truncate)")
+		persistFlip = fs.Int("persist-flip", 0, "flip this many seeded-random bits in each amnesiac node's durable log at recovery (exercises CRC rejection)")
 
 		mute       = fs.Int("mute", 0, "mute Byzantine nodes")
 		tamper     = fs.Int("tamper", 0, "payload-tampering Byzantine nodes")
@@ -101,6 +115,17 @@ func run(args []string) error {
 	if *noAdapt {
 		sc.Core.AdaptiveTiming = false
 		sc.Core.RetryMaxAttempts = 0
+	}
+	sc.Core.Persist = *persistOn || *syncOn
+	sc.Core.CatchUpSync = *syncOn
+	if *persistFlip < 0 {
+		return fmt.Errorf("-persist-flip must be >= 0, got %d", *persistFlip)
+	}
+	if *persistTear || *persistFlip > 0 {
+		if !sc.Core.Persist {
+			return fmt.Errorf("-persist-tear/-persist-flip need -persist or -sync (there is no durable log to damage otherwise)")
+		}
+		sc.PersistCorrupt = &bbcast.PersistCorruption{TearTail: *persistTear, FlipBits: *persistFlip}
 	}
 	sc.SnapshotSVG = *svg
 	if *noInv {

@@ -52,8 +52,9 @@ var EmissionSources = map[string][]string{
 	"OnForwardSuppressed": {"bbcast/internal/core.Deps.ObserveSuppressed"},
 	// role: committed overlay role transitions only.
 	"OnRoleChange": {"bbcast/internal/core.Protocol.applyRole"},
-	// suspicion: the detector hooks wired up in core.New.
-	"OnSuspicion": {"bbcast/internal/core.New"},
+	// suspicion: the detector hooks wired up in initDetectors (called from
+	// New and again on amnesiac Rejoin).
+	"OnSuspicion": {"bbcast/internal/core.Protocol.initDetectors"},
 	// sigverify: the protocol's verify wrapper.
 	"OnSigVerify": {"bbcast/internal/core.Protocol.verify"},
 	// queue depth: the maintenance-tick sampler.
@@ -68,6 +69,10 @@ var EmissionSources = map[string][]string{
 	"OnAdaptation": {"bbcast/internal/core.Protocol.observeAdaptation"},
 	// retry: the bounded-retransmission reporter.
 	"OnRetry": {"bbcast/internal/core.Protocol.observeRetry"},
+	// sync: the catch-up sync reporter.
+	"OnSync": {"bbcast/internal/core.Protocol.observeSync"},
+	// rejoin: the amnesiac re-initialization path.
+	"OnRejoin": {"bbcast/internal/core.Protocol.Rejoin"},
 }
 
 // Analyzer is the exactly-once emission pass.

@@ -171,6 +171,35 @@ type Config struct {
 
 	// DeliverOwn, when set, delivers the node's own broadcasts locally.
 	DeliverOwn bool
+
+	// Persist enables the durable-state layer: the host attaches a
+	// persist.Store (Deps.Store) and the protocol records its broadcast
+	// sequence number, delivered-message digests and direct suspicions to it,
+	// restoring them after an amnesiac crash so the node does not reuse
+	// sequence numbers or re-deliver pre-crash traffic.
+	Persist bool
+	// PersistSnapshotEvery is the periodic snapshot-compaction interval for
+	// the durable store (defaults to 10s when zero and Persist is on). The
+	// snapshot task draws no randomness, so enabling it does not perturb the
+	// RNG schedule of other tasks.
+	PersistSnapshotEvery time.Duration
+	// CatchUpSync enables the rejoin catch-up protocol: after a wipe the node
+	// asks one admitted neighbour for messages it missed while down
+	// (SYNC-REQ / SYNC-RESP), instead of waiting for gossip advertisements of
+	// messages that may already have aged out of the advertisement window.
+	CatchUpSync bool
+	// SyncMaxEntries caps the entries in one SYNC-RESP (defaults to 64 when
+	// zero). A full batch signals the requester that more may remain, so it
+	// issues another round.
+	SyncMaxEntries int
+	// SyncRetryDelay paces catch-up rounds: the delay before the first
+	// SYNC-REQ after rejoin and between successive rounds (defaults to 1s
+	// when zero).
+	SyncRetryDelay time.Duration
+	// SyncMaxAttempts caps fruitless catch-up rounds (no response applied)
+	// before the node abandons sync and falls back to plain gossip recovery
+	// (defaults to 5 when zero).
+	SyncMaxAttempts int
 }
 
 // DefaultConfig returns the parameters used throughout the experiments.
@@ -255,6 +284,38 @@ func (c *Config) GossipBounds() (min, max time.Duration) {
 		max = min
 	}
 	return min, max
+}
+
+// snapshotEvery returns the effective durable-store snapshot interval.
+func (c *Config) snapshotEvery() time.Duration {
+	if c.PersistSnapshotEvery > 0 {
+		return c.PersistSnapshotEvery
+	}
+	return 10 * time.Second
+}
+
+// syncMaxEntries returns the effective SYNC-RESP batch cap.
+func (c *Config) syncMaxEntries() int {
+	if c.SyncMaxEntries > 0 {
+		return c.SyncMaxEntries
+	}
+	return 64
+}
+
+// syncRetryDelay returns the effective catch-up round pacing.
+func (c *Config) syncRetryDelay() time.Duration {
+	if c.SyncRetryDelay > 0 {
+		return c.SyncRetryDelay
+	}
+	return 1 * time.Second
+}
+
+// syncMaxAttempts returns the effective cap on fruitless catch-up rounds.
+func (c *Config) syncMaxAttempts() int {
+	if c.SyncMaxAttempts > 0 {
+		return c.SyncMaxAttempts
+	}
+	return 5
 }
 
 // MuteTimeoutBounds returns the effective adaptive MUTE-timeout bounds,

@@ -102,6 +102,14 @@ func (r *recObserver) OnRetry(at time.Duration, node wire.NodeID, id wire.MsgID,
 	r.log("retry %s %d %v %d %v", at, node, id, attempt, abandoned)
 }
 
+func (r *recObserver) OnSync(at time.Duration, node, peer wire.NodeID, event obsv.SyncEvent, entries, bytes int) {
+	r.log("sync %s %d %d %s %d %d", at, node, peer, event, entries, bytes)
+}
+
+func (r *recObserver) OnRejoin(at time.Duration, node wire.NodeID, restored int) {
+	r.log("rejoin %s %d %d", at, node, restored)
+}
+
 // newObsHarness is newHarness with an observer attached.
 func newObsHarness(t *testing.T, selfID wire.NodeID, cfg Config, obs obsv.Observer) *harness {
 	t.Helper()

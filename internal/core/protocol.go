@@ -9,6 +9,7 @@ import (
 	"bbcast/internal/fd"
 	"bbcast/internal/obsv"
 	"bbcast/internal/overlay"
+	"bbcast/internal/persist"
 	"bbcast/internal/sig"
 	"bbcast/internal/wire"
 )
@@ -33,6 +34,10 @@ type Deps struct {
 	// suspicions, signature verifications, queue depths). Transmissions are
 	// observed by the host at the transport layer, not here.
 	Obs obsv.Observer
+	// Store, if non-nil, is the durable-state layer (Config.Persist): the
+	// protocol records its sequence counter, delivered digests and suspicion
+	// transitions into it and restores them in New and Rejoin.
+	Store *persist.Store
 }
 
 // Accept routes one application-level acceptance through the upcall and the
@@ -43,6 +48,13 @@ type Deps struct {
 func (d *Deps) Accept(id wire.MsgID, payload []byte, meta wire.Meta) {
 	if d.Deliver != nil {
 		d.Deliver(id.Origin, id, payload)
+	}
+	if d.Store != nil {
+		digest := meta.Digest
+		if digest == 0 {
+			digest = wire.Digest(payload)
+		}
+		d.Store.RecordDelivered(id, digest)
 	}
 	if d.Obs != nil {
 		d.Obs.OnAccept(d.Clock.Now(), d.ID, id, payload, meta)
@@ -170,6 +182,12 @@ type Stats struct {
 	Adaptations      uint64 // committed adaptive-timer changes
 	RetriesSent      uint64 // explicit retransmissions of missing-message requests
 	RetriesAbandoned uint64 // retransmission chains that hit the attempt cap
+
+	Rejoins            uint64 // amnesiac re-initializations (Rejoin calls)
+	SyncReqsSent       uint64 // catch-up SYNC-REQ packets sent
+	SyncEntriesServed  uint64 // entries served in SYNC-RESP packets
+	SyncEntriesApplied uint64 // entries accepted from SYNC-RESP packets
+	SyncAbandoned      uint64 // catch-up rounds abandoned at the attempt cap
 }
 
 // Protocol is one node's instance of the Byzantine broadcast protocol.
@@ -203,6 +221,12 @@ type Protocol struct {
 
 	reqSeen map[wire.MsgID]*reqRecord // request counts per requester, TTL-bound
 
+	// Catch-up sync state: syncArmed is set from rejoin (or a restored-state
+	// start) until the node is caught up or gives up; syncAttempts counts
+	// rounds without progress toward the SyncMaxAttempts cap.
+	syncArmed    bool
+	syncAttempts int
+
 	stats   Stats
 	stops   []func()
 	stopped bool
@@ -223,21 +247,11 @@ func New(cfg Config, deps Deps) *Protocol {
 		maint:        overlay.New(cfg.Overlay),
 		reqSeen:      make(map[wire.MsgID]*reqRecord),
 	}
-	now := deps.Clock.Now
-	p.mute = fd.NewMute(now, cfg.Mute)
-	p.verbose = fd.NewVerbose(now, cfg.Verbose)
-	p.trust = fd.NewTrust(now, cfg.Trust, p.mute, p.verbose)
-	if obs := deps.Obs; obs != nil {
-		self := deps.ID
-		p.mute.OnSuspect = func(id wire.NodeID, suspected bool) {
-			obs.OnSuspicion(now(), self, id, obsv.DetectorMute, suspected)
-		}
-		p.verbose.OnSuspect = func(id wire.NodeID, suspected bool) {
-			obs.OnSuspicion(now(), self, id, obsv.DetectorVerbose, suspected)
-		}
-		p.trust.OnDirect = func(id wire.NodeID, _ fd.Reason) {
-			obs.OnSuspicion(now(), self, id, obsv.DetectorTrust, true)
-		}
+	p.initDetectors()
+	if restored := p.restoreDurable(); restored > 0 && cfg.CatchUpSync {
+		// A daemon restarting over a non-empty durable store missed traffic
+		// while down, exactly like an in-sim rejoiner.
+		p.armCatchUp()
 	}
 
 	if cfg.GossipInterval > 0 {
@@ -249,7 +263,55 @@ func New(cfg Config, deps Deps) *Protocol {
 	if cfg.PurgeInterval > 0 {
 		p.schedulePeriodic(cfg.PurgeInterval, 0, p.purgeTick)
 	}
+	if deps.Store != nil {
+		// Jitterless so attaching a store draws nothing from the RNG: runs
+		// with persistence off keep their exact draw schedule.
+		p.schedulePeriodic(cfg.snapshotEvery(), 0, p.snapshotTick)
+	}
 	return p
+}
+
+// initDetectors (re)builds the MUTE, VERBOSE and TRUST detectors and wires
+// their transition hooks to the observer and the durable store. Rejoin calls
+// it again: an amnesiac node restarts with empty volatile suspicion state.
+func (p *Protocol) initDetectors() {
+	now := p.deps.Clock.Now
+	p.mute = fd.NewMute(now, p.cfg.Mute)
+	p.verbose = fd.NewVerbose(now, p.cfg.Verbose)
+	p.trust = fd.NewTrust(now, p.cfg.Trust, p.mute, p.verbose)
+	obs, store, self := p.deps.Obs, p.deps.Store, p.deps.ID
+	p.mute.OnSuspect = func(id wire.NodeID, suspected bool) {
+		if store != nil {
+			store.RecordSuspicion(persist.DetectorMute, id, suspected)
+		}
+		if obs != nil {
+			obs.OnSuspicion(now(), self, id, obsv.DetectorMute, suspected)
+		}
+	}
+	p.verbose.OnSuspect = func(id wire.NodeID, suspected bool) {
+		if store != nil {
+			store.RecordSuspicion(persist.DetectorVerbose, id, suspected)
+		}
+		if obs != nil {
+			obs.OnSuspicion(now(), self, id, obsv.DetectorVerbose, suspected)
+		}
+	}
+	p.trust.OnDirect = func(id wire.NodeID, _ fd.Reason) {
+		if store != nil {
+			store.RecordSuspicion(persist.DetectorTrust, id, true)
+		}
+		if obs != nil {
+			obs.OnSuspicion(now(), self, id, obsv.DetectorTrust, true)
+		}
+	}
+}
+
+// snapshotTick compacts the durable store: one snapshot write replaces the
+// accumulated record log.
+func (p *Protocol) snapshotTick() {
+	if p.deps.Store != nil {
+		_ = p.deps.Store.Snapshot() // best-effort; Store.Err retains failures
+	}
 }
 
 // Stop halts all periodic tasks. The protocol must not be used afterwards.
@@ -355,6 +417,12 @@ func (p *Protocol) schedulePeriodicFunc(period func() time.Duration, jitter time
 // It returns the message id.
 func (p *Protocol) Broadcast(payload []byte) wire.MsgID {
 	p.seq++
+	if p.deps.Store != nil {
+		// Persist the counter before the id escapes: a node that crashes and
+		// recovers must never reuse a sequence number (readers treat a reused
+		// (origin, seq) as a duplicate and would drop the new message).
+		p.deps.Store.RecordSeq(uint32(p.seq))
+	}
 	id := wire.MsgID{Origin: p.deps.ID, Seq: p.seq}
 	body := make([]byte, len(payload))
 	copy(body, payload)
@@ -433,6 +501,10 @@ func (p *Protocol) HandlePacket(pkt *wire.Packet) {
 		p.handleRequest(pkt)
 	case wire.KindFindMissing:
 		p.handleFindMissing(pkt)
+	case wire.KindSyncReq:
+		p.handleSyncReq(pkt)
+	case wire.KindSyncResp:
+		p.handleSyncResp(pkt)
 	case wire.KindOverlayState:
 		// State already processed above.
 	default:

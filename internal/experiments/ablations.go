@@ -207,6 +207,7 @@ func All(c Config) []Table {
 		e15,
 		e15l,
 		E16Knee(c),
+		E17AmnesiaRecovery(c),
 	}
 }
 
@@ -219,7 +220,8 @@ func ByID(id string, c Config) (Table, bool) {
 		"E10": E10FPlusOne, "E11": E11FastPathTimeline,
 		"E12": E12Churn, "E13": E13PartitionHeal, "E14": E14SpamResilience,
 		"E15": E15HostileLinks, "E15L": E15Lineage, "E16": E16Knee,
-		"A1": A1GossipAggregation, "A2": A2Recovery, "A3": A3FindMissing,
+		"E17": E17AmnesiaRecovery,
+		"A1":  A1GossipAggregation, "A2": A2Recovery, "A3": A3FindMissing,
 		"A4": A4Signatures, "A5": A5RateSweep, "A6": A6Tamper,
 		"A7": A7FDClasses, "A8": A8Poisson, "A9": A9Capture,
 	}
@@ -233,5 +235,5 @@ func ByID(id string, c Config) (Table, bool) {
 // IDs lists the experiment identifiers in canonical order.
 func IDs() []string {
 	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
-		"E12", "E13", "E14", "E15", "E15L", "E16", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9"}
+		"E12", "E13", "E14", "E15", "E15L", "E16", "E17", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9"}
 }

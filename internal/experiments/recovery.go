@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"time"
+
+	"bbcast/internal/faultplan"
+)
+
+// E17AmnesiaRecovery measures what durable state and catch-up sync buy under
+// amnesiac churn. Nodes crash losing all volatile state (wipe), stay down
+// longer than the gossip advertisement window (so plain gossip recovery
+// cannot backfill what they missed) but shorter than the payload purge
+// timeout (so a neighbour still holds the payloads a rejoiner asks for).
+// Three arms: no durable state at all, persistence alone (dedup and sequence
+// safety, but missed messages stay missed), and persistence plus catch-up
+// sync (missed messages bulk-recovered from one neighbour). The invariant
+// checker — including the wipe-aware at-most-once check — runs on every arm.
+func E17AmnesiaRecovery(c Config) Table {
+	t := Table{
+		ID:     "E17",
+		Title:  "crash-amnesia recovery: durable state and catch-up sync under churn",
+		Params: "n=75, churn wipes volatile state, downtime > gossip retention, invariants on",
+		Header: []string{"arm", "rejoins", "delivery", "rejoin-lat(ms)", "sync-KB", "violations"},
+	}
+	downtime := 20 * time.Second
+	if c.Quick {
+		downtime = 14 * time.Second // still past the 10s gossip retention
+	}
+	arms := []struct {
+		name             string
+		persist, catchup bool
+	}{
+		{"amnesia-no-persist", false, false},
+		{"persist-only", true, false},
+		{"persist+catch-up", true, true},
+	}
+	for _, arm := range arms {
+		sc := c.base()
+		sc.N = 75
+		sc.Core.Persist = arm.persist
+		sc.Core.CatchUpSync = arm.catchup
+		sc.FaultPlan = &faultplan.Plan{Churn: &faultplan.Churn{
+			Rate:     0.2,
+			Start:    sc.Workload.Start,
+			End:      sc.Workload.End,
+			Downtime: downtime,
+			Wipe:     true,
+			// Keep the senders alive so every arm injects the same load.
+			Exclude: senderIDs(sc),
+		}}
+		res := c.run(sc)
+		t.Rows = append(t.Rows, []string{
+			arm.name, itoa(int(res.Rejoins)), f3(res.DeliveryRatio),
+			ms(res.RejoinLatMean), f1(float64(res.SyncBytes) / 1024),
+			itoa(len(res.Violations)),
+		})
+	}
+	return t
+}

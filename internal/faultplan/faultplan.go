@@ -34,6 +34,11 @@ type Kind string
 const (
 	// Crash takes Node's radio off the air.
 	Crash Kind = "crash"
+	// CrashAmnesia takes Node's radio off the air AND marks the crash as
+	// amnesiac: when the node later Recovers, its volatile protocol state
+	// (store, neighbours, detectors, sequence counter) is wiped and
+	// re-initialized, restoring only whatever its durable store remembers.
+	CrashAmnesia Kind = "crash-amnesia"
 	// Recover puts Node's radio back on the air.
 	Recover Kind = "recover"
 	// Partition splits the network into Groups; frames cross only within a
@@ -96,7 +101,7 @@ type Event struct {
 // trace detail and result event-log entry.
 func (e Event) Name() string {
 	switch e.Kind {
-	case Crash, Recover:
+	case Crash, CrashAmnesia, Recover:
 		return fmt.Sprintf("%s(%d)", e.Kind, e.Node)
 	case Partition:
 		return fmt.Sprintf("partition(%d groups)", len(e.Groups))
@@ -140,7 +145,7 @@ func (e Event) MarshalJSON() ([]byte, error) {
 	j := eventJSON{At: e.At.String(), Kind: e.Kind, Groups: e.Groups,
 		LossFactor: e.LossFactor, Behavior: e.Behavior, DupProb: e.DupProb}
 	switch e.Kind {
-	case Crash, Recover, SwapBehavior:
+	case Crash, CrashAmnesia, Recover, SwapBehavior:
 		node := e.Node
 		j.Node = &node
 	}
@@ -195,7 +200,7 @@ func (e *Event) UnmarshalJSON(data []byte) error {
 		LossFactor: j.LossFactor, Duration: dur, Behavior: j.Behavior,
 		MeanBad: meanBad, MeanGood: meanGood, MaxJitter: maxJitter, DupProb: j.DupProb}
 	switch j.Kind {
-	case Crash, Recover, SwapBehavior:
+	case Crash, CrashAmnesia, Recover, SwapBehavior:
 		if j.Node == nil {
 			return fmt.Errorf("faultplan: %s event needs a node", j.Kind)
 		}
@@ -228,6 +233,10 @@ type Churn struct {
 	Start, End time.Duration
 	// Downtime is how long each churned node stays down (default 10s).
 	Downtime time.Duration
+	// Wipe makes every generated crash amnesiac (CrashAmnesia instead of
+	// Crash): recovering nodes restart from empty volatile state plus
+	// whatever their durable store holds.
+	Wipe bool
 	// Exclude lists nodes the generator must not touch (e.g. the source of
 	// a measurement-critical flow).
 	Exclude []wire.NodeID
@@ -239,12 +248,13 @@ type churnJSON struct {
 	Start    string        `json:"start"`
 	End      string        `json:"end"`
 	Downtime string        `json:"downtime,omitempty"`
+	Wipe     bool          `json:"wipe,omitempty"`
 	Exclude  []wire.NodeID `json:"exclude,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler.
 func (c Churn) MarshalJSON() ([]byte, error) {
-	j := churnJSON{Rate: c.Rate, Start: c.Start.String(), End: c.End.String(), Exclude: c.Exclude}
+	j := churnJSON{Rate: c.Rate, Start: c.Start.String(), End: c.End.String(), Wipe: c.Wipe, Exclude: c.Exclude}
 	if c.Downtime > 0 {
 		j.Downtime = c.Downtime.String()
 	}
@@ -271,7 +281,7 @@ func (c *Churn) UnmarshalJSON(data []byte) error {
 			return err
 		}
 	}
-	*c = Churn{Rate: j.Rate, Start: start, End: end, Downtime: down, Exclude: j.Exclude}
+	*c = Churn{Rate: j.Rate, Start: start, End: end, Downtime: down, Wipe: j.Wipe, Exclude: j.Exclude}
 	return nil
 }
 
@@ -290,6 +300,10 @@ func (c Churn) Expand(rng *rand.Rand, n int) []Event {
 	for _, id := range c.Exclude {
 		excluded[id] = true
 	}
+	crashKind := Crash
+	if c.Wipe {
+		crashKind = CrashAmnesia
+	}
 	var out []Event
 	upAgain := make(map[wire.NodeID]time.Duration)
 	mean := float64(time.Second) / c.Rate
@@ -306,7 +320,7 @@ func (c Churn) Expand(rng *rand.Rand, n int) []Event {
 				continue
 			}
 			upAgain[id] = t + down
-			out = append(out, Event{At: t, Kind: Crash, Node: id})
+			out = append(out, Event{At: t, Kind: crashKind, Node: id})
 			out = append(out, Event{At: t + down, Kind: Recover, Node: id})
 			break
 		}
@@ -356,7 +370,7 @@ func (p *Plan) String() string {
 func (p *Plan) Validate(n int) error {
 	for i, e := range p.Events {
 		switch e.Kind {
-		case Crash, Recover, SwapBehavior:
+		case Crash, CrashAmnesia, Recover, SwapBehavior:
 			if int(e.Node) >= n {
 				return fmt.Errorf("faultplan: event %d (%s): node %d out of range [0,%d)", i, e.Kind, e.Node, n)
 			}
@@ -429,14 +443,17 @@ func (p *Plan) Validate(n int) error {
 	}
 	if c := p.Churn; c != nil {
 		if c.Rate <= 0 {
-			return fmt.Errorf("faultplan: churn rate must be positive")
+			return fmt.Errorf("faultplan: churn.rate: must be > 0, got %g", c.Rate)
 		}
 		if c.End <= c.Start {
-			return fmt.Errorf("faultplan: churn window [%s,%s) is empty", c.Start, c.End)
+			return fmt.Errorf("faultplan: churn.end: must be after start %s, got %s", c.Start, c.End)
 		}
-		for _, id := range c.Exclude {
+		if c.Downtime < 0 {
+			return fmt.Errorf("faultplan: churn.downtime: must be >= 0, got %s", c.Downtime)
+		}
+		for i, id := range c.Exclude {
 			if int(id) >= n {
-				return fmt.Errorf("faultplan: churn excludes node %d out of range [0,%d)", id, n)
+				return fmt.Errorf("faultplan: churn.exclude[%d]: node %d out of range [0,%d)", i, id, n)
 			}
 		}
 	}

@@ -265,3 +265,116 @@ func TestEventNames(t *testing.T) {
 		}
 	}
 }
+
+func TestCrashAmnesiaJSONRoundTrip(t *testing.T) {
+	p := &Plan{
+		Events: []Event{
+			{At: 10 * time.Second, Kind: CrashAmnesia, Node: 4},
+			{At: 20 * time.Second, Kind: Recover, Node: 4},
+		},
+		Churn: &Churn{Rate: 0.5, Start: 5 * time.Second, End: 30 * time.Second,
+			Downtime: 8 * time.Second, Wipe: true},
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, back) {
+		t.Fatalf("round trip mismatch:\n  in  %+v\n  out %+v", p, back)
+	}
+	if !strings.Contains(string(data), `"wipe":true`) {
+		t.Fatalf("wipe flag not encoded: %s", data)
+	}
+	// A crash-amnesia event without a node must be rejected like crash.
+	if _, err := Parse([]byte(`{"events": [{"at": "1s", "kind": "crash-amnesia"}]}`)); err == nil {
+		t.Fatal("crash-amnesia without node accepted")
+	}
+}
+
+func TestChurnValidateNamedFieldErrors(t *testing.T) {
+	cases := map[string]struct {
+		churn Churn
+		want  string
+	}{
+		"negative rate": {Churn{Rate: -2, End: time.Second}, "churn.rate:"},
+		"zero rate":     {Churn{End: time.Second}, "churn.rate:"},
+		"end at start":  {Churn{Rate: 1, Start: 5 * time.Second, End: 5 * time.Second}, "churn.end:"},
+		"end before start": {Churn{Rate: 1, Start: 5 * time.Second,
+			End: 2 * time.Second}, "churn.end:"},
+		"negative downtime": {Churn{Rate: 1, End: time.Second,
+			Downtime: -time.Second}, "churn.downtime:"},
+		"exclude range": {Churn{Rate: 1, End: time.Second,
+			Exclude: []wire.NodeID{99}}, "churn.exclude[0]:"},
+	}
+	for name, tc := range cases {
+		p := &Plan{Churn: &tc.churn}
+		err := p.Validate(10)
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name field %q", name, err, tc.want)
+		}
+	}
+}
+
+func TestChurnExpandWipe(t *testing.T) {
+	c := Churn{Rate: 1, Start: 0, End: 60 * time.Second, Downtime: 5 * time.Second, Wipe: true}
+	events := c.Expand(rand.New(rand.NewSource(9)), 8)
+	if len(events) == 0 {
+		t.Fatal("no events expanded")
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case CrashAmnesia, Recover:
+		default:
+			t.Fatalf("wipe churn produced %s, want only crash-amnesia/recover", e.Kind)
+		}
+	}
+}
+
+// TestChurnRecoverAtWindowBoundary pins the boundary semantics of the churn
+// window: crashes fire strictly inside [Start, End), but a recover may land
+// at or past End — a node that goes down near the window's edge must still
+// come back, or later workload would run against a permanently shrunken
+// network. Regression for the recover-exactly-at-End case.
+func TestChurnRecoverAtWindowBoundary(t *testing.T) {
+	c := Churn{Rate: 2, Start: 0, End: 20 * time.Second, Downtime: 10 * time.Second}
+	sawLateRecover := false
+	for seed := int64(0); seed < 10; seed++ {
+		events := c.Expand(rand.New(rand.NewSource(seed)), 12)
+		downAt := make(map[wire.NodeID]time.Duration)
+		for _, e := range events {
+			switch e.Kind {
+			case Crash:
+				if e.At >= c.End {
+					t.Fatalf("crash at %s outside window [%s,%s)", e.At, c.Start, c.End)
+				}
+				downAt[e.Node] = e.At
+			case Recover:
+				crashAt, ok := downAt[e.Node]
+				if !ok {
+					t.Fatalf("recover(%d) without crash", e.Node)
+				}
+				if e.At != crashAt+c.Downtime {
+					t.Fatalf("recover(%d) at %s, want %s", e.Node, e.At, crashAt+c.Downtime)
+				}
+				if e.At >= c.End {
+					sawLateRecover = true
+				}
+				delete(downAt, e.Node)
+			}
+		}
+		if len(downAt) != 0 {
+			t.Fatalf("seed %d: %d crashes never recovered", seed, len(downAt))
+		}
+	}
+	if !sawLateRecover {
+		t.Fatal("no recover landed at/after the window end across 10 seeds; boundary untested")
+	}
+}

@@ -51,6 +51,20 @@ type Config struct {
 	// adaptive-timer change must land inside the timer's configured range
 	// (Probes.TimerRanges), no matter how hostile the channel gets.
 	TimerBounds bool
+	// AtMostOnce enables the duplicate-delivery check: a correct node must
+	// never deliver the same message id twice. Two exemptions reflect the
+	// protocol's documented semantics: a node whose amnesiac wipe (OnWipe)
+	// erased its duplicate filter may re-deliver pre-wipe traffic, and a
+	// re-delivery at least RedeliveryGrace after the first reflects benign
+	// tombstone quiescence GC. Dedup must hold again for post-rejoin traffic:
+	// a second re-delivery of the same id after one wipe is a violation.
+	AtMostOnce bool
+
+	// RedeliveryGrace exempts re-deliveries separated from the previous
+	// delivery of the same id by at least this much: the store's quiescence
+	// GC may legitimately forget a message that old, letting a late replay
+	// through. Zero disables the exemption (strict at-most-once).
+	RedeliveryGrace time.Duration
 
 	// ValidityGrace exempts messages injected within this window before the
 	// end of the run — they may legitimately still be in flight.
@@ -77,22 +91,24 @@ type Config struct {
 // default protocol timescales (30 s suspicion TTL, 1 s maintenance period).
 func DefaultConfig() Config {
 	return Config{
-		Agreement:      true,
-		Validity:       true,
-		Detectors:      true,
-		Recovery:       true,
-		StateBounds:    true,
-		TimerBounds:    true,
-		ValidityGrace:  10 * time.Second,
-		ValidityRatio:  0.90,
-		HealWindow:     45 * time.Second,
-		RecoveryWindow: 35 * time.Second,
+		Agreement:       true,
+		Validity:        true,
+		Detectors:       true,
+		Recovery:        true,
+		StateBounds:     true,
+		TimerBounds:     true,
+		AtMostOnce:      true,
+		RedeliveryGrace: 60 * time.Second,
+		ValidityGrace:   10 * time.Second,
+		ValidityRatio:   0.90,
+		HealWindow:      45 * time.Second,
+		RecoveryWindow:  35 * time.Second,
 	}
 }
 
 // Enabled reports whether any invariant is switched on.
 func (c Config) Enabled() bool {
-	return c.Agreement || c.Validity || c.Detectors || c.Recovery || c.StateBounds || c.TimerBounds
+	return c.Agreement || c.Validity || c.Detectors || c.Recovery || c.StateBounds || c.TimerBounds || c.AtMostOnce
 }
 
 // Violation is one detected invariant breach.
@@ -186,8 +202,15 @@ type Checker struct {
 	now    func() time.Duration
 
 	firstPayload map[wire.MsgID]delivery
-	delivered    map[wire.MsgID]map[wire.NodeID]bool
-	injections   []injection
+	// delivered maps each message to the time of the most recent delivery at
+	// each node. Presence feeds the validity check; the timestamp feeds the
+	// at-most-once check (re-delivery is exempt only if a wipe or the
+	// RedeliveryGrace window separates it from the previous delivery).
+	delivered  map[wire.MsgID]map[wire.NodeID]time.Duration
+	injections []injection
+	// wipes records amnesiac-wipe times per node: a wipe erases the node's
+	// duplicate filter, so exactly the deliveries preceding it may repeat.
+	wipes map[wire.NodeID][]time.Duration
 
 	downtime   map[wire.NodeID][]window
 	partitions []partEpoch
@@ -217,7 +240,8 @@ func New(cfg Config, now func() time.Duration, probes Probes) *Checker {
 		probes:        probes,
 		now:           now,
 		firstPayload:  make(map[wire.MsgID]delivery),
-		delivered:     make(map[wire.MsgID]map[wire.NodeID]bool),
+		delivered:     make(map[wire.MsgID]map[wire.NodeID]time.Duration),
+		wipes:         make(map[wire.NodeID][]time.Duration),
 		downtime:      make(map[wire.NodeID][]window),
 		partitions:    []partEpoch{{at: 0, groups: nil}},
 		boundBreached: make(map[boundKey]bool),
@@ -274,15 +298,31 @@ func (c *Checker) component(start wire.NodeID) map[wire.NodeID]bool {
 	return reached
 }
 
-// OnDeliver records that a correct node accepted (id, payload) and checks
-// agreement against every earlier delivery of the same id.
+// OnDeliver records that a correct node accepted (id, payload), checks the
+// at-most-once property against the node's previous delivery of the same id,
+// and checks agreement against every earlier delivery of the same id.
 func (c *Checker) OnDeliver(node wire.NodeID, id wire.MsgID, payload []byte) {
+	at := c.now()
 	m := c.delivered[id]
 	if m == nil {
-		m = make(map[wire.NodeID]bool)
+		m = make(map[wire.NodeID]time.Duration)
 		c.delivered[id] = m
 	}
-	m[node] = true
+	if prev, again := m[node]; again && c.cfg.AtMostOnce {
+		// A repeat delivery is legitimate only when the node's duplicate
+		// filter could not have caught it: an amnesiac wipe erased the
+		// filter after the previous delivery, or the previous delivery is so
+		// old the quiescence GC forgot it. Because the exemption is measured
+		// against the *latest* delivery, dedup is re-established for
+		// post-rejoin traffic: a second repeat after one wipe violates.
+		grace := c.cfg.RedeliveryGrace > 0 && at-prev >= c.cfg.RedeliveryGrace
+		if !grace && !c.wipedBetween(node, prev, at) {
+			c.violate("at-most-once",
+				"node %d delivered message %s twice (%s then %s) with no wipe in between",
+				node, id, prev, at)
+		}
+	}
+	m[node] = at
 
 	if !c.cfg.Agreement {
 		return
@@ -355,6 +395,26 @@ func (c *Checker) OnFault(name string, at time.Duration) {
 // OnDown records node id going off the air.
 func (c *Checker) OnDown(id wire.NodeID, at time.Duration) {
 	c.downtime[id] = append(c.downtime[id], window{from: at, open: true})
+}
+
+// OnWipe records an amnesiac wipe: node id lost its volatile state
+// (including its duplicate filter) at time at, so deliveries made before the
+// wipe may legitimately repeat once afterwards.
+func (c *Checker) OnWipe(id wire.NodeID, at time.Duration) {
+	c.wipes[id] = append(c.wipes[id], at)
+}
+
+// wipedBetween reports whether node id was wiped at any point in [from, to].
+// The interval is closed on both ends: in the discrete-event world a wipe can
+// share an instant with a delivery, and ordering inside one instant is not
+// observable here, so ties resolve leniently.
+func (c *Checker) wipedBetween(id wire.NodeID, from, to time.Duration) bool {
+	for _, w := range c.wipes[id] {
+		if w >= from && w <= to {
+			return true
+		}
+	}
+	return false
 }
 
 // OnUp records node id coming back on the air.
@@ -567,7 +627,7 @@ func (c *Checker) checkValidity(end time.Duration) {
 				continue // physically disconnected from the origin at injection
 			}
 			eligible++
-			if c.delivered[inj.id][id] {
+			if _, ok := c.delivered[inj.id][id]; ok {
 				got++
 			} else if len(missing) < 8 {
 				missing = append(missing, id)

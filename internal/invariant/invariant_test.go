@@ -352,6 +352,96 @@ func TestFaultLogAndViolationString(t *testing.T) {
 	}
 }
 
+// TestAtMostOnceRejoinSemantics: re-delivery without a wipe violates; a wipe
+// re-arms the allowance exactly once per pre-wipe delivery; dedup must hold
+// again for traffic delivered after the rejoin; and a quiescence-old repeat
+// is exempt under RedeliveryGrace.
+func TestAtMostOnceRejoinSemantics(t *testing.T) {
+	cfg := Config{AtMostOnce: true, RedeliveryGrace: 60 * time.Second}
+	id := wire.MsgID{Origin: 0, Seq: 1}
+
+	// Plain duplicate: violation.
+	f := newFakeNet(3)
+	c := f.checker(cfg)
+	f.now = 10 * time.Second
+	c.OnDeliver(1, id, []byte("p"))
+	f.now = 12 * time.Second
+	c.OnDeliver(1, id, []byte("p"))
+	if got := countByKind(c.Violations(), "at-most-once"); got != 1 {
+		t.Fatalf("want 1 at-most-once violation, got %v", c.Violations())
+	}
+	// Different nodes delivering the same id is not a duplicate.
+	f.now = 13 * time.Second
+	c.OnDeliver(2, id, []byte("p"))
+	if got := countByKind(c.Violations(), "at-most-once"); got != 1 {
+		t.Fatalf("cross-node delivery flagged: %v", c.Violations())
+	}
+
+	// Deliver → wipe → re-deliver: clean (the wipe erased the filter).
+	f = newFakeNet(3)
+	c = f.checker(cfg)
+	f.now = 10 * time.Second
+	c.OnDeliver(1, id, []byte("p"))
+	f.now = 15 * time.Second
+	c.OnWipe(1, f.now)
+	f.now = 18 * time.Second
+	c.OnDeliver(1, id, []byte("p"))
+	if len(c.Violations()) != 0 {
+		t.Fatalf("post-wipe re-delivery flagged: %v", c.Violations())
+	}
+	// ...but the rejoined node's filter is re-established: repeating the same
+	// id again with no further wipe violates.
+	f.now = 20 * time.Second
+	c.OnDeliver(1, id, []byte("p"))
+	if got := countByKind(c.Violations(), "at-most-once"); got != 1 {
+		t.Fatalf("post-rejoin duplicate not flagged: %v", c.Violations())
+	}
+
+	// A wipe only excuses the node it hit.
+	f = newFakeNet(3)
+	c = f.checker(cfg)
+	f.now = 10 * time.Second
+	c.OnDeliver(1, id, []byte("p"))
+	f.now = 15 * time.Second
+	c.OnWipe(2, f.now)
+	f.now = 18 * time.Second
+	c.OnDeliver(1, id, []byte("p"))
+	if got := countByKind(c.Violations(), "at-most-once"); got != 1 {
+		t.Fatalf("other node's wipe excused the duplicate: %v", c.Violations())
+	}
+
+	// Quiescence GC: a repeat older than RedeliveryGrace is benign.
+	f = newFakeNet(3)
+	c = f.checker(cfg)
+	f.now = 10 * time.Second
+	c.OnDeliver(1, id, []byte("p"))
+	f.now = 75 * time.Second // 65s later > 60s grace
+	c.OnDeliver(1, id, []byte("p"))
+	if len(c.Violations()) != 0 {
+		t.Fatalf("quiescence-old repeat flagged: %v", c.Violations())
+	}
+
+	// Strict mode (zero grace): the same old repeat violates.
+	f = newFakeNet(3)
+	c = f.checker(Config{AtMostOnce: true})
+	f.now = 10 * time.Second
+	c.OnDeliver(1, id, []byte("p"))
+	f.now = 75 * time.Second
+	c.OnDeliver(1, id, []byte("p"))
+	if got := countByKind(c.Violations(), "at-most-once"); got != 1 {
+		t.Fatalf("strict mode missed the repeat: %v", c.Violations())
+	}
+
+	// Disabled: duplicates pass silently.
+	f = newFakeNet(3)
+	c = f.checker(Config{})
+	c.OnDeliver(1, id, []byte("p"))
+	c.OnDeliver(1, id, []byte("p"))
+	if len(c.Violations()) != 0 {
+		t.Fatalf("disabled check fired: %v", c.Violations())
+	}
+}
+
 func TestValidityExemptsDisconnectedCluster(t *testing.T) {
 	cfg := Config{Validity: true, ValidityRatio: 0.9, ValidityGrace: 10 * time.Second}
 	// Two components: 0-1-2 and 3-4. A message from node 0 owes nothing to

@@ -22,6 +22,17 @@ type Collector struct {
 	txByKind  map[wire.Kind]uint64
 	injected  map[wire.MsgID]injection
 	delivered map[wire.MsgID]map[wire.NodeID]delivery
+
+	// Crash-recovery accounting: catch-up sync traffic and per-node
+	// rejoin-to-first-accept latency (how long a wiped node stays dark).
+	syncReqs      uint64
+	syncServed    uint64
+	syncApplied   uint64
+	syncBytes     uint64
+	syncAbandoned uint64
+	rejoins       uint64
+	rejoinAt      map[wire.NodeID]time.Duration
+	rejoinLats    []time.Duration
 }
 
 type injection struct {
@@ -45,6 +56,7 @@ func NewCollector() *Collector {
 		txByKind:  make(map[wire.Kind]uint64),
 		injected:  make(map[wire.MsgID]injection),
 		delivered: make(map[wire.MsgID]map[wire.NodeID]delivery),
+		rejoinAt:  make(map[wire.NodeID]time.Duration),
 	}
 }
 
@@ -62,6 +74,13 @@ func (c *Collector) OnInject(at time.Duration, node wire.NodeID, id wire.MsgID) 
 // with the accepting frame's hop count and recovery attribution. Repeat
 // accepts for the same (node, id) are ignored.
 func (c *Collector) OnAccept(at time.Duration, node wire.NodeID, id wire.MsgID, _ []byte, meta wire.Meta) {
+	// Rejoin-to-first-accept: measured before the (node, id) dedup below,
+	// because a wiped node's first post-rejoin accept may legitimately be a
+	// re-delivery of a message it held before the crash.
+	if ra, ok := c.rejoinAt[node]; ok && at >= ra {
+		c.rejoinLats = append(c.rejoinLats, at-ra)
+		delete(c.rejoinAt, node)
+	}
 	m := c.delivered[id]
 	if m == nil {
 		m = make(map[wire.NodeID]delivery)
@@ -70,6 +89,28 @@ func (c *Collector) OnAccept(at time.Duration, node wire.NodeID, id wire.MsgID, 
 	if _, ok := m[node]; !ok {
 		m[node] = delivery{at: at, hops: meta.Hops, recovered: meta.Recovered}
 	}
+}
+
+// OnSync accumulates catch-up sync traffic counters.
+func (c *Collector) OnSync(_ time.Duration, _, _ wire.NodeID, event obsv.SyncEvent, entries, bytes int) {
+	switch event {
+	case obsv.SyncReqSent:
+		c.syncReqs++
+	case obsv.SyncServed:
+		c.syncServed += uint64(entries)
+		c.syncBytes += uint64(bytes)
+	case obsv.SyncApplied:
+		c.syncApplied += uint64(entries)
+	case obsv.SyncAbandoned:
+		c.syncAbandoned++
+	}
+}
+
+// OnRejoin opens a rejoin-latency measurement for node: the next accept at
+// this node closes it.
+func (c *Collector) OnRejoin(at time.Duration, node wire.NodeID, _ int) {
+	c.rejoins++
+	c.rejoinAt[node] = at
 }
 
 // Injected reports the number of originated messages.
@@ -116,6 +157,20 @@ type Results struct {
 	RemoteDeliveries   uint64
 	RecoveryDeliveries uint64
 	RecoveryShare      float64
+
+	// Crash-recovery summary. Rejoins counts amnesiac rejoins; the rejoin
+	// latencies measure rejoin-to-first-accept per rejoin that saw a later
+	// accept. Sync counters quantify the catch-up traffic: requests sent,
+	// entries served/applied, on-air bytes of served batches, and rejoiners
+	// that gave up.
+	Rejoins            uint64
+	RejoinLatMean      time.Duration
+	RejoinLatMax       time.Duration
+	SyncReqs           uint64
+	SyncEntriesServed  uint64
+	SyncEntriesApplied uint64
+	SyncBytes          uint64
+	SyncAbandoned      uint64
 }
 
 // Summarize computes results. receivers maps each message's eligible
@@ -199,6 +254,24 @@ func (c *Collector) Summarize(protocol string, n int, eligible func(origin wire.
 	r.RemoteDeliveries = remote
 	if remote > 0 {
 		r.RecoveryShare = float64(r.RecoveryDeliveries) / float64(remote)
+	}
+	r.Rejoins = c.rejoins
+	r.SyncReqs = c.syncReqs
+	r.SyncEntriesServed = c.syncServed
+	r.SyncEntriesApplied = c.syncApplied
+	r.SyncBytes = c.syncBytes
+	r.SyncAbandoned = c.syncAbandoned
+	if len(c.rejoinLats) > 0 {
+		var sum time.Duration
+		max := c.rejoinLats[0]
+		for _, l := range c.rejoinLats {
+			sum += l
+			if l > max {
+				max = l
+			}
+		}
+		r.RejoinLatMean = sum / time.Duration(len(c.rejoinLats))
+		r.RejoinLatMax = max
 	}
 	return r
 }

@@ -115,6 +115,25 @@ const (
 	AdmitIngressDrop AdmissionEvent = "ingress-drop"
 )
 
+// SyncEvent names one catch-up sync action.
+type SyncEvent string
+
+// Sync events.
+const (
+	// SyncReqSent is a rejoiner's SYNC-REQ transmission (entries counts the
+	// have-summary ids it carried).
+	SyncReqSent SyncEvent = "req-sent"
+	// SyncServed is a responder's SYNC-RESP transmission (entries counts the
+	// messages shipped; bytes their on-air size).
+	SyncServed SyncEvent = "served"
+	// SyncApplied is a rejoiner accepting a SYNC-RESP batch (entries counts
+	// the messages newly accepted from it).
+	SyncApplied SyncEvent = "applied"
+	// SyncAbandoned is a rejoiner giving up catch-up (attempt cap reached
+	// without completing a sync round).
+	SyncAbandoned SyncEvent = "abandoned"
+)
+
 // Observer receives protocol and transport events. Implementations must be
 // cheap and must not call back into the protocol; hot-path methods (tx, rx,
 // sig verify) must not allocate. All methods are invoked synchronously from
@@ -161,6 +180,14 @@ type Observer interface {
 	// message: attempt counts from 1; abandoned marks the give-up transition
 	// (the attempt cap was reached; no request was sent).
 	OnRetry(at time.Duration, node wire.NodeID, id wire.MsgID, attempt int, abandoned bool)
+	// OnSync is one catch-up sync action at node involving peer: a SYNC-REQ
+	// sent, a SYNC-RESP served or applied, or the rejoiner abandoning.
+	// entries and bytes quantify the event (see SyncEvent).
+	OnSync(at time.Duration, node, peer wire.NodeID, event SyncEvent, entries, bytes int)
+	// OnRejoin is one amnesiac rejoin at node: its volatile state was wiped
+	// and re-initialized; restored counts the dedup tombstones recovered
+	// from the durable store (0 without persistence).
+	OnRejoin(at time.Duration, node wire.NodeID, restored int)
 }
 
 // Nop is a no-op Observer. Embed it to implement only the events a consumer
@@ -202,6 +229,12 @@ func (Nop) OnAdaptation(time.Duration, wire.NodeID, AdaptiveTimer, time.Duration
 
 // OnRetry implements Observer.
 func (Nop) OnRetry(time.Duration, wire.NodeID, wire.MsgID, int, bool) {}
+
+// OnSync implements Observer.
+func (Nop) OnSync(time.Duration, wire.NodeID, wire.NodeID, SyncEvent, int, int) {}
+
+// OnRejoin implements Observer.
+func (Nop) OnRejoin(time.Duration, wire.NodeID, int) {}
 
 // multi fans every event out to each member, in order.
 type multi []Observer
@@ -295,6 +328,18 @@ func (m multi) OnAdaptation(at time.Duration, node wire.NodeID, timer AdaptiveTi
 func (m multi) OnRetry(at time.Duration, node wire.NodeID, id wire.MsgID, attempt int, abandoned bool) {
 	for _, o := range m {
 		o.OnRetry(at, node, id, attempt, abandoned)
+	}
+}
+
+func (m multi) OnSync(at time.Duration, node, peer wire.NodeID, event SyncEvent, entries, bytes int) {
+	for _, o := range m {
+		o.OnSync(at, node, peer, event, entries, bytes)
+	}
+}
+
+func (m multi) OnRejoin(at time.Duration, node wire.NodeID, restored int) {
+	for _, o := range m {
+		o.OnRejoin(at, node, restored)
 	}
 }
 

@@ -67,6 +67,14 @@ func (r *recorder) OnRetry(at time.Duration, node wire.NodeID, id wire.MsgID, at
 	r.add("retry %s %d %v %d %v", at, node, id, attempt, abandoned)
 }
 
+func (r *recorder) OnSync(at time.Duration, node, peer wire.NodeID, event SyncEvent, entries, bytes int) {
+	r.add("sync %s %d %d %s %d %d", at, node, peer, event, entries, bytes)
+}
+
+func (r *recorder) OnRejoin(at time.Duration, node wire.NodeID, restored int) {
+	r.add("rejoin %s %d %d", at, node, restored)
+}
+
 // emitAll fires one of each event at o.
 func emitAll(o Observer) {
 	o.OnPacketTx(1, 2, wire.KindData, wire.MsgID{Origin: 3, Seq: 4}, wire.Meta{Frame: 1, Hops: 1, Cause: wire.CauseOrigin})
@@ -81,14 +89,16 @@ func emitAll(o Observer) {
 	o.OnAdmission(8, 10, AdmitRateLimit)
 	o.OnAdaptation(9, 11, TimerGossip, time.Second, 800*time.Millisecond)
 	o.OnRetry(10, 12, wire.MsgID{Origin: 3, Seq: 1}, 2, false)
+	o.OnSync(11, 13, 14, SyncReqSent, 5, 320)
+	o.OnRejoin(12, 15, 7)
 }
 
 func TestMultiFansOutEveryEvent(t *testing.T) {
 	a, b := &recorder{}, &recorder{}
 	m := Multi(a, nil, b)
 	emitAll(m)
-	if len(a.events) != 12 || len(b.events) != 12 {
-		t.Fatalf("fan-out counts = %d, %d, want 12 each", len(a.events), len(b.events))
+	if len(a.events) != 14 || len(b.events) != 14 {
+		t.Fatalf("fan-out counts = %d, %d, want 14 each", len(a.events), len(b.events))
 	}
 	for i := range a.events {
 		if a.events[i] != b.events[i] {
@@ -116,8 +126,8 @@ func TestSkipAccepts(t *testing.T) {
 	}
 	r := &recorder{}
 	emitAll(SkipAccepts(r))
-	if len(r.events) != 11 {
-		t.Fatalf("events = %d, want 11 (accept dropped)", len(r.events))
+	if len(r.events) != 13 {
+		t.Fatalf("events = %d, want 13 (accept dropped)", len(r.events))
 	}
 	for _, e := range r.events {
 		if strings.HasPrefix(e, "accept") {

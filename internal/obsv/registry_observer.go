@@ -35,6 +35,18 @@ const (
 	// MetricSuppressedTotal counts redundant data frames suppressed instead
 	// of forwarded.
 	MetricSuppressedTotal = "bbcast_forward_suppressed_total"
+	// MetricSyncTotal counts catch-up sync actions by event.
+	MetricSyncTotal = "bbcast_sync_total"
+	// MetricSyncEntries counts messages moved by catch-up sync, by event.
+	MetricSyncEntries = "bbcast_sync_entries_total"
+	// MetricSyncBytes counts on-air bytes served in SYNC-RESP transfers.
+	MetricSyncBytes = "bbcast_sync_bytes_total"
+	// MetricRejoins counts amnesiac rejoins (volatile state wiped and
+	// re-initialized).
+	MetricRejoins = "bbcast_rejoins_total"
+	// MetricRejoinRestored counts dedup tombstones restored from the durable
+	// store across all rejoins.
+	MetricRejoinRestored = "bbcast_rejoin_restored_total"
 )
 
 // maxTrackedInjects bounds the inject-time map used to derive delivery
@@ -81,6 +93,12 @@ type RegistryObserver struct {
 	recoveryDeliveries *Counter
 	suppressed         *Counter
 
+	syncEvents     map[SyncEvent]*Counter
+	syncEntries    map[SyncEvent]*Counter
+	syncBytes      *Counter
+	rejoins        *Counter
+	rejoinRestored *Counter
+
 	mu        sync.Mutex
 	active    map[wire.NodeID]bool
 	suspected map[suspicionKey]struct{}
@@ -94,30 +112,35 @@ var _ Observer = (*RegistryObserver)(nil)
 // maintains (so an idle node still exposes the full schema at zero).
 func NewRegistryObserver(r *Registry) *RegistryObserver {
 	o := &RegistryObserver{
-		accepts:        r.Counter(MetricAcceptsTotal),
-		injects:        r.Counter(MetricInjectsTotal),
-		roleChanges:    r.Counter(MetricRoleChanges),
-		suspRaised:     make(map[Detector]*Counter, 3),
-		suspCleared:    make(map[Detector]*Counter, 3),
-		sigFails:       r.Counter(MetricSigVerifyFails),
-		sigSecs:        r.Summary(MetricSigVerifySecs, 0),
-		activeGauge:    r.Gauge(MetricOverlayActive),
-		suspectedGauge: r.Gauge(MetricSuspectedNodes),
-		queueGauges:    make(map[Queue]*Gauge, 6),
-		admissions:     make(map[AdmissionEvent]*Counter, 8),
-		adaptations:    make(map[AdaptiveTimer]*Counter, 2),
-		retriesSent:    r.Counter(labelled(MetricRetryTotal, "event", "sent")),
-		retriesGivenUp: r.Counter(labelled(MetricRetryTotal, "event", "abandoned")),
+		accepts:            r.Counter(MetricAcceptsTotal),
+		injects:            r.Counter(MetricInjectsTotal),
+		roleChanges:        r.Counter(MetricRoleChanges),
+		suspRaised:         make(map[Detector]*Counter, 3),
+		suspCleared:        make(map[Detector]*Counter, 3),
+		sigFails:           r.Counter(MetricSigVerifyFails),
+		sigSecs:            r.Summary(MetricSigVerifySecs, 0),
+		activeGauge:        r.Gauge(MetricOverlayActive),
+		suspectedGauge:     r.Gauge(MetricSuspectedNodes),
+		queueGauges:        make(map[Queue]*Gauge, 6),
+		admissions:         make(map[AdmissionEvent]*Counter, 8),
+		adaptations:        make(map[AdaptiveTimer]*Counter, 2),
+		retriesSent:        r.Counter(labelled(MetricRetryTotal, "event", "sent")),
+		retriesGivenUp:     r.Counter(labelled(MetricRetryTotal, "event", "abandoned")),
 		latency:            r.Summary(MetricDeliveryLatency, 0),
 		acceptHops:         r.Summary(MetricAcceptHops, 0),
 		recoveryDeliveries: r.Counter(MetricRecoveryDeliveries),
 		suppressed:         r.Counter(MetricSuppressedTotal),
-		active:         make(map[wire.NodeID]bool),
-		suspected:      make(map[suspicionKey]struct{}),
-		queues:         make(map[Queue]map[wire.NodeID]int, 4),
-		injectAt:       make(map[wire.MsgID]time.Duration),
+		syncEvents:         make(map[SyncEvent]*Counter, 4),
+		syncEntries:        make(map[SyncEvent]*Counter, 4),
+		syncBytes:          r.Counter(MetricSyncBytes),
+		rejoins:            r.Counter(MetricRejoins),
+		rejoinRestored:     r.Counter(MetricRejoinRestored),
+		active:             make(map[wire.NodeID]bool),
+		suspected:          make(map[suspicionKey]struct{}),
+		queues:             make(map[Queue]map[wire.NodeID]int, 4),
+		injectAt:           make(map[wire.MsgID]time.Duration),
 	}
-	for k := wire.KindData; k <= wire.KindOverlayState; k++ {
+	for k := wire.KindData; k <= wire.KindSyncResp; k++ {
 		o.tx[k] = r.Counter(labelled(MetricTxTotal, "kind", k.String()))
 		o.rx[k] = r.Counter(labelled(MetricRxTotal, "kind", k.String()))
 	}
@@ -141,6 +164,10 @@ func NewRegistryObserver(r *Registry) *RegistryObserver {
 		AdmitStoreEvict, AdmitMissingReject, AdmitReqSeenExpire, AdmitIngressDrop,
 	} {
 		o.admissions[e] = r.Counter(labelled(MetricAdmissionTotal, "event", string(e)))
+	}
+	for _, e := range []SyncEvent{SyncReqSent, SyncServed, SyncApplied, SyncAbandoned} {
+		o.syncEvents[e] = r.Counter(labelled(MetricSyncTotal, "event", string(e)))
+		o.syncEntries[e] = r.Counter(labelled(MetricSyncEntries, "event", string(e)))
 	}
 	return o
 }
@@ -282,5 +309,26 @@ func (o *RegistryObserver) OnRetry(_ time.Duration, _ wire.NodeID, _ wire.MsgID,
 		o.retriesGivenUp.Inc()
 	} else {
 		o.retriesSent.Inc()
+	}
+}
+
+// OnSync implements Observer.
+func (o *RegistryObserver) OnSync(_ time.Duration, _, _ wire.NodeID, event SyncEvent, entries, bytes int) {
+	if c := o.syncEvents[event]; c != nil {
+		c.Inc()
+	}
+	if c := o.syncEntries[event]; c != nil && entries > 0 {
+		c.Add(uint64(entries))
+	}
+	if event == SyncServed && bytes > 0 {
+		o.syncBytes.Add(uint64(bytes))
+	}
+}
+
+// OnRejoin implements Observer.
+func (o *RegistryObserver) OnRejoin(_ time.Duration, _ wire.NodeID, restored int) {
+	o.rejoins.Inc()
+	if restored > 0 {
+		o.rejoinRestored.Add(uint64(restored))
 	}
 }

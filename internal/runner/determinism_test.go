@@ -16,11 +16,13 @@ import (
 	"bbcast/internal/faultplan"
 	"bbcast/internal/invariant"
 	"bbcast/internal/loadgen"
+	"bbcast/internal/persist"
+	"bbcast/internal/wire"
 )
 
 var updateGoldens = flag.Bool("update", false, "rewrite testdata/trace_goldens.json from the current run")
 
-// goldenConfigs are five representative scenario shapes whose event traces
+// goldenConfigs are six representative scenario shapes whose event traces
 // are pinned by checked-in hashes: the default protocol on a static grid, the
 // protocol under mute adversaries with waypoint mobility, the flooding
 // baseline, the protocol under bursty loss with the adaptive layer engaged,
@@ -81,7 +83,27 @@ func goldenConfigs() []Scenario {
 		},
 	}
 
-	return []Scenario{grid, mute, flood, burst, load}
+	// Crash-amnesia shape: churn wipes volatile state mid-workload while the
+	// durable store, log corruption at recovery and the catch-up sync
+	// exchange all run. Pins the persist layer's zero-extra-RNG guarantee,
+	// the 0xc0de corruption substream and the sync scheduling into the
+	// determinism contract.
+	amnesia := grid
+	amnesia.Name = "det-byzcast-amnesia-sync"
+	amnesia.Seed = 23
+	amnesia.Core.Persist = true
+	amnesia.Core.CatchUpSync = true
+	amnesia.PersistCorrupt = &persist.Corruption{TearTail: true}
+	amnesia.FaultPlan = &faultplan.Plan{Churn: &faultplan.Churn{
+		Rate:     0.25,
+		Start:    5 * time.Second,
+		End:      18 * time.Second,
+		Downtime: 8 * time.Second,
+		Wipe:     true,
+		Exclude:  []wire.NodeID{0, 1, 2, 3, 4},
+	}}
+
+	return []Scenario{grid, mute, flood, burst, load, amnesia}
 }
 
 func traceHash(t *testing.T, sc Scenario) (string, Result) {

@@ -3,6 +3,7 @@ package runner
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"strings"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"bbcast/internal/fd"
 	"bbcast/internal/invariant"
 	"bbcast/internal/obsv"
+	"bbcast/internal/persist"
 	"bbcast/internal/radio"
 	"bbcast/internal/sig"
 	"bbcast/internal/sim"
@@ -35,6 +37,12 @@ func buildChecker(sc Scenario, eng *sim.Engine, medium *radio.Medium, protos []b
 		}
 		if !sc.Core.EnableFDs {
 			cfg.Detectors = false
+		}
+		// The at-most-once grace must cover the store's tombstone lifetime: a
+		// replay older than the quiescence GC is a legitimate re-accept, not a
+		// dedup bug.
+		if cfg.RedeliveryGrace > 0 && sc.Core.StoreQuiescence > cfg.RedeliveryGrace {
+			cfg.RedeliveryGrace = sc.Core.StoreQuiescence
 		}
 	}
 	if !cfg.Enabled() {
@@ -97,10 +105,58 @@ func buildChecker(sc Scenario, eng *sim.Engine, medium *radio.Medium, protos []b
 // OnEpoch — the result event log, the invariant checker, the tracer — sees
 // the same timeline. Behaviour construction happens here, at schedule time,
 // so a bad swap name fails the run before it starts.
-func scheduleFaultPlan(sc Scenario, eng *sim.Engine, medium *radio.Medium, switchables []*byzantine.Switchable, scheme sig.Scheme, chk *invariant.Checker, events []faultplan.Event) error {
+func scheduleFaultPlan(sc Scenario, eng *sim.Engine, medium *radio.Medium, protos []broadcaster, devices []*persist.MemDevice, switchables []*byzantine.Switchable, scheme sig.Scheme, chk *invariant.Checker, events []faultplan.Event) error {
 	recoveryChecked := make(map[time.Duration]bool)
+	// amnesiac tracks nodes downed by a crash-amnesia event; their next
+	// recovery wipes volatile state and runs the rejoin path.
+	amnesiac := make(map[wire.NodeID]bool)
+	// Corruption draws come from a dedicated substream, created lazily so
+	// plans without PersistCorrupt leave the RNG schedule untouched.
+	var corruptRng *rand.Rand
+	rejoin := func(id wire.NodeID) {
+		if chk != nil {
+			chk.OnWipe(id, eng.Now())
+		}
+		cp, ok := protos[id].(*core.Protocol)
+		if !ok {
+			return // baselines keep no volatile protocol state worth wiping
+		}
+		if devices != nil && devices[id] != nil {
+			if sc.PersistCorrupt != nil {
+				if corruptRng == nil {
+					corruptRng = eng.SubRand(0xc0de)
+				}
+				devices[id].Corrupt(corruptRng, *sc.PersistCorrupt)
+			}
+			// Re-open the device as the restarted process would: replay the
+			// log, truncating at the first damaged record.
+			st, err := persist.Open(devices[id])
+			if err != nil {
+				st = nil // unreadable device: the node is truly amnesiac
+			}
+			cp.SetStore(st)
+		}
+		cp.Rejoin()
+	}
 	for _, e := range events {
 		e := e
+		// Expanded events are validated against the scenario size here, at
+		// schedule time: an out-of-range id would otherwise silently no-op in
+		// the radio mask, making a typoed plan look like a clean pass.
+		switch e.Kind {
+		case faultplan.Crash, faultplan.CrashAmnesia, faultplan.Recover, faultplan.SwapBehavior:
+			if int(e.Node) >= sc.N {
+				return fmt.Errorf("runner: fault plan: %s at %s: node %d out of range [0,%d)", e.Kind, e.At, e.Node, sc.N)
+			}
+		case faultplan.Partition:
+			for gi, g := range e.Groups {
+				for _, id := range g {
+					if int(id) >= sc.N {
+						return fmt.Errorf("runner: fault plan: partition at %s: groups[%d] node %d out of range [0,%d)", e.At, gi, id, sc.N)
+					}
+				}
+			}
+		}
 		var apply func()
 		topology := false
 		switch e.Kind {
@@ -112,12 +168,25 @@ func scheduleFaultPlan(sc Scenario, eng *sim.Engine, medium *radio.Medium, switc
 					chk.OnDown(e.Node, eng.Now())
 				}
 			}
+		case faultplan.CrashAmnesia:
+			topology = true
+			apply = func() {
+				medium.SetDown(e.Node, true)
+				amnesiac[e.Node] = true
+				if chk != nil {
+					chk.OnDown(e.Node, eng.Now())
+				}
+			}
 		case faultplan.Recover:
 			topology = true
 			apply = func() {
 				medium.SetDown(e.Node, false)
 				if chk != nil {
 					chk.OnUp(e.Node, eng.Now())
+				}
+				if amnesiac[e.Node] {
+					delete(amnesiac, e.Node)
+					rejoin(e.Node)
 				}
 			}
 		case faultplan.Partition:
@@ -313,6 +382,20 @@ func ReproCommand(sc Scenario) string {
 	}
 	if !sc.Core.AdaptiveTiming {
 		b.WriteString(" -no-adapt")
+	}
+	if sc.Core.Persist {
+		b.WriteString(" -persist")
+	}
+	if sc.Core.CatchUpSync {
+		b.WriteString(" -sync")
+	}
+	if c := sc.PersistCorrupt; c != nil {
+		if c.TearTail {
+			b.WriteString(" -persist-tear")
+		}
+		if c.FlipBits > 0 {
+			fmt.Fprintf(&b, " -persist-flip %d", c.FlipBits)
+		}
 	}
 	if sc.FaultPlan != nil {
 		fmt.Fprintf(&b, " -faults '%s'", sc.FaultPlan.String())

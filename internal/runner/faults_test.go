@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"bbcast/internal/faultplan"
+	"bbcast/internal/persist"
 	"bbcast/internal/radio"
 	"bbcast/internal/sim"
 	"bbcast/internal/wire"
@@ -161,7 +162,7 @@ func TestOverlappingDegradeRadioWindowsCompose(t *testing.T) {
 		{At: 10 * time.Second, Kind: faultplan.DegradeRadio, LossFactor: 0.5, Duration: 20 * time.Second}, // 10s–30s
 		{At: 15 * time.Second, Kind: faultplan.DegradeRadio, LossFactor: 0.5, Duration: 5 * time.Second},  // 15s–20s
 	}
-	if err := scheduleFaultPlan(sc, eng, medium, nil, nil, nil, events); err != nil {
+	if err := scheduleFaultPlan(sc, eng, medium, nil, nil, nil, nil, nil, events); err != nil {
 		t.Fatal(err)
 	}
 	probe := func(at time.Duration, lo, hi float64) {
@@ -237,5 +238,82 @@ func TestReproCommandRendersScenario(t *testing.T) {
 	// Defaults stay off the line.
 	if strings.Contains(cmd, "-proto") || strings.Contains(cmd, "-no-fd") {
 		t.Errorf("repro includes default flags: %q", cmd)
+	}
+}
+
+func TestFaultPlanRejectsOutOfRangeNodes(t *testing.T) {
+	cases := []struct {
+		name string
+		plan *faultplan.Plan
+	}{
+		{"crash", &faultplan.Plan{Events: []faultplan.Event{
+			{At: 10 * time.Second, Kind: faultplan.Crash, Node: 50}}}},
+		{"crash-amnesia", &faultplan.Plan{Events: []faultplan.Event{
+			{At: 10 * time.Second, Kind: faultplan.CrashAmnesia, Node: 99}}}},
+		{"recover", &faultplan.Plan{Events: []faultplan.Event{
+			{At: 10 * time.Second, Kind: faultplan.Recover, Node: 50}}}},
+		{"partition-member", &faultplan.Plan{Events: []faultplan.Event{
+			{At: 10 * time.Second, Kind: faultplan.Partition,
+				Groups: [][]wire.NodeID{{0, 1}, {2, 77}}}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := quickScenario()
+			sc.FaultPlan = tc.plan
+			_, err := Run(sc)
+			if err == nil {
+				t.Fatal("out-of-range fault plan node accepted")
+			}
+			if !strings.Contains(err.Error(), "out of range") {
+				t.Fatalf("error %q does not name the range problem", err)
+			}
+		})
+	}
+}
+
+func TestAmnesiaRecoveryEndToEnd(t *testing.T) {
+	// Churn wipes volatile state mid-workload; with the durable store and
+	// catch-up sync on, rejoiners must actually rejoin, pull missed traffic
+	// over SYNC, and do it all without tripping an invariant — including the
+	// wipe-aware at-most-once check.
+	sc := quickScenario()
+	sc.Core.Persist = true
+	sc.Core.CatchUpSync = true
+	sc.FaultPlan = &faultplan.Plan{Churn: &faultplan.Churn{
+		Rate:     0.2,
+		Start:    15 * time.Second,
+		End:      40 * time.Second,
+		Downtime: 14 * time.Second,
+		Wipe:     true,
+		Exclude:  []wire.NodeID{0, 1, 2, 3, 4},
+	}}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejoins == 0 {
+		t.Fatal("churn with wipe produced no rejoins")
+	}
+	if res.SyncReqs == 0 || res.SyncEntriesApplied == 0 {
+		t.Fatalf("catch-up sync never ran: reqs=%d applied=%d", res.SyncReqs, res.SyncEntriesApplied)
+	}
+	if res.SyncBytes == 0 {
+		t.Fatal("sync applied entries but metered zero bytes")
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("invariant violations under amnesiac churn: %v", res.Violations)
+	}
+}
+
+func TestReproCommandRendersPersistFlags(t *testing.T) {
+	sc := DefaultScenario()
+	sc.Core.Persist = true
+	sc.Core.CatchUpSync = true
+	sc.PersistCorrupt = &persist.Corruption{TearTail: true, FlipBits: 5}
+	cmd := ReproCommand(sc)
+	for _, want := range []string{" -persist", " -sync", " -persist-tear", " -persist-flip 5"} {
+		if !strings.Contains(cmd, want) {
+			t.Errorf("repro %q missing %q", cmd, want)
+		}
 	}
 }

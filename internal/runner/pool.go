@@ -150,6 +150,8 @@ func Average(rs []Result) Result {
 	var hopMean, hopP50, hopP95, hopMax, recoveryShare float64
 	var remoteDeliveries, recoveryDeliveries uint64
 	var totalTx, bytes, collisions, events uint64
+	var rejoins, syncReqs, syncServed, syncApplied, syncBytes, syncAbandoned uint64
+	var rejoinLatMean, rejoinLatMax time.Duration
 	var overlaySize, detected, injected int
 	byKind := make(map[wire.Kind]uint64)
 	var node core.Stats
@@ -174,6 +176,16 @@ func Average(rs []Result) Result {
 		bytes += r.BytesOnAir
 		collisions += r.Collisions
 		events += r.Events
+		rejoins += r.Rejoins
+		syncReqs += r.SyncReqs
+		syncServed += r.SyncEntriesServed
+		syncApplied += r.SyncEntriesApplied
+		syncBytes += r.SyncBytes
+		syncAbandoned += r.SyncAbandoned
+		rejoinLatMean += r.RejoinLatMean
+		if r.RejoinLatMax > rejoinLatMax {
+			rejoinLatMax = r.RejoinLatMax
+		}
 		overlaySize += r.OverlaySize
 		detected += r.AdversariesDetected
 		injected += r.Injected
@@ -194,6 +206,11 @@ func Average(rs []Result) Result {
 		node.Adaptations += r.Node.Adaptations
 		node.RetriesSent += r.Node.RetriesSent
 		node.RetriesAbandoned += r.Node.RetriesAbandoned
+		node.Rejoins += r.Node.Rejoins
+		node.SyncReqsSent += r.Node.SyncReqsSent
+		node.SyncEntriesServed += r.Node.SyncEntriesServed
+		node.SyncEntriesApplied += r.Node.SyncEntriesApplied
+		node.SyncAbandoned += r.Node.SyncAbandoned
 		out.Violations = append(out.Violations, r.Violations...)
 		out.FaultEvents = append(out.FaultEvents, r.FaultEvents...)
 		if out.Repro == "" {
@@ -218,6 +235,14 @@ func Average(rs []Result) Result {
 	out.BytesOnAir = bytes / un
 	out.Collisions = collisions / un
 	out.Events = events / un
+	out.Rejoins = rejoins / un
+	out.SyncReqs = syncReqs / un
+	out.SyncEntriesServed = syncServed / un
+	out.SyncEntriesApplied = syncApplied / un
+	out.SyncBytes = syncBytes / un
+	out.SyncAbandoned = syncAbandoned / un
+	out.RejoinLatMean = rejoinLatMean / time.Duration(len(rs))
+	out.RejoinLatMax = rejoinLatMax
 	out.OverlaySize = overlaySize / len(rs)
 	out.AdversariesDetected = detected / len(rs)
 	out.Injected = injected / len(rs)
@@ -226,20 +251,25 @@ func Average(rs []Result) Result {
 		out.TxByKind[k] = v / un
 	}
 	out.Node = core.Stats{
-		Accepted:         node.Accepted / un,
-		Duplicates:       node.Duplicates / un,
-		BadSignatures:    node.BadSignatures / un,
-		Forwarded:        node.Forwarded / un,
-		GossipsSent:      node.GossipsSent / un,
-		RequestsSent:     node.RequestsSent / un,
-		FindsSent:        node.FindsSent / un,
-		RecoveredByData:  node.RecoveredByData / un,
-		RateLimited:      node.RateLimited / un,
-		DedupSkips:       node.DedupSkips / un,
-		Evictions:        node.Evictions / un,
-		Adaptations:      node.Adaptations / un,
-		RetriesSent:      node.RetriesSent / un,
-		RetriesAbandoned: node.RetriesAbandoned / un,
+		Accepted:           node.Accepted / un,
+		Duplicates:         node.Duplicates / un,
+		BadSignatures:      node.BadSignatures / un,
+		Forwarded:          node.Forwarded / un,
+		GossipsSent:        node.GossipsSent / un,
+		RequestsSent:       node.RequestsSent / un,
+		FindsSent:          node.FindsSent / un,
+		RecoveredByData:    node.RecoveredByData / un,
+		RateLimited:        node.RateLimited / un,
+		DedupSkips:         node.DedupSkips / un,
+		Evictions:          node.Evictions / un,
+		Adaptations:        node.Adaptations / un,
+		RetriesSent:        node.RetriesSent / un,
+		RetriesAbandoned:   node.RetriesAbandoned / un,
+		Rejoins:            node.Rejoins / un,
+		SyncReqsSent:       node.SyncReqsSent / un,
+		SyncEntriesServed:  node.SyncEntriesServed / un,
+		SyncEntriesApplied: node.SyncEntriesApplied / un,
+		SyncAbandoned:      node.SyncAbandoned / un,
 	}
 	return out
 }

@@ -26,6 +26,7 @@ import (
 	"bbcast/internal/mobility"
 	"bbcast/internal/obsv"
 	"bbcast/internal/overlay"
+	"bbcast/internal/persist"
 	"bbcast/internal/radio"
 	"bbcast/internal/sig"
 	"bbcast/internal/sim"
@@ -191,6 +192,11 @@ type Scenario struct {
 	// run: crashes, recoveries, partitions, radio degradation, behaviour
 	// swaps and churn, all deterministic per seed.
 	FaultPlan *faultplan.Plan
+	// PersistCorrupt, when non-nil and Core.Persist is on, damages each
+	// amnesiac node's durable device (seeded, deterministic) at recovery,
+	// before the device is re-opened — exercising torn-write and bit-flip
+	// replay recovery under churn.
+	PersistCorrupt *persist.Corruption
 	// Invariants selects the runtime invariant checks. The zero value
 	// disables them; DefaultScenario enables the full set. Checks that do
 	// not apply to the configured protocol (overlay recovery for flooding,
@@ -346,6 +352,14 @@ func Run(sc Scenario) (Result, error) {
 	switchables := make([]*byzantine.Switchable, sc.N)
 	clock := env.SimClock{Eng: eng}
 
+	// Durable state: one in-memory device per node when persistence is on.
+	// Devices survive amnesiac crashes; the fault scheduler re-opens them
+	// (replay-truncate recovery) when the node rejoins.
+	var devices []*persist.MemDevice
+	if sc.Core.Persist && sc.Protocol == ProtoByzCast {
+		devices = make([]*persist.MemDevice, sc.N)
+	}
+
 	chk := buildChecker(sc, eng, medium, protos, correct)
 
 	// The closed-loop load driver listens on the observer chain: it counts
@@ -418,6 +432,14 @@ func Run(sc Scenario) (Result, error) {
 			// measurement itself rides on the observer.
 			deps.Deliver = func(wire.NodeID, wire.MsgID, []byte) {}
 		}
+		if devices != nil {
+			devices[i] = &persist.MemDevice{}
+			st, err := persist.Open(devices[i])
+			if err != nil {
+				return Result{}, fmt.Errorf("runner: persist: node %d: %w", i, err)
+			}
+			deps.Store = st
+		}
 		switch sc.Protocol {
 		case ProtoFlooding:
 			protos[i] = baseline.NewFlooding(deps, sc.Core.ForwardJitter)
@@ -459,7 +481,7 @@ func Run(sc Scenario) (Result, error) {
 				})
 			}
 		})
-		if err := scheduleFaultPlan(sc, eng, medium, switchables, scheme, chk, planEvents); err != nil {
+		if err := scheduleFaultPlan(sc, eng, medium, protos, devices, switchables, scheme, chk, planEvents); err != nil {
 			return Result{}, err
 		}
 	}
@@ -520,6 +542,11 @@ func Run(sc Scenario) (Result, error) {
 		res.Node.Adaptations += st.Adaptations
 		res.Node.RetriesSent += st.RetriesSent
 		res.Node.RetriesAbandoned += st.RetriesAbandoned
+		res.Node.Rejoins += st.Rejoins
+		res.Node.SyncReqsSent += st.SyncReqsSent
+		res.Node.SyncEntriesServed += st.SyncEntriesServed
+		res.Node.SyncEntriesApplied += st.SyncEntriesApplied
+		res.Node.SyncAbandoned += st.SyncAbandoned
 		if cp, ok := protos[i].(*core.Protocol); ok {
 			if cp.InOverlay() {
 				res.Results.OverlaySize++

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"strconv"
 	"time"
 
 	"bbcast/internal/obsv"
@@ -71,4 +72,16 @@ func (o *Observer) OnSuspicion(at time.Duration, node, subject wire.NodeID, dete
 		detail = string(detector) + ":cleared"
 	}
 	o.w.Emit(Event{T: At(at), Node: node, Type: TypeSuspect, Peer: subject, Detail: detail})
+}
+
+// OnSync implements obsv.Observer.
+func (o *Observer) OnSync(at time.Duration, node, peer wire.NodeID, event obsv.SyncEvent, entries, _ int) {
+	o.w.Emit(Event{T: At(at), Node: node, Type: TypeSync, Peer: peer,
+		Detail: string(event) + ":" + strconv.Itoa(entries)})
+}
+
+// OnRejoin implements obsv.Observer.
+func (o *Observer) OnRejoin(at time.Duration, node wire.NodeID, restored int) {
+	o.w.Emit(Event{T: At(at), Node: node, Type: TypeRejoin,
+		Detail: "restored:" + strconv.Itoa(restored)})
 }

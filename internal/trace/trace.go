@@ -37,6 +37,14 @@ const (
 	// name, e.g. "crash(12)"). Fault events are network-wide, so the
 	// Node field is meaningless for them.
 	TypeFault Type = "fault"
+	// TypeSync is a catch-up sync action: Node requested, served, applied,
+	// or abandoned a bulk transfer involving Peer (Detail is
+	// "<event>:<entries>").
+	TypeSync Type = "sync"
+	// TypeRejoin is an amnesiac rejoin: Node's volatile state was wiped and
+	// re-initialized (Detail is "restored:<n>" dedup tombstones recovered
+	// from the durable store).
+	TypeRejoin Type = "rejoin"
 )
 
 // Event is one trace record.

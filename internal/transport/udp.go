@@ -25,6 +25,7 @@ import (
 	"bbcast/internal/core"
 	"bbcast/internal/env"
 	"bbcast/internal/obsv"
+	"bbcast/internal/persist"
 	"bbcast/internal/sig"
 	"bbcast/internal/wire"
 )
@@ -72,6 +73,9 @@ type UDPNode struct {
 	id    wire.NodeID
 	conn  *net.UDPConn
 	proto *core.Protocol
+	// dev is the durable-state device when the node was opened with a
+	// persist directory; closed with the node.
+	dev *persist.FileDevice
 
 	registry *obsv.Registry
 	obs      obsv.Observer
@@ -127,16 +131,47 @@ func (c lockedClock) After(d time.Duration, fn func()) func() {
 // node's internal lock held and must not call back into the node.
 func NewUDPNode(cfg core.Config, id wire.NodeID, scheme sig.Scheme, listen string,
 	deliver func(origin wire.NodeID, msgID wire.MsgID, payload []byte)) (*UDPNode, error) {
+	return NewUDPNodeDir(cfg, id, scheme, listen, "", deliver)
+}
+
+// NewUDPNodeDir is NewUDPNode with a durable-state directory. A non-empty dir
+// opens (or replays, after a crash) a file-backed persist device there: the
+// restarting daemon recovers its sequence high-water mark, delivered-message
+// dedup state and TRUST verdicts, and — with cfg.CatchUpSync — bulk-fetches
+// the messages it missed from a neighbour. An empty dir keeps the node
+// stateless across restarts.
+func NewUDPNodeDir(cfg core.Config, id wire.NodeID, scheme sig.Scheme, listen, dir string,
+	deliver func(origin wire.NodeID, msgID wire.MsgID, payload []byte)) (*UDPNode, error) {
+	var dev *persist.FileDevice
+	var store *persist.Store
+	if dir != "" {
+		var err error
+		if dev, err = persist.OpenDir(dir); err != nil {
+			return nil, fmt.Errorf("transport: persist: %w", err)
+		}
+		if store, err = persist.Open(dev); err != nil {
+			dev.Close()
+			return nil, fmt.Errorf("transport: persist: %w", err)
+		}
+		cfg.Persist = true
+	}
 	addr, err := net.ResolveUDPAddr("udp", listen)
 	if err != nil {
+		if dev != nil {
+			dev.Close()
+		}
 		return nil, fmt.Errorf("transport: resolve %q: %w", listen, err)
 	}
 	conn, err := net.ListenUDP("udp", addr)
 	if err != nil {
+		if dev != nil {
+			dev.Close()
+		}
 		return nil, fmt.Errorf("transport: listen %q: %w", listen, err)
 	}
 	n := &UDPNode{
 		id:       id,
+		dev:      dev,
 		conn:     conn,
 		registry: obsv.NewRegistry(),
 		deliver:  deliver,
@@ -155,6 +190,7 @@ func NewUDPNode(cfg core.Config, id wire.NodeID, scheme sig.Scheme, listen strin
 		Scheme: scheme,
 		Rand:   rand.New(rand.NewSource(randSeed())),
 		Obs:    n.obs,
+		Store:  store,
 		Deliver: func(origin wire.NodeID, msgID wire.MsgID, payload []byte) {
 			if n.deliver != nil {
 				n.deliver(origin, msgID, payload)
@@ -366,6 +402,11 @@ func (n *UDPNode) Close() error {
 		// and exits.
 		close(n.inbox)
 		<-n.procDone
+		if n.dev != nil {
+			if cerr := n.dev.Close(); err == nil {
+				err = cerr
+			}
+		}
 	})
 	return err
 }

@@ -287,3 +287,35 @@ func TestUDPClosePromptAndLeakFree(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 }
+
+func TestUDPRestartResumesSequence(t *testing.T) {
+	// A node restarted over the same durable-state directory must carry on
+	// from its persisted sequence number instead of reusing ids — the
+	// at-most-once guarantee for a live deployment that loses power.
+	dir := t.TempDir()
+	scheme := sig.NewHMAC(2, 1)
+	sink0 := newSink()
+
+	node, err := NewUDPNodeDir(fastConfig(), 0, scheme, "127.0.0.1:0", dir, sink0.deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := node.Broadcast([]byte("first life, first"))
+	b := node.Broadcast([]byte("first life, second"))
+	if err := node.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reborn, err := NewUDPNodeDir(fastConfig(), 0, scheme, "127.0.0.1:0", dir, sink0.deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reborn.Close()
+	c := reborn.Broadcast([]byte("second life"))
+	if c == a || c == b {
+		t.Fatalf("restarted node reused message id %v (earlier: %v, %v)", c, a, b)
+	}
+	if c.Seq <= b.Seq {
+		t.Fatalf("sequence went backwards across restart: %d after %d", c.Seq, b.Seq)
+	}
+}

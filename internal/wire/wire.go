@@ -61,6 +61,8 @@ const (
 	KindRequest                      // REQUEST_MSG: ask for a missing message
 	KindFindMissing                  // FIND_MISSING_MSG: overlay-level search
 	KindOverlayState                 // overlay maintenance record
+	KindSyncReq                      // SYNC-REQ: catch-up request with a compact store summary
+	KindSyncResp                     // SYNC-RESP: bulk transfer of entries the requester is missing
 )
 
 // String implements fmt.Stringer.
@@ -76,19 +78,34 @@ func (k Kind) String() string {
 		return "find-missing"
 	case KindOverlayState:
 		return "overlay-state"
+	case KindSyncReq:
+		return "sync-req"
+	case KindSyncResp:
+		return "sync-resp"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
 }
 
 // NumKinds is the number of defined packet kinds (for metrics arrays).
-const NumKinds = 5
+const NumKinds = 7
 
 // GossipEntry advertises that the gossiper holds message ID, carrying the
 // originator's signature over the message header as proof of existence.
 type GossipEntry struct {
 	ID  MsgID
 	Sig []byte
+}
+
+// SyncEntry is one message carried in a SYNC-RESP bulk transfer: the payload
+// with the originator's data signature (so the receiver verifies before
+// accepting, exactly as on the normal data path) and the header signature so
+// the rejoiner can advertise the message in its own gossip rounds.
+type SyncEntry struct {
+	ID        MsgID
+	Payload   []byte
+	Sig       []byte // originator signature over DataSigBytes(ID, Payload)
+	HeaderSig []byte // originator signature over HeaderSigBytes(ID); may be empty
 }
 
 // OverlayState is the record a node publishes for overlay maintenance:
@@ -125,6 +142,8 @@ const (
 	CauseRequest              // first REQUEST_MSG for a gossip-advertised gap
 	CauseFind                 // FIND_MISSING_MSG overlay search (dispatch or relay)
 	CauseState                // standalone overlay-maintenance record
+	CauseSyncReq              // rejoiner's catch-up SYNC-REQ
+	CauseSyncResp             // neighbour's SYNC-RESP bulk transfer
 )
 
 // String implements fmt.Stringer.
@@ -148,6 +167,10 @@ func (c Cause) String() string {
 		return "find"
 	case CauseState:
 		return "state"
+	case CauseSyncReq:
+		return "sync-req"
+	case CauseSyncResp:
+		return "sync-resp"
 	default:
 		return fmt.Sprintf("cause(%d)", uint8(c))
 	}
@@ -203,6 +226,12 @@ type Packet struct {
 
 	State    *OverlayState // OverlayState, or piggybacked on any kind
 	StateSig []byte        // sender's signature over the state record
+
+	// SyncHave is the requester's compact store summary (SyncReq only): the
+	// message ids it already holds, so the responder sends only the gap.
+	SyncHave []MsgID
+	// SyncEntries is the responder's bulk transfer (SyncResp only).
+	SyncEntries []SyncEntry
 
 	// Meta is in-memory causal metadata (see Meta). Excluded from
 	// Marshal/Unmarshal; Clone's value copy carries it to receivers under
@@ -304,6 +333,25 @@ func (p *Packet) Marshal() []byte {
 		b = appendIDs(b, p.State.Suspects)
 		b = appendBytes(b, p.StateSig)
 	}
+	// Sync content is encoded only for the sync kinds, so every pre-existing
+	// kind keeps a byte-identical encoding.
+	switch p.Kind {
+	case KindSyncReq:
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(p.SyncHave)))
+		for _, id := range p.SyncHave {
+			b = binary.LittleEndian.AppendUint32(b, uint32(id.Origin))
+			b = binary.LittleEndian.AppendUint32(b, uint32(id.Seq))
+		}
+	case KindSyncResp:
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(p.SyncEntries)))
+		for _, e := range p.SyncEntries {
+			b = binary.LittleEndian.AppendUint32(b, uint32(e.ID.Origin))
+			b = binary.LittleEndian.AppendUint32(b, uint32(e.ID.Seq))
+			b = appendBytes(b, e.Payload)
+			b = appendBytes(b, e.Sig)
+			b = appendBytes(b, e.HeaderSig)
+		}
+	}
 	return b
 }
 
@@ -314,6 +362,15 @@ func (p *Packet) sizeHint() int {
 	}
 	if p.State != nil {
 		n += 28 + 4*(len(p.State.Neighbors)+len(p.State.ActiveNeighbors)+len(p.State.DominatorNeighbors)+len(p.State.Suspects)) + len(p.StateSig)
+	}
+	switch p.Kind {
+	case KindSyncReq:
+		n += 4 + 8*len(p.SyncHave)
+	case KindSyncResp:
+		n += 4
+		for _, e := range p.SyncEntries {
+			n += 20 + len(e.Payload) + len(e.Sig) + len(e.HeaderSig)
+		}
 	}
 	return n
 }
@@ -363,10 +420,31 @@ func Unmarshal(b []byte) (*Packet, error) {
 		p.State = st
 		p.StateSig = d.bytes()
 	}
+	switch p.Kind {
+	case KindSyncReq:
+		p.SyncHave = d.msgIDs()
+	case KindSyncResp:
+		ne := d.u32()
+		if d.err == nil && ne > maxSliceLen {
+			return nil, ErrShortPacket
+		}
+		if d.err == nil && ne > 0 {
+			p.SyncEntries = make([]SyncEntry, 0, ne)
+			for i := uint32(0); i < ne && d.err == nil; i++ {
+				var e SyncEntry
+				e.ID.Origin = NodeID(d.u32())
+				e.ID.Seq = Seq(d.u32())
+				e.Payload = d.bytes()
+				e.Sig = d.bytes()
+				e.HeaderSig = d.bytes()
+				p.SyncEntries = append(p.SyncEntries, e)
+			}
+		}
+	}
 	if d.err != nil {
 		return nil, d.err
 	}
-	if p.Kind < KindData || p.Kind > KindOverlayState {
+	if p.Kind < KindData || p.Kind > KindSyncResp {
 		return nil, ErrBadKind
 	}
 	return p, nil
@@ -386,6 +464,9 @@ func (p *Packet) Clone() *Packet {
 	}
 	if p.State != nil {
 		nb += len(p.StateSig)
+	}
+	for _, e := range p.SyncEntries {
+		nb += len(e.Payload) + len(e.Sig) + len(e.HeaderSig)
 	}
 	var arena []byte
 	if nb > 0 {
@@ -437,6 +518,20 @@ func (p *Packet) Clone() *Packet {
 			Suspects:           carveIDs(p.State.Suspects),
 		}
 		cp.StateSig = carve(p.StateSig)
+	}
+	if p.SyncHave != nil {
+		cp.SyncHave = append([]MsgID(nil), p.SyncHave...)
+	}
+	if p.SyncEntries != nil {
+		cp.SyncEntries = make([]SyncEntry, len(p.SyncEntries))
+		for i, e := range p.SyncEntries {
+			cp.SyncEntries[i] = SyncEntry{
+				ID:        e.ID,
+				Payload:   carve(e.Payload),
+				Sig:       carve(e.Sig),
+				HeaderSig: carve(e.HeaderSig),
+			}
+		}
 	}
 	return &cp
 }
@@ -501,6 +596,27 @@ func (d *decoder) bytes() []byte {
 	copy(v, d.b[:n])
 	d.b = d.b[n:]
 	return v
+}
+
+func (d *decoder) msgIDs() []MsgID {
+	n := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	if n > maxSliceLen || int(n)*8 > len(d.b) {
+		d.err = ErrShortPacket
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]MsgID, n)
+	for i := range out {
+		out[i].Origin = NodeID(binary.LittleEndian.Uint32(d.b[i*8:]))
+		out[i].Seq = Seq(binary.LittleEndian.Uint32(d.b[i*8+4:]))
+	}
+	d.b = d.b[n*8:]
+	return out
 }
 
 func (d *decoder) ids() []NodeID {

@@ -273,3 +273,58 @@ func TestQuickBitFlipNoPanic(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRoundTripSync(t *testing.T) {
+	req := &Packet{
+		Kind: KindSyncReq, Sender: 12, TTL: 1, Target: 3, Origin: NoNode,
+		SyncHave: []MsgID{{Origin: 1, Seq: 1}, {Origin: 1, Seq: 2}, {Origin: 7, Seq: 9}},
+	}
+	resp := &Packet{
+		Kind: KindSyncResp, Sender: 3, TTL: 1, Target: 12, Origin: NoNode,
+		SyncEntries: []SyncEntry{
+			{ID: MsgID{Origin: 1, Seq: 3}, Payload: []byte("alpha"), Sig: []byte{1, 2, 3}, HeaderSig: []byte{4, 5}},
+			{ID: MsgID{Origin: 7, Seq: 10}, Payload: []byte("beta"), Sig: []byte{6}},
+		},
+	}
+	for _, p := range []*Packet{req, resp} {
+		got, err := Unmarshal(p.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(p, got) {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", p, got)
+		}
+	}
+	// Sync fields are kind-conditional: attached to any other kind they must
+	// not reach the wire, so pre-sync decoders stay byte-compatible.
+	data := samplePacket()
+	plain := data.Marshal()
+	data.SyncHave = []MsgID{{Origin: 1, Seq: 1}}
+	data.SyncEntries = []SyncEntry{{ID: MsgID{Origin: 1, Seq: 1}}}
+	if !bytes.Equal(data.Marshal(), plain) {
+		t.Fatal("sync fields leaked into a non-sync packet encoding")
+	}
+}
+
+func TestCloneSyncIsDeep(t *testing.T) {
+	p := &Packet{
+		Kind: KindSyncResp, Sender: 3, TTL: 1, Target: 12, Origin: NoNode,
+		SyncHave: []MsgID{{Origin: 2, Seq: 2}},
+		SyncEntries: []SyncEntry{
+			{ID: MsgID{Origin: 1, Seq: 3}, Payload: []byte("alpha"), Sig: []byte{1, 2}, HeaderSig: []byte{3}},
+		},
+	}
+	c := p.Clone()
+	if !reflect.DeepEqual(p, c) {
+		t.Fatalf("clone mismatch:\n in: %+v\nout: %+v", p, c)
+	}
+	c.SyncHave[0] = MsgID{Origin: 99, Seq: 99}
+	c.SyncEntries[0].Payload[0] = 'X'
+	c.SyncEntries[0].Sig[0] = 0xFF
+	if p.SyncHave[0].Origin == 99 {
+		t.Fatal("clone shares SyncHave backing array")
+	}
+	if p.SyncEntries[0].Payload[0] == 'X' || p.SyncEntries[0].Sig[0] == 0xFF {
+		t.Fatal("clone shares SyncEntries backing arrays")
+	}
+}

@@ -23,3 +23,14 @@ type DeliverFunc = func(origin wire.NodeID, id wire.MsgID, payload []byte)
 func NewNode(cfg ProtocolConfig, id NodeID, keys Keyring, listen string, deliver DeliverFunc) (*Node, error) {
 	return transport.NewUDPNode(cfg, id, keys, listen, deliver)
 }
+
+// NewNodeDir is NewNode with durable state: the node keeps its origination
+// sequence number, delivered-message digests and suspicions in dir
+// (snapshot + CRC-framed log) and restores them on the next NewNodeDir with
+// the same dir, so a device that reboots does not reuse sequence numbers or
+// re-deliver pre-crash traffic. The log tolerates torn tails (recovery
+// replays to the first bad record and truncates). Each node needs its own
+// directory.
+func NewNodeDir(cfg ProtocolConfig, id NodeID, keys Keyring, listen, dir string, deliver DeliverFunc) (*Node, error) {
+	return transport.NewUDPNodeDir(cfg, id, keys, listen, dir, deliver)
+}
