@@ -7,31 +7,49 @@
 //	              source functions (the PR 2 emission table)
 //	boundedstate  every map-typed field in internal/core is capped or
 //	              //bbvet:bounded-by annotated (the PR 4 caps table)
+//	detflow       interprocedural determinism: no det-package call chain
+//	              reaches wall clock, global rand or an order-dependent map
+//	              range through helpers the direct checks cannot see
+//	ordering      internal/core packet ingress hits token-bucket admission
+//	              and dedup before any sig verify (the PR 4 contract)
+//	errflow       no dropped, discarded or overwritten errors from persist
+//	              and transport writes (the PR 9 latch discipline)
 //
 // Usage:
 //
 //	go run ./cmd/bbvet ./...
 //	go run ./cmd/bbvet -run determinism,obsvonce ./internal/core
+//	go run ./cmd/bbvet -json ./...
+//	go run ./cmd/bbvet -sarif bbvet.sarif ./...
 //
-// Exit status: 0 clean, 1 findings, 2 load/usage error.
+// -json replaces the text lines on stdout with a JSON array; -sarif
+// additionally writes a SARIF 2.1.0 file for GitHub code scanning. Exit
+// status: 0 clean, 1 findings, 2 load/usage error.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"bbcast/internal/analysis"
 	"bbcast/internal/analysis/boundedstate"
 	"bbcast/internal/analysis/determinism"
+	"bbcast/internal/analysis/detflow"
+	"bbcast/internal/analysis/errflow"
 	"bbcast/internal/analysis/obsvonce"
+	"bbcast/internal/analysis/ordering"
 )
 
 var all = []*analysis.Analyzer{
 	determinism.Analyzer,
 	obsvonce.Analyzer,
 	boundedstate.Analyzer,
+	detflow.Analyzer,
+	ordering.Analyzer,
+	errflow.Analyzer,
 }
 
 func main() {
@@ -43,8 +61,10 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	runList := fs.String("run", "", "comma-separated analyzer subset (default: all)")
 	dir := fs.String("C", ".", "module directory to analyze from")
+	jsonOut := fs.Bool("json", false, "write findings to stdout as JSON instead of text")
+	sarifPath := fs.String("sarif", "", "also write findings to this file as SARIF 2.1.0")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: bbvet [-run names] [-C dir] [packages]\n\nanalyzers:\n")
+		fmt.Fprintf(stderr, "usage: bbvet [-run names] [-C dir] [-json] [-sarif file] [packages]\n\nanalyzers:\n")
 		for _, a := range all {
 			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -73,7 +93,12 @@ func run(args []string, stdout, stderr *os.File) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := analysis.Load(*dir, patterns...)
+	moduleDir, err := filepath.Abs(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "bbvet: %v\n", err)
+		return 2
+	}
+	pkgs, err := analysis.Load(moduleDir, patterns...)
 	if err != nil {
 		fmt.Fprintf(stderr, "bbvet: %v\n", err)
 		return 2
@@ -83,8 +108,30 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "bbvet: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	if *jsonOut {
+		if err := analysis.WriteJSON(stdout, moduleDir, diags); err != nil {
+			fmt.Fprintf(stderr, "bbvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if *sarifPath != "" {
+		f, err := os.Create(*sarifPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "bbvet: %v\n", err)
+			return 2
+		}
+		werr := analysis.WriteSARIF(f, moduleDir, analyzers, diags)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "bbvet: write %s: %v\n", *sarifPath, werr)
+			return 2
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "bbvet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

@@ -22,7 +22,9 @@ import (
 	"sort"
 )
 
-// Analyzer describes one static check.
+// Analyzer describes one static check. A per-package analyzer sets Run; a
+// whole-program analyzer (one that needs the call graph) sets RunProgram.
+// Exactly one of the two must be non-nil.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics (a short lowercase word).
 	Name string
@@ -30,6 +32,10 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass) error
+	// RunProgram inspects all loaded packages at once with the call graph
+	// built; it runs once per Run() invocation, after the per-package
+	// analyzers.
+	RunProgram func(*ProgramPass) error
 }
 
 // Pass is the interface between one Analyzer run and one package.
@@ -63,12 +69,34 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Run applies each analyzer to each package and returns the combined
-// diagnostics sorted by position. Analyzer errors (not findings) abort.
+// ProgramPass is the interface between one whole-program Analyzer run and
+// the loaded program.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	diags *[]Diagnostic
+}
+
+// Reportf records one finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Prog.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies each analyzer (per-package passes over every package, then
+// whole-program passes over the call graph) and returns the combined
+// diagnostics sorted and deduplicated. Analyzer errors (not findings) abort.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -82,6 +110,26 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 		}
 	}
+	var prog *Program
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		if prog == nil {
+			prog = BuildProgram(pkgs)
+		}
+		pass := &ProgramPass{Analyzer: a, Prog: prog, diags: &diags}
+		if err := a.RunProgram(pass); err != nil {
+			return diags, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	return dedupeSorted(diags), nil
+}
+
+// dedupeSorted orders diagnostics by (file, line, column, message, analyzer)
+// and drops exact duplicates, so bbvet output is byte-stable across runs and
+// usable as a test golden.
+func dedupeSorted(diags []Diagnostic) []Diagnostic {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -93,7 +141,17 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return diags[i].Message < diags[j].Message
+		if diags[i].Message != diags[j].Message {
+			return diags[i].Message < diags[j].Message
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags, nil
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
 }

@@ -42,15 +42,30 @@ var strRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"|` + "`[^`]*`")
 // and diffs their diagnostics against the // want comments in dir's sources.
 func Run(t *testing.T, dir, importPath string, analyzers ...*analysis.Analyzer) {
 	t.Helper()
-	pkg, err := analysis.LoadDir(dir, importPath)
+	RunDirs(t, []analysis.DirSpec{{Dir: dir, ImportPath: importPath}}, analyzers...)
+}
+
+// RunDirs is Run over a multi-package fixture: the directories are
+// type-checked in order into one program (later ones may import earlier ones
+// by their fake import paths), the analyzers — whole-program ones included —
+// run over all of them at once, and want comments are collected from every
+// fixture file. This is how the interprocedural passes are tested: a sink
+// package posing as, say, bbcast/internal/obsv plus a caller posing as a
+// DetPackages member.
+func RunDirs(t *testing.T, specs []analysis.DirSpec, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := analysis.LoadDirs(specs...)
 	if err != nil {
-		t.Fatalf("load %s as %s: %v", dir, importPath, err)
+		t.Fatalf("load fixture dirs: %v", err)
 	}
-	diags, err := analysis.Run([]*analysis.Package{pkg}, analyzers)
+	diags, err := analysis.Run(pkgs, analyzers)
 	if err != nil {
 		t.Fatalf("run analyzers: %v", err)
 	}
-	wants := collectWants(t, pkg)
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		wants = append(wants, collectWants(t, pkg)...)
+	}
 
 	for _, d := range diags {
 		if !claim(wants, baseName(d.Pos.Filename), d.Pos.Line, d.Message) {

@@ -11,7 +11,7 @@ import (
 //
 //	//bbvet:<kind> <argument and/or justification>
 //
-// with no space between "//" and "bbvet:". Three kinds exist:
+// with no space between "//" and "bbvet:". Four kinds exist:
 //
 //	//bbvet:wallclock <why>        file header: exempts the file from the
 //	                               determinism wall-clock/global-rand checks;
@@ -22,6 +22,14 @@ import (
 //	//bbvet:bounded-by <cap> <why> on a map-typed struct field in
 //	                               internal/core: names the config field or
 //	                               package constant that bounds the map.
+//	//bbvet:errflow <why>          on or above a persist/transport write
+//	                               whose error is deliberately dropped:
+//	                               asserts the loss is by design (latched in
+//	                               Store.Err, or best-effort datagrams).
+//	//bbvet:ordering <why>         on or above a crypto-reaching call in an
+//	                               internal/core ingress handler: asserts the
+//	                               verify legitimately precedes admission or
+//	                               dedup there.
 //
 // Every annotation must carry a non-empty justification; the analyzers
 // reject bare escapes.
@@ -34,6 +42,10 @@ const (
 	AnnUnordered = "unordered"
 	// AnnBoundedBy names the cap bounding a map-typed struct field.
 	AnnBoundedBy = "bounded-by"
+	// AnnErrflow justifies a deliberately dropped write error.
+	AnnErrflow = "errflow"
+	// AnnOrdering justifies a verify that precedes admission or dedup.
+	AnnOrdering = "ordering"
 )
 
 // Annotation is one parsed //bbvet: comment.
@@ -113,7 +125,7 @@ func (fa *FileAnnotations) At(kind string, line int) *Annotation {
 func CheckAnnotations(pass *Pass, fa *FileAnnotations) {
 	for _, a := range fa.All() {
 		switch a.Kind {
-		case AnnWallclock, AnnUnordered:
+		case AnnWallclock, AnnUnordered, AnnErrflow, AnnOrdering:
 			if a.Arg == "" {
 				pass.Reportf(a.Pos, "//bbvet:%s needs a justification: //bbvet:%s <why>", a.Kind, a.Kind)
 			}
@@ -122,7 +134,7 @@ func CheckAnnotations(pass *Pass, fa *FileAnnotations) {
 				pass.Reportf(a.Pos, "//bbvet:bounded-by needs a cap: //bbvet:bounded-by <cap> [why]")
 			}
 		default:
-			pass.Reportf(a.Pos, "unknown annotation //bbvet:%s (want wallclock, unordered or bounded-by)", a.Kind)
+			pass.Reportf(a.Pos, "unknown annotation //bbvet:%s (want wallclock, unordered, bounded-by, errflow or ordering)", a.Kind)
 		}
 	}
 }

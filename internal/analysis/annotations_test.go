@@ -61,7 +61,9 @@ func TestCheckAnnotations(t *testing.T) {
 //bbvet:wallclock
 //bbvet:unordered
 //bbvet:bounded-by
+//bbvet:errflow
 //bbvet:wallclock justified because reasons
+//bbvet:errflow latched in Store.Err
 //bbvet:nonsense some justification
 `)
 	CheckAnnotations(pass, fa)
@@ -69,6 +71,7 @@ func TestCheckAnnotations(t *testing.T) {
 		"//bbvet:wallclock needs a justification",
 		"//bbvet:unordered needs a justification",
 		"//bbvet:bounded-by needs a cap",
+		"//bbvet:errflow needs a justification",
 		"unknown annotation //bbvet:nonsense",
 	}
 	if len(*diags) != len(want) {

@@ -38,6 +38,7 @@ import (
 var DetPackages = map[string]bool{
 	"bbcast/internal/sim":         true,
 	"bbcast/internal/core":        true,
+	"bbcast/internal/persist":     true,
 	"bbcast/internal/radio":       true,
 	"bbcast/internal/mac":         true,
 	"bbcast/internal/overlay":     true,
@@ -129,7 +130,7 @@ func checkWallClock(pass *analysis.Pass, file *ast.File, ann *analysis.FileAnnot
 		if !ok {
 			return true
 		}
-		pkgPath, name := calledPackageFunc(pass, call)
+		pkgPath, name := calledPackageFunc(pass.TypesInfo, call)
 		var bad string
 		switch {
 		case pkgPath == "time" && forbiddenTime[name]:
@@ -147,9 +148,30 @@ func checkWallClock(pass *analysis.Pass, file *ast.File, ann *analysis.FileAnnot
 	})
 }
 
+// WallClockFunc reports whether fn is on the forbidden wall-clock/global-rand
+// surface, naming it for a diagnostic ("time.Now", "rand.IntN"). The detflow
+// pass uses this to seed transitive taint from resolved callees, so the
+// intraprocedural ban above and the interprocedural one can never drift apart.
+func WallClockFunc(fn *types.Func) (string, bool) {
+	if fn.Pkg() == nil {
+		return "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", false
+	}
+	path := fn.Pkg().Path()
+	switch {
+	case path == "time" && forbiddenTime[fn.Name()]:
+		return "time." + fn.Name(), true
+	case (path == "math/rand" || path == "math/rand/v2") && forbiddenRand[fn.Name()]:
+		return pathBase(path) + "." + fn.Name(), true
+	}
+	return "", false
+}
+
 // calledPackageFunc resolves call to (package path, function name) when the
 // callee is a qualified identifier like time.Now; otherwise ("", "").
-func calledPackageFunc(pass *analysis.Pass, call *ast.CallExpr) (string, string) {
+func calledPackageFunc(info *types.Info, call *ast.CallExpr) (string, string) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return "", ""
@@ -158,7 +180,7 @@ func calledPackageFunc(pass *analysis.Pass, call *ast.CallExpr) (string, string)
 	if !ok {
 		return "", ""
 	}
-	pn, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+	pn, ok := info.Uses[ident].(*types.PkgName)
 	if !ok {
 		return "", ""
 	}
@@ -210,6 +232,49 @@ func checkFuncMapRanges(pass *analysis.Pass, fnBody *ast.BlockStmt, ann *analysi
 // reportMapRange flags n if its body has an effect that leaks iteration
 // order out of the loop.
 func reportMapRange(pass *analysis.Pass, n *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	f := findRangeEffect(pass.TypesInfo, n, fnBody)
+	if f == nil {
+		return
+	}
+	if f.badAppend != nil {
+		pass.Reportf(n.For, "range over map has order-dependent effects (appends to %s, never sorted in this function); sort the keys first, sort the result, or annotate //bbvet:unordered <why>", f.badAppend.Name())
+		return
+	}
+	pass.Reportf(n.For, "range over map has order-dependent effects (%s at %s); iterate sorted keys or annotate //bbvet:unordered <why>",
+		f.effect, pass.Fset.Position(f.effectPos))
+}
+
+// RangeEffect describes the order-dependent effect of the map-range statement
+// n, or "" when the loop is order-insensitive by the same heuristic the
+// per-package pass applies. fnBody is the enclosing function scope searched
+// for an after-the-loop sort. The detflow pass uses this to treat effectful
+// map ranges in packages outside DetPackages as taint sources, so a
+// det-package function cannot launder iteration order through a helper
+// package the direct check does not cover.
+func RangeEffect(info *types.Info, n *ast.RangeStmt, fnBody *ast.BlockStmt) string {
+	f := findRangeEffect(info, n, fnBody)
+	switch {
+	case f == nil:
+		return ""
+	case f.badAppend != nil:
+		return fmt.Sprintf("appends to %s without sorting", f.badAppend.Name())
+	default:
+		return f.effect
+	}
+}
+
+// rangeEffect is one order-dependent effect found inside a map-range body:
+// either an append whose target is never sorted (badAppend) or a directly
+// leaking statement (effect + position).
+type rangeEffect struct {
+	effect    string
+	effectPos token.Pos
+	badAppend types.Object
+}
+
+// findRangeEffect runs the order-leak heuristic over n's body and returns the
+// first effect that leaks iteration order, or nil if the loop is clean.
+func findRangeEffect(info *types.Info, n *ast.RangeStmt, fnBody *ast.BlockStmt) *rangeEffect {
 	var firstEffect string
 	var effectPos token.Pos
 	appendTargets := map[types.Object]token.Pos{}
@@ -227,13 +292,13 @@ func reportMapRange(pass *analysis.Pass, n *ast.RangeStmt, fnBody *ast.BlockStmt
 		case *ast.AssignStmt:
 			for i, rhs := range b.Rhs {
 				call, ok := rhs.(*ast.CallExpr)
-				if !ok || !isBuiltin(pass, call, "append") {
+				if !ok || !isBuiltin(info, call, "append") {
 					continue
 				}
 				appendAssigns[call] = true
 				if i < len(b.Lhs) {
 					if id, ok := b.Lhs[i].(*ast.Ident); ok {
-						if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+						if obj := info.ObjectOf(id); obj != nil {
 							appendTargets[obj] = call.Pos()
 							continue
 						}
@@ -244,10 +309,10 @@ func reportMapRange(pass *analysis.Pass, n *ast.RangeStmt, fnBody *ast.BlockStmt
 				}
 			}
 		case *ast.CallExpr:
-			if appendAssigns[b] || isConversion(pass, b) {
+			if appendAssigns[b] || isConversion(info, b) {
 				return true
 			}
-			if name, isB := builtinName(pass, b); isB {
+			if name, isB := builtinName(info, b); isB {
 				if pureBuiltins[name] {
 					return true
 				}
@@ -261,7 +326,7 @@ func reportMapRange(pass *analysis.Pass, n *ast.RangeStmt, fnBody *ast.BlockStmt
 				}
 			}
 			if firstEffect == "" {
-				firstEffect, effectPos = fmt.Sprintf("calls %s", calleeName(pass, b)), b.Pos()
+				firstEffect, effectPos = fmt.Sprintf("calls %s", calleeName(b)), b.Pos()
 			}
 		}
 		return true
@@ -269,22 +334,20 @@ func reportMapRange(pass *analysis.Pass, n *ast.RangeStmt, fnBody *ast.BlockStmt
 
 	// Appends are fine if every target is sorted after the loop in the same
 	// function scope.
-	for obj, pos := range appendTargets {
-		if !sortedAfter(pass, fnBody, n.End(), obj) {
-			pass.Reportf(n.For, "range over map has order-dependent effects (appends to %s, never sorted in this function); sort the keys first, sort the result, or annotate //bbvet:unordered <why>", obj.Name())
-			_ = pos
-			return
+	for obj := range appendTargets {
+		if !sortedAfter(info, fnBody, n.End(), obj) {
+			return &rangeEffect{badAppend: obj}
 		}
 	}
 	if firstEffect != "" {
-		pass.Reportf(n.For, "range over map has order-dependent effects (%s at %s); iterate sorted keys or annotate //bbvet:unordered <why>",
-			firstEffect, pass.Fset.Position(effectPos))
+		return &rangeEffect{effect: firstEffect, effectPos: effectPos}
 	}
+	return nil
 }
 
 // sortedAfter reports whether obj is passed to a sort function after pos
 // inside scope.
-func sortedAfter(pass *analysis.Pass, scope *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+func sortedAfter(info *types.Info, scope *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
 	found := false
 	ast.Inspect(scope, func(n ast.Node) bool {
 		if found {
@@ -294,12 +357,12 @@ func sortedAfter(pass *analysis.Pass, scope *ast.BlockStmt, pos token.Pos, obj t
 		if !ok || call.Pos() < pos || len(call.Args) == 0 {
 			return true
 		}
-		pkgPath, name := calledPackageFunc(pass, call)
+		pkgPath, name := calledPackageFunc(info, call)
 		base := pathBase(pkgPath)
 		if fns, ok := sortFuncs[base]; !ok || !fns[name] {
 			return true
 		}
-		if id, ok := call.Args[0].(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+		if id, ok := call.Args[0].(*ast.Ident); ok && info.ObjectOf(id) == obj {
 			found = true
 		}
 		return true
@@ -307,28 +370,28 @@ func sortedAfter(pass *analysis.Pass, scope *ast.BlockStmt, pos token.Pos, obj t
 	return found
 }
 
-func isBuiltin(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
-	got, ok := builtinName(pass, call)
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	got, ok := builtinName(info, call)
 	return ok && got == name
 }
 
-func builtinName(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+func builtinName(info *types.Info, call *ast.CallExpr) (string, bool) {
 	id, ok := call.Fun.(*ast.Ident)
 	if !ok {
 		return "", false
 	}
-	if b, ok := pass.TypesInfo.ObjectOf(id).(*types.Builtin); ok {
+	if b, ok := info.ObjectOf(id).(*types.Builtin); ok {
 		return b.Name(), true
 	}
 	return "", false
 }
 
-func isConversion(pass *analysis.Pass, call *ast.CallExpr) bool {
-	tv, ok := pass.TypesInfo.Types[call.Fun]
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
 	return ok && tv.IsType()
 }
 
-func calleeName(pass *analysis.Pass, call *ast.CallExpr) string {
+func calleeName(call *ast.CallExpr) string {
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
 		return fun.Name

@@ -1,0 +1,176 @@
+// Package detflow makes the determinism contract transitive. The per-package
+// determinism pass bans wall-clock/global-rand calls and order-leaking map
+// ranges where they appear; detflow follows the call graph, so a det-package
+// function cannot launder the same nondeterminism through a helper the direct
+// check does not cover: a function in a //bbvet:wallclock-exempt file, or an
+// effectful map range in a package outside DetPackages (obsv, metrics, trace).
+//
+// Taint sources are exactly the sinks whose direct diagnostic is suppressed —
+// a forbidden call in a wallclock-exempt file or outside internal/, and an
+// unannotated effectful map range outside DetPackages. Line-level annotations
+// are reviewed justifications and do not taint. Taint propagates up through
+// any function that is not itself held to the contract; functions in
+// DetPackages are reporting frontiers — the diagnostic lands on their call
+// site with the full chain printed, and they never taint their own callers
+// (each boundary crossing gets exactly one report).
+//
+// Resolution is static: calls through interfaces (env.Clock.Now) or function
+// values do not propagate taint. That is deliberate — injected interfaces are
+// the sanctioned seam for nondeterminism, and flagging them would punish the
+// exact pattern the contract prescribes.
+package detflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"bbcast/internal/analysis"
+	"bbcast/internal/analysis/determinism"
+)
+
+// Analyzer is the transitive-determinism pass.
+var Analyzer = &analysis.Analyzer{
+	Name:       "detflow",
+	Doc:        "flag det-package call chains that reach wall clock, global rand, or an order-dependent map range through helpers the direct checks cannot see",
+	RunProgram: run,
+}
+
+// fileFacts caches per-file annotation state keyed by file name.
+type fileFacts struct {
+	ann    *analysis.FileAnnotations
+	exempt bool // //bbvet:wallclock file header
+}
+
+func run(pass *analysis.ProgramPass) error {
+	prog := pass.Prog
+	facts := map[string]*fileFacts{}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			ann := analysis.ParseAnnotations(pkg.Fset, file)
+			facts[pkg.Fset.Position(file.Pos()).Filename] = &fileFacts{
+				ann:    ann,
+				exempt: ann.FileExempt(analysis.AnnWallclock),
+			}
+		}
+	}
+	factsOf := func(n *analysis.FuncNode) *fileFacts {
+		return facts[prog.Fset.Position(n.Decl.Pos()).Filename]
+	}
+	inDet := func(n *analysis.FuncNode) bool {
+		return determinism.DetPackages[n.Pkg.Path] && !n.TestFile
+	}
+
+	// Wall-clock taint: forbidden calls whose direct diagnostic is
+	// suppressed (file-level exemption, or a package outside internal/
+	// the determinism pass does not visit). Det-package functions in
+	// non-exempt files are frontiers.
+	wallDirect := map[*types.Func]*analysis.Taint{}
+	prog.EachFunc(func(n *analysis.FuncNode) {
+		ff := factsOf(n)
+		suppressed := ff.exempt || !strings.Contains(n.Pkg.Path, "internal/")
+		if !suppressed {
+			return
+		}
+		for _, cs := range n.Calls {
+			desc, ok := determinism.WallClockFunc(cs.Callee)
+			if !ok {
+				continue
+			}
+			if ff.ann.At(analysis.AnnWallclock, prog.Fset.Position(cs.Call.Pos()).Line) != nil {
+				continue // a reviewed line-level justification does not taint
+			}
+			wallDirect[n.Fn] = &analysis.Taint{Kind: analysis.AnnWallclock, Desc: desc, Pos: cs.Call.Pos()}
+			break
+		}
+	})
+	wallTaints := prog.Propagate(wallDirect, func(n *analysis.FuncNode) bool {
+		return !(inDet(n) && !factsOf(n).exempt)
+	})
+
+	// Unordered taint: effectful, unannotated map ranges in internal/
+	// packages outside DetPackages. Det-package functions are frontiers
+	// regardless of wall-clock exemption — the map-range discipline has no
+	// file-level escape.
+	unordDirect := map[*types.Func]*analysis.Taint{}
+	prog.EachFunc(func(n *analysis.FuncNode) {
+		if determinism.DetPackages[n.Pkg.Path] || !strings.Contains(n.Pkg.Path, "internal/") {
+			return
+		}
+		ff := factsOf(n)
+		if t := rangeTaint(n.Pkg.TypesInfo, prog.Fset, n.Decl.Body, ff.ann); t != nil {
+			unordDirect[n.Fn] = t
+		}
+	})
+	unordTaints := prog.Propagate(unordDirect, func(n *analysis.FuncNode) bool {
+		return !inDet(n)
+	})
+
+	// Report at det-package frontiers: the first call site of each chain
+	// into tainted territory, unless the site carries a matching annotation.
+	prog.EachFunc(func(n *analysis.FuncNode) {
+		if !inDet(n) {
+			return
+		}
+		ff := factsOf(n)
+		for _, cs := range n.Calls {
+			if t := wallTaints[cs.Callee]; t != nil && !ff.exempt {
+				line := prog.Fset.Position(cs.Call.Pos()).Line
+				if ff.ann.At(analysis.AnnWallclock, line) == nil {
+					chain := prog.Chain(&analysis.Taint{Next: cs.Callee}, wallTaints)
+					pass.Reportf(cs.Call.Pos(), "call chain reaches %s: %s; deterministic code takes time from the injected env.Clock and randomness from the seeded *rand.Rand (or annotate //bbvet:wallclock <why>)", t.Desc, chain)
+				}
+			}
+			if unordTaints[cs.Callee] != nil {
+				line := prog.Fset.Position(cs.Call.Pos()).Line
+				if ff.ann.At(analysis.AnnUnordered, line) == nil {
+					chain := prog.Chain(&analysis.Taint{Next: cs.Callee}, unordTaints)
+					pass.Reportf(cs.Call.Pos(), "call chain leaks map iteration order: %s; sort at the source or annotate //bbvet:unordered <why>", chain)
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// rangeTaint scans one function body for an effectful, unannotated map range
+// and returns its taint. Closures get their own sort scope, mirroring the
+// per-package pass.
+func rangeTaint(info *types.Info, fset *token.FileSet, body *ast.BlockStmt, ann *analysis.FileAnnotations) *analysis.Taint {
+	var taint *analysis.Taint
+	var scan func(scope *ast.BlockStmt)
+	scan = func(scope *ast.BlockStmt) {
+		ast.Inspect(scope, func(n ast.Node) bool {
+			if taint != nil {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				scan(n.Body)
+				return false
+			case *ast.RangeStmt:
+				tv := info.TypeOf(n.X)
+				if tv == nil {
+					return true
+				}
+				if _, isMap := tv.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if ann.At(analysis.AnnUnordered, fset.Position(n.For).Line) != nil {
+					return true
+				}
+				if eff := determinism.RangeEffect(info, n, scope); eff != "" {
+					taint = &analysis.Taint{
+						Kind: analysis.AnnUnordered,
+						Desc: "order-dependent map range (" + eff + ")",
+						Pos:  n.For,
+					}
+				}
+			}
+			return true
+		})
+	}
+	scan(body)
+	return taint
+}

@@ -1,0 +1,19 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"bbcast/internal/analysis"
+	"bbcast/internal/analysis/analysistest"
+	"bbcast/internal/analysis/detflow"
+)
+
+// TestDetflow runs the transitive-determinism pass over a two-package
+// fixture: a helper posing as bbcast/internal/obsv (outside DetPackages)
+// and a caller posing as bbcast/internal/sim (a reporting frontier).
+func TestDetflow(t *testing.T) {
+	analysistest.RunDirs(t, []analysis.DirSpec{
+		{Dir: "testdata/helper", ImportPath: "bbcast/internal/obsv"},
+		{Dir: "testdata/det", ImportPath: "bbcast/internal/sim"},
+	}, detflow.Analyzer)
+}

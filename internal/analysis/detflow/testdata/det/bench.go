@@ -1,0 +1,14 @@
+//bbvet:wallclock fixture: in-package wall-benchmark file
+
+package sim
+
+import "time"
+
+// wallNow taints despite living in a det package: the file exemption
+// silences the direct check, but callers in normal files still must not
+// reach it.
+func wallNow() int64 { return time.Now().UnixNano() }
+
+// exemptCaller lives in the same exempt file, so it is not a frontier and
+// gets no diagnostic.
+func exemptCaller() int64 { return wallNow() }

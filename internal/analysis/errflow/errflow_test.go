@@ -1,0 +1,18 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"bbcast/internal/analysis"
+	"bbcast/internal/analysis/analysistest"
+	"bbcast/internal/analysis/errflow"
+)
+
+// TestErrflow covers all four bad shapes, the propagation and discharge
+// wrappers, the latch/checked/loop negatives, and the annotation escape.
+func TestErrflow(t *testing.T) {
+	analysistest.RunDirs(t, []analysis.DirSpec{
+		{Dir: "testdata/dev", ImportPath: "bbcast/internal/persist"},
+		{Dir: "testdata/caller", ImportPath: "bbcast/internal/runner"},
+	}, errflow.Analyzer)
+}

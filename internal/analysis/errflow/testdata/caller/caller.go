@@ -1,0 +1,79 @@
+// Package runner exercises every errflow shape against the fixture persist
+// package and net's datagram writes.
+package runner
+
+import (
+	"net"
+
+	"bbcast/internal/persist"
+)
+
+func dropped(d *persist.FileDevice, b []byte) {
+	d.AppendLog(b) // want `error from persist\.FileDevice\.AppendLog is dropped`
+}
+
+func discarded(d *persist.FileDevice, b []byte) {
+	_ = d.WriteSnapshot(b) // want `error from persist\.FileDevice\.WriteSnapshot is discarded into _`
+}
+
+func discardedPair(u *net.UDPConn, b []byte, addr *net.UDPAddr) {
+	_, _ = u.WriteToUDP(b, addr) // want `error from net\.UDPConn\.WriteToUDP is discarded into _`
+}
+
+func inGoroutine(d *persist.FileDevice, b []byte) {
+	go d.AppendLog(b) // want `unobservable in a go statement`
+}
+
+func deferred(d *persist.FileDevice) {
+	defer d.Close() // want `unobservable in a deferred call`
+}
+
+// stale overwrites an unchecked error: the classic shadowed-error bug.
+func stale(d *persist.FileDevice, b []byte) error {
+	err := d.AppendLog(b)
+	if err != nil {
+		return err
+	}
+	err = d.WriteSnapshot(b) // want `assigned to err but never read`
+	return nil
+}
+
+// viaWrapper drops a propagated error; the diagnostic names the raw write.
+func viaWrapper(d *persist.FileDevice, b []byte) {
+	persist.Save(d, b) // want `error from persist\.Save \(wraps persist\.FileDevice\.AppendLog\) is dropped`
+}
+
+// viaQuiet calls the self-latching wrapper: nothing to handle.
+func viaQuiet(d *persist.FileDevice, b []byte) {
+	persist.SaveQuiet(d, b)
+}
+
+func checked(d *persist.FileDevice, b []byte) error {
+	if err := d.AppendLog(b); err != nil {
+		return err
+	}
+	return nil
+}
+
+type state struct{ err error }
+
+// latched assigns the error to a field: the prescribed latch pattern.
+func latched(s *state, d *persist.FileDevice, b []byte) {
+	s.err = d.AppendLog(b)
+}
+
+// loopChecked reads each iteration's error at the top of the next one.
+func loopChecked(d *persist.FileDevice, bs [][]byte) {
+	var err error
+	for _, b := range bs {
+		if err != nil {
+			break
+		}
+		err = d.AppendLog(b)
+	}
+}
+
+// excusedDrop carries a reviewed justification.
+func excusedDrop(d *persist.FileDevice, b []byte) {
+	_ = d.WriteSnapshot(b) //bbvet:errflow fixture: best-effort snapshot, device latches
+}

@@ -1,0 +1,22 @@
+// Package persist poses as bbcast/internal/persist: its write surface seeds
+// the errflow watched set, and the two wrappers cover propagation (Save
+// returns the error — callers inherit the obligation) versus discharge
+// (SaveQuiet latches it — callers owe nothing).
+package persist
+
+type FileDevice struct{ failed error }
+
+func (d *FileDevice) AppendLog(rec []byte) error   { return d.failed }
+func (d *FileDevice) WriteSnapshot(b []byte) error { return d.failed }
+func (d *FileDevice) ResetLog() error              { return d.failed }
+func (d *FileDevice) Close() error                 { return d.failed }
+
+// Save wraps a watched write and returns its error: watched by propagation.
+func Save(d *FileDevice, b []byte) error { return d.AppendLog(b) }
+
+// SaveQuiet latches the error internally and returns nothing: not watched.
+func SaveQuiet(d *FileDevice, b []byte) {
+	if err := d.AppendLog(b); err != nil {
+		d.failed = err
+	}
+}

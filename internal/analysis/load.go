@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -142,6 +143,47 @@ func Load(moduleDir string, patterns ...string) ([]*Package, error) {
 // enclosing module, so testdata may import both the standard library and this
 // repo's packages.
 func LoadDir(dir, importPath string) (*Package, error) {
+	pkgs, err := LoadDirs(DirSpec{Dir: dir, ImportPath: importPath})
+	if err != nil {
+		return nil, err
+	}
+	return pkgs[0], nil
+}
+
+// DirSpec names one directory to load as one fake import path.
+type DirSpec struct {
+	Dir        string
+	ImportPath string
+}
+
+// LoadDirs type-checks several non-listed directories into one shared
+// FileSet, in order, so whole-program analyzers can see a multi-package
+// fixture. A later spec may import an earlier one by its fake import path
+// (the in-memory type-checked package shadows export-data resolution);
+// every spec may import the enclosing module's packages and the standard
+// library through export data. Files excluded by build constraints are
+// skipped, matching the go tool's own file selection.
+func LoadDirs(specs ...DirSpec) ([]*Package, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("loaddirs: no directories")
+	}
+	fset := token.NewFileSet()
+	loaded := map[string]*types.Package{}
+	var pkgs []*Package
+	for _, spec := range specs {
+		pkg, err := loadDirInto(fset, loaded, spec.Dir, spec.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		loaded[spec.ImportPath] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// loadDirInto parses, filters (build tags) and type-checks one directory
+// against export data plus the already-loaded fixture packages.
+func loadDirInto(fset *token.FileSet, loaded map[string]*types.Package, dir, importPath string) (*Package, error) {
 	moduleDir, err := moduleRoot(dir)
 	if err != nil {
 		return nil, err
@@ -150,17 +192,25 @@ func LoadDir(dir, importPath string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	buildCtx := build.Default
 	var files []string
 	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			files = append(files, filepath.Join(dir, e.Name()))
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
 		}
+		// MatchFile applies //go:build constraints and GOOS/GOARCH suffixes
+		// the way `go list` does, so a fixture (or a real package loaded by
+		// path) with tag-excluded files type-checks the same file set the
+		// compiler would.
+		if ok, matchErr := buildCtx.MatchFile(dir, e.Name()); matchErr != nil || !ok {
+			continue
+		}
+		files = append(files, filepath.Join(dir, e.Name()))
 	}
 	if len(files) == 0 {
-		return nil, fmt.Errorf("loaddir %s: no Go files", dir)
+		return nil, fmt.Errorf("loaddir %s: no Go files (after build-constraint filtering)", dir)
 	}
 	sort.Strings(files)
-	fset := token.NewFileSet()
 	parsed, err := parseFiles(fset, files)
 	if err != nil {
 		return nil, err
@@ -170,7 +220,7 @@ func LoadDir(dir, importPath string) (*Package, error) {
 	for _, f := range parsed {
 		for _, spec := range f.Imports {
 			path, _ := strconv.Unquote(spec.Path.Value)
-			if path != "" && !seen[path] {
+			if path != "" && !seen[path] && loaded[path] == nil {
 				seen[path] = true
 				imports = append(imports, path)
 			}
@@ -184,8 +234,23 @@ func LoadDir(dir, importPath string) (*Package, error) {
 			return nil, err
 		}
 	}
-	imp := newExportImporter(fset, exports)
+	imp := preloadedImporter{loaded: loaded, fallback: newExportImporter(fset, exports)}
 	return checkPackageParsed(fset, imp, importPath, dir, parsed)
+}
+
+// preloadedImporter resolves fixture-to-fixture imports from the in-memory
+// packages LoadDirs already type-checked, falling back to export data for
+// everything else.
+type preloadedImporter struct {
+	loaded   map[string]*types.Package
+	fallback types.Importer
+}
+
+func (p preloadedImporter) Import(path string) (*types.Package, error) {
+	if pkg := p.loaded[path]; pkg != nil {
+		return pkg, nil
+	}
+	return p.fallback.Import(path)
 }
 
 // moduleRoot walks up from dir to the directory containing go.mod.
@@ -227,7 +292,12 @@ func newExportImporter(fset *token.FileSet, exports map[string]string) types.Imp
 	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		file, ok := exports[path]
 		if !ok {
-			return nil, fmt.Errorf("no export data for %q", path)
+			// Without this wrapper the gc importer surfaces an opaque
+			// "can't find import" — name the real causes: the path is not a
+			// package the go tool can see (typo, fake/vendored path never
+			// registered with LoadDirs), or `go list -export` did not
+			// compile it (a package with build errors exports nothing).
+			return nil, fmt.Errorf("no export data for %q (not a listable package, or it failed to compile under 'go list -export')", path)
 		}
 		return os.Open(file)
 	})

@@ -1,0 +1,15 @@
+// Package core omits a table handler so the drift check fires: renaming an
+// ingress function must break the build, not silently prove nothing.
+package core // want `ordering table drift: Protocol\.handleSyncResp not found`
+
+import "bbcast/internal/wire"
+
+type Protocol struct{ store map[uint64]bool }
+
+func (p *Protocol) HandlePacket(pkt *wire.Packet) {
+	p.handleData(pkt)
+	p.handleGossip(pkt)
+}
+
+func (p *Protocol) handleData(pkt *wire.Packet)   { p.store[pkt.ID] = true }
+func (p *Protocol) handleGossip(pkt *wire.Packet) { p.store[pkt.ID] = true }

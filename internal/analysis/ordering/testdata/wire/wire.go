@@ -1,0 +1,11 @@
+// Package wire poses as bbcast/internal/wire: Packet is the ingress shape
+// rule 3 keys on.
+package wire
+
+type Packet struct {
+	Kind    int
+	Sender  uint32
+	ID      uint64
+	Payload []byte
+	Sig     []byte
+}

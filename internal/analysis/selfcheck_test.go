@@ -7,7 +7,10 @@ import (
 	"bbcast/internal/analysis"
 	"bbcast/internal/analysis/boundedstate"
 	"bbcast/internal/analysis/determinism"
+	"bbcast/internal/analysis/detflow"
+	"bbcast/internal/analysis/errflow"
 	"bbcast/internal/analysis/obsvonce"
+	"bbcast/internal/analysis/ordering"
 )
 
 // TestRepoIsClean runs the bbvet analyzers over the entire repository, so a
@@ -32,6 +35,9 @@ func TestRepoIsClean(t *testing.T) {
 		determinism.Analyzer,
 		obsvonce.Analyzer,
 		boundedstate.Analyzer,
+		detflow.Analyzer,
+		ordering.Analyzer,
+		errflow.Analyzer,
 	})
 	if err != nil {
 		t.Fatalf("run analyzers: %v", err)

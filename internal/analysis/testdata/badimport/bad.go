@@ -1,0 +1,5 @@
+// Package badfixture imports a path the go tool cannot resolve, so the
+// loader's export-data error message is exercised.
+package badfixture
+
+import _ "example.invalid/nope"

@@ -1,0 +1,5 @@
+//go:build neverbuildme
+
+package taggedfixture
+
+const Live = 2

@@ -1,0 +1,6 @@
+// Package taggedfixture is loader test data: this file is live, excluded.go
+// is behind an undefined build tag and redeclares Live — so if the loader
+// ever stops filtering build constraints, type-checking fails loudly.
+package taggedfixture
+
+const Live = 1

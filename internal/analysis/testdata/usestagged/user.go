@@ -1,0 +1,7 @@
+// Package user imports the tagged fixture under a shadowed real import path
+// (see load_test.go).
+package user
+
+import wire "bbcast/internal/wire"
+
+const Two = wire.Live + 1

@@ -310,7 +310,8 @@ func (p *Protocol) initDetectors() {
 // accumulated record log.
 func (p *Protocol) snapshotTick() {
 	if p.deps.Store != nil {
-		_ = p.deps.Store.Snapshot() // best-effort; Store.Err retains failures
+		//bbvet:errflow best-effort periodic snapshot: Store latches the failure in Err and the next health check surfaces it
+		_ = p.deps.Store.Snapshot()
 	}
 }
 

@@ -203,6 +203,7 @@ func (s *Store) enforceDeliveredCap() {
 		var victim wire.MsgID
 		var victimGen uint64
 		found := false
+		//bbvet:unordered pure minimum under a total order; every iteration order picks the same victim
 		for id, rec := range s.state.Delivered {
 			if !found || rec.Gen < victimGen || (rec.Gen == victimGen && id.Less(victim)) {
 				victim, victimGen, found = id, rec.Gen, true
